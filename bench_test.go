@@ -1,0 +1,270 @@
+// Benchmarks, one per table/figure of the paper's evaluation (see
+// DESIGN.md's experiment index), plus micro-benchmarks for the substrate
+// layers. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkFigNN times the work behind that figure; the figure's
+// actual rows/series are produced by cmd/cottage-bench.
+package cottage
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"cottage/internal/baselines"
+	"cottage/internal/core"
+	"cottage/internal/engine"
+	"cottage/internal/harness"
+	"cottage/internal/nn"
+	"cottage/internal/predict"
+	"cottage/internal/search"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSetup *harness.Setup
+	benchErr   error
+)
+
+// setupBench builds a reduced harness setup shared by every benchmark.
+func setupBench(b *testing.B) *harness.Setup {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := harness.QuickSetupConfig()
+		cfg.CorpusCfg.NumDocs = 6000
+		cfg.CorpusCfg.VocabSize = 6000
+		cfg.TrainQueries = 600
+		cfg.EvalQueries = 600
+		cfg.PredictCfg.QualitySteps = 250
+		cfg.PredictCfg.LatencySteps = 120
+		benchSetup, benchErr = harness.Build(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSetup
+}
+
+// replay times one policy replay over the evaluated Wikipedia trace.
+func replay(b *testing.B, p engine.Policy) {
+	s := setupBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Engine.Run(p, s.WikiEval)
+	}
+}
+
+// BenchmarkTable1Features times Table I feature extraction via the quality
+// predictor path (features + inference).
+func BenchmarkTable1Features(b *testing.B) {
+	s := setupBench(b)
+	p := s.Engine.Fleet.Predictors[0]
+	sh := s.Engine.Shards[0]
+	terms := s.WikiQueries[0].Terms
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Predict(sh, terms)
+	}
+}
+
+// BenchmarkFig2LatencyQualityVariation times the exhaustive evaluation
+// pass that produces Fig. 2's histograms.
+func BenchmarkFig2LatencyQualityVariation(b *testing.B) {
+	replay(b, baselines.Exhaustive{})
+}
+
+// BenchmarkFig4FrequencySweep times a DVFS sweep of a query across the
+// frequency ladder.
+func BenchmarkFig4FrequencySweep(b *testing.B) {
+	s := setupBench(b)
+	cycles := s.WikiEval[0].Cycles[0]
+	ladder := s.Engine.Cluster.Ladder
+	b.ResetTimer()
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		for _, f := range ladder.Levels {
+			acc += cycles / (f * 1e6)
+		}
+	}
+	_ = acc
+}
+
+// BenchmarkFig6GammaFit times fitting and scoring the Gamma model against
+// a real score distribution.
+func BenchmarkFig6GammaFit(b *testing.B) {
+	s := setupBench(b)
+	var buf discard
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := harness.Fig6(s, &buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7QualityPredictor times quality-model inference, the
+// quantity on Fig. 7b's right axis.
+func BenchmarkFig7QualityPredictor(b *testing.B) {
+	s := setupBench(b)
+	p := s.Engine.Fleet.Predictors[0]
+	sh := s.Engine.Shards[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Predict(sh, s.WikiQueries[i%len(s.WikiQueries)].Terms)
+	}
+}
+
+// BenchmarkFig7PaperNet times inference at the paper's exact 5x128
+// architecture.
+func BenchmarkFig7PaperNet(b *testing.B) {
+	net := nn.New(nn.PaperConfig(15, 11, 1))
+	p := net.NewPredictor()
+	x := make([]float64, 15)
+	for i := range x {
+		x[i] = float64(i) * 1.7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Classify(x)
+	}
+}
+
+// BenchmarkFig8LatencyPredictor times training the latency model for one
+// ISN at the paper's 60-iteration budget.
+func BenchmarkFig8LatencyPredictor(b *testing.B) {
+	s := setupBench(b)
+	ds := s.TrainData
+	cfg := predict.DefaultConfig(10)
+	cfg.QualitySteps = 10
+	cfg.LatencySteps = 60
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := predict.Train(&predict.Dataset{K: ds.K, PerISN: ds.PerISN[:1]}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9BudgetDetermination times Algorithm 1 itself.
+func BenchmarkFig9BudgetDetermination(b *testing.B) {
+	s := setupBench(b)
+	cot := core.NewCottage()
+	q := s.WikiQueries[0]
+	reports := cot.Reports(s.Engine, q, 0)
+	ladder := s.Engine.Cluster.Ladder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.DetermineBudget(reports, ladder, core.BudgetOptions{Downclock: true})
+	}
+}
+
+// BenchmarkFig10OverallLatency times a full Cottage trace replay — the
+// run behind Fig. 10's latency series.
+func BenchmarkFig10OverallLatency(b *testing.B) {
+	replay(b, core.NewCottage())
+}
+
+// BenchmarkFig11Quality times the Taily replay used in the quality
+// comparison.
+func BenchmarkFig11Quality(b *testing.B) {
+	replay(b, baselines.NewTaily())
+}
+
+// BenchmarkFig12Scatter times computing the per-query latency/quality
+// points for the scatter figure.
+func BenchmarkFig12Scatter(b *testing.B) {
+	s := setupBench(b)
+	res := s.Engine.Run(core.NewCottage(), s.WikiEval)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		good := 0
+		for _, o := range res.Outcomes {
+			if o.PAtK >= 0.9 && o.LatencyMS < 5 {
+				good++
+			}
+		}
+		_ = good
+	}
+}
+
+// BenchmarkFig13RankS times the Rank-S replay (CSI lookups dominate).
+func BenchmarkFig13RankS(b *testing.B) {
+	s := setupBench(b)
+	replay(b, s.RankS)
+}
+
+// BenchmarkFig14Power times the aggregation-policy replay with power
+// accounting.
+func BenchmarkFig14Power(b *testing.B) {
+	replay(b, baselines.NewAggregation())
+}
+
+// BenchmarkFig15Ablation times the Cottage-withoutML replay (Gamma
+// estimation on every query).
+func BenchmarkFig15Ablation(b *testing.B) {
+	replay(b, core.NewCottageNoML())
+}
+
+// BenchmarkAblationBoost compares the boost-disabled variant (the
+// DESIGN.md ablation on frequency boosting).
+func BenchmarkAblationBoost(b *testing.B) {
+	replay(b, &core.Cottage{DropZeroProb: 0.8, K2ZeroProb: 0.95, Boost: false, Downclock: true, LatencyMargin: 0.5})
+}
+
+// BenchmarkAblationKOver2 compares the strict top-K variant (no K/2
+// relaxation).
+func BenchmarkAblationKOver2(b *testing.B) {
+	replay(b, &core.Cottage{DropZeroProb: 0.8, K2ZeroProb: 0.95, Boost: true, Downclock: true, StrictTopK: true, LatencyMargin: 0.5})
+}
+
+// BenchmarkPruningMaxScoreVsExhaustive quantifies the dynamic-pruning
+// speedup at one ISN (DESIGN.md ablation 1).
+func BenchmarkPruningMaxScoreVsExhaustive(b *testing.B) {
+	s := setupBench(b)
+	sh := s.Engine.Shards[0]
+	q := s.WikiQueries[1].Terms
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = search.Exhaustive(sh, q, 10)
+		}
+	})
+	b.Run("maxscore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = search.MaxScore(sh, q, 10)
+		}
+	})
+	b.Run("wand", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = search.WAND(sh, q, 10)
+		}
+	})
+}
+
+// BenchmarkEvaluateQuery times the policy-independent evaluation of one
+// query across all shards.
+func BenchmarkEvaluateQuery(b *testing.B) {
+	s := setupBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Engine.Evaluate(s.WikiQueries[i%len(s.WikiQueries)])
+	}
+}
+
+// BenchmarkOracle times the oracle-quality replay used in the predictor
+// error analysis.
+func BenchmarkOracle(b *testing.B) {
+	s := setupBench(b)
+	replay(b, core.NewCottageOracle(s.Engine, s.WikiEval))
+}
+
+// discard is a minimal io.Writer that drops output (io.Discard with a
+// concrete type so the compiler can devirtualize in benchmarks).
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+var _ io.Writer = discard{}

@@ -1,0 +1,110 @@
+// Command cottage-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cottage-bench [-experiment all|table1|table2|fig2|fig4|fig6|fig7|fig8|
+//	               fig9|fig10|fig11|fig12|fig13|fig14|fig15|ablations]
+//	              [-scale quick|full] [-out results.txt]
+//
+// The full scale matches EXPERIMENTS.md (48K documents, 16 ISNs, 3000
+// training queries, 10K evaluation queries per trace) and takes several
+// minutes, most of it predictor training and the two trace evaluations.
+// The quick scale reproduces every ordering in under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"cottage/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cottage-bench: ")
+	var (
+		experiment = flag.String("experiment", "all", "experiment id or 'all'")
+		scale      = flag.String("scale", "quick", "setup scale: quick or full")
+		outPath    = flag.String("out", "", "write results to this file instead of stdout")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		csvDir     = flag.String("csv", "", "export raw per-query outcomes of the policy comparison to CSVs in this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		for _, e := range harness.Extras() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var cfg harness.SetupConfig
+	switch *scale {
+	case "quick":
+		cfg = harness.QuickSetupConfig()
+	case "full":
+		cfg = harness.DefaultSetupConfig()
+	default:
+		log.Fatalf("unknown scale %q (want quick or full)", *scale)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	log.Printf("building %s setup (%d docs, %d ISNs, %d train / %d eval queries)...",
+		*scale, cfg.CorpusCfg.NumDocs, cfg.EngineCfg.NumShards, cfg.TrainQueries, cfg.EvalQueries)
+	start := time.Now()
+	s, err := harness.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("setup ready in %v", time.Since(start).Round(time.Millisecond))
+
+	run := func(e harness.Experiment) {
+		fmt.Fprintf(out, "\n=== %s — %s ===\n", e.ID, e.Title)
+		t0 := time.Now()
+		if err := e.Run(s, out); err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		log.Printf("%s done in %v", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *csvDir != "" {
+		log.Printf("exporting per-query CSVs to %s...", *csvDir)
+		if err := harness.ExportCSVFromSetup(s, *csvDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	switch *experiment {
+	case "all":
+		for _, e := range harness.All() {
+			run(e)
+		}
+		return
+	case "extras":
+		for _, e := range harness.Extras() {
+			run(e)
+		}
+		return
+	}
+	e, ok := harness.ByID(*experiment)
+	if !ok {
+		log.Fatalf("unknown experiment %q (use -list)", *experiment)
+	}
+	run(e)
+}

@@ -1,0 +1,144 @@
+// Command cottage-client is the aggregator-side CLI: it connects to a set
+// of cottage-server ISNs, replays queries against them under either the
+// exhaustive or the Cottage coordinated protocol, and reports latency and
+// result agreement.
+//
+//	cottage-client -servers 127.0.0.1:7001,127.0.0.1:7002 -mode cottage \
+//	               -queries queries.txt
+//
+// queries.txt holds one query per line (whitespace-separated terms). With
+// -compare, every query runs under both protocols and the client reports
+// Cottage's overlap with the exhaustive top-K.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"cottage/internal/rpc"
+	"cottage/internal/search"
+	"cottage/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cottage-client: ")
+	var (
+		servers   = flag.String("servers", "", "comma-separated ISN addresses (required)")
+		mode      = flag.String("mode", "cottage", "protocol: exhaustive|cottage")
+		queries   = flag.String("queries", "", "file with one query per line")
+		tracePath = flag.String("trace", "", "timed trace (gob, from cottage-indexer -traceout) for paced replay")
+		speedup   = flag.Float64("speedup", 1, "replay the trace this many times faster than recorded")
+		k         = flag.Int("k", 10, "results per query")
+		compare   = flag.Bool("compare", false, "run both protocols and report overlap")
+	)
+	flag.Parse()
+	if *servers == "" || (*queries == "" && *tracePath == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var clients []*rpc.Client
+	for _, addr := range strings.Split(*servers, ",") {
+		c, err := rpc.Dial(strings.TrimSpace(addr))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Ping(); err != nil {
+			log.Fatalf("%s: %v", addr, err)
+		}
+		clients = append(clients, c)
+	}
+	agg := rpc.NewAggregator(clients, *k)
+
+	var queryList [][]string
+	var arrivals []float64
+	if *tracePath != "" {
+		qs, err := trace.LoadFile(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, q := range qs {
+			queryList = append(queryList, q.Terms)
+			arrivals = append(arrivals, q.ArrivalMS)
+		}
+		log.Printf("replaying %d-query trace at %.1fx speed", len(qs), *speedup)
+	} else {
+		f, err := os.Open(*queries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			terms := strings.Fields(sc.Text())
+			if len(terms) == 0 {
+				continue
+			}
+			queryList = append(queryList, terms)
+		}
+		if err := sc.Err(); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+
+	var totalMS, overlapSum float64
+	n := 0
+	replayStart := time.Now()
+	for qi, terms := range queryList {
+		if arrivals != nil && *speedup > 0 {
+			// Paced replay: wait until the recorded (scaled) arrival time.
+			due := time.Duration(arrivals[qi] / *speedup * float64(time.Millisecond))
+			if wait := due - time.Since(replayStart); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		start := time.Now()
+		var res rpc.Result
+		var err error
+		switch *mode {
+		case "exhaustive":
+			res, err = agg.SearchExhaustive(terms)
+		case "cottage":
+			res, err = agg.SearchCottage(terms)
+		default:
+			log.Fatalf("unknown mode %q", *mode)
+		}
+		if err != nil {
+			log.Fatalf("query %v: %v", terms, err)
+		}
+		elapsed := time.Since(start)
+		totalMS += float64(elapsed.Microseconds()) / 1000
+		n++
+		fmt.Printf("%-40s %3d hits  %2d ISNs  budget %6.2f ms  %8.3f ms\n",
+			strings.Join(terms, " "), len(res.Hits), len(res.Selected), res.BudgetMS,
+			float64(elapsed.Microseconds())/1000)
+		if *compare {
+			exh, err := agg.SearchExhaustive(terms)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(exh.Hits) > 0 {
+				want := search.DocSet(exh.Hits)
+				ov := float64(search.Overlap(res.Hits, want)) / float64(len(exh.Hits))
+				overlapSum += ov
+				fmt.Printf("%-40s overlap with exhaustive: %.2f\n", "", ov)
+			}
+		}
+	}
+	if n == 0 {
+		log.Fatal("no queries")
+	}
+	fmt.Printf("\n%d queries, mean wall latency %.3f ms", n, totalMS/float64(n))
+	if *compare {
+		fmt.Printf(", mean overlap %.3f", overlapSum/float64(n))
+	}
+	fmt.Println()
+}

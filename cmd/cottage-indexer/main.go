@@ -1,0 +1,204 @@
+// Command cottage-indexer builds a sharded inverted index and writes one
+// .shard file per ISN, ready for cottage-server.
+//
+// Two input modes:
+//
+//	cottage-indexer -out ./idx -shards 4                # synthetic corpus
+//	cottage-indexer -out ./idx -shards 4 -input docs.txt # one document per line
+//
+// With -train N it additionally trains per-ISN quality/latency predictors
+// on N synthetic queries and writes one .model file per shard, so
+// cottage-server can answer prediction requests.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cottage/internal/cluster"
+	"cottage/internal/index"
+	"cottage/internal/predict"
+	"cottage/internal/search"
+	"cottage/internal/textgen"
+	"cottage/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cottage-indexer: ")
+	var (
+		out    = flag.String("out", "./index", "output directory")
+		nshard = flag.Int("shards", 4, "number of shards (ISNs)")
+		input  = flag.String("input", "", "text file, one document per line (default: synthetic corpus)")
+		docs   = flag.Int("docs", 12000, "synthetic corpus size")
+		seed   = flag.Uint64("seed", 1, "synthetic corpus seed")
+		train  = flag.Int("train", 0, "train predictors on this many synthetic queries (synthetic corpus only)")
+		k      = flag.Int("k", 10, "top-K the statistics and predictors target")
+		pos    = flag.Bool("positions", false, "record term positions (enables phrase queries; -input mode only)")
+		qout   = flag.String("queriesout", "", "also write sample queries (one per line) for cottage-client")
+		tout   = flag.String("traceout", "", "also write a timed query trace (gob) for paced replay")
+		nq     = flag.Int("numqueries", 200, "how many sample queries to write with -queriesout/-traceout")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	var shards []*index.Shard
+	var corpus *textgen.Corpus
+	if *input != "" {
+		var err error
+		shards, err = indexTextFile(*input, *nshard, *k, *pos)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if *pos {
+			log.Fatal("-positions requires -input (the synthetic corpus is bag-of-words)")
+		}
+		cfg := textgen.DefaultConfig()
+		cfg.NumDocs = *docs
+		cfg.Seed = *seed
+		corpus = textgen.Generate(cfg)
+		alloc := corpus.AllocateTopical(*nshard, max(1, *nshard/5), 0.15, *seed)
+		shards = make([]*index.Shard, len(alloc))
+		for si, ids := range alloc {
+			b := index.NewBuilder(si, index.DefaultBM25(), *k)
+			for _, id := range ids {
+				d := &corpus.Docs[id]
+				terms := make(map[string]int, len(d.Terms))
+				for tid, tf := range d.Terms {
+					terms[corpus.Vocab[tid]] = tf
+				}
+				b.Add(int64(id), terms, d.Length)
+			}
+			shards[si] = b.Finalize()
+		}
+	}
+
+	for _, s := range shards {
+		if err := s.Validate(); err != nil {
+			log.Fatalf("shard %d failed validation: %v", s.ID, err)
+		}
+		path := filepath.Join(*out, fmt.Sprintf("isn-%02d.shard", s.ID))
+		if err := s.SaveFile(path); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d docs, %d terms)", path, s.NumDocs, s.NumTerms())
+	}
+
+	if *qout != "" {
+		if corpus == nil {
+			log.Fatal("-queriesout requires the synthetic corpus (omit -input)")
+		}
+		qs := trace.Generate(corpus, trace.Config{Kind: trace.Wikipedia, Seed: *seed + 500, NumQueries: *nq, QPS: 10})
+		f, err := os.Create(*qout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		for _, q := range qs {
+			fmt.Fprintln(w, strings.Join(q.Terms, " "))
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d queries to %s", len(qs), *qout)
+	}
+
+	if *tout != "" {
+		if corpus == nil {
+			log.Fatal("-traceout requires the synthetic corpus (omit -input)")
+		}
+		qs := trace.Generate(corpus, trace.Config{Kind: trace.Wikipedia, Seed: *seed + 600, NumQueries: *nq, QPS: 10})
+		if err := trace.SaveFile(*tout, qs); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d-query trace to %s", len(qs), *tout)
+	}
+
+	if *train > 0 {
+		if corpus == nil {
+			log.Fatal("-train requires the synthetic corpus (omit -input)")
+		}
+		qs := trace.Generate(corpus, trace.Config{Kind: trace.Wikipedia, Seed: *seed + 100, NumQueries: *train, QPS: 30})
+		log.Printf("harvesting ground truth from %d queries...", len(qs))
+		ds := predict.Harvest(shards, qs, *k, search.StrategyMaxScore, cluster.DefaultCostModel())
+		fleet, err := predict.Train(ds, predict.DefaultConfig(*k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range fleet.Predictors {
+			path := filepath.Join(*out, fmt.Sprintf("isn-%02d.model", p.ISN))
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := p.Encode(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote %s", path)
+		}
+	}
+}
+
+// indexTextFile round-robins lines of a text file across shards.
+func indexTextFile(path string, nshard, k int, positions bool) ([]*index.Shard, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	builders := make([]*index.Builder, nshard)
+	for i := range builders {
+		builders[i] = index.NewBuilder(i, index.DefaultBM25(), k)
+		if positions {
+			builders[i].EnablePositions()
+		}
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	id := int64(0)
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) == 0 {
+			continue
+		}
+		if positions {
+			builders[id%int64(nshard)].AddTokens(id, index.Tokenize(line))
+		} else {
+			builders[id%int64(nshard)].AddText(id, line)
+		}
+		id++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if id == 0 {
+		return nil, fmt.Errorf("no documents in %s", path)
+	}
+	shards := make([]*index.Shard, nshard)
+	for i, b := range builders {
+		shards[i] = b.Finalize()
+	}
+	return shards, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+// Command cottage-server runs one ISN over TCP: it loads a shard written
+// by cottage-indexer (and optionally its trained predictor) and serves
+// search/predict requests for an aggregator (cottage-client).
+//
+//	cottage-server -shard idx/isn-00.shard -model idx/isn-00.model -listen :7001
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+
+	"cottage/internal/index"
+	"cottage/internal/predict"
+	"cottage/internal/rpc"
+	"cottage/internal/search"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cottage-server: ")
+	var (
+		shardPath = flag.String("shard", "", "path to a .shard file (required)")
+		modelPath = flag.String("model", "", "path to a .model file (optional)")
+		listen    = flag.String("listen", ":7001", "listen address")
+		strategy  = flag.String("strategy", "maxscore", "evaluation strategy: exhaustive|maxscore|wand")
+	)
+	flag.Parse()
+	if *shardPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	shard, err := index.LoadFile(*shardPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded shard %d: %d docs, %d terms", shard.ID, shard.NumDocs, shard.NumTerms())
+
+	var pred *predict.ISNPredictor
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, err = predict.DecodeISNPredictor(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded predictor for ISN %d", pred.ISN)
+	}
+
+	var strat search.Strategy
+	switch *strategy {
+	case "exhaustive":
+		strat = search.StrategyExhaustive
+	case "maxscore":
+		strat = search.StrategyMaxScore
+	case "wand":
+		strat = search.StrategyWAND
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on %s", l.Addr())
+	srv := &rpc.Server{Shard: shard, Pred: pred, Strategy: strat}
+	if err := srv.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,31 @@
+// Selective search comparison: a miniature of the paper's Figs. 10-14.
+// Builds the quick experimental setup and replays the Wikipedia-like and
+// Lucene-like traces under all five headline policies, printing the
+// latency / quality / ISN / power comparison tables.
+package main
+
+import (
+	"log"
+	"os"
+
+	"cottage/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := harness.QuickSetupConfig()
+	// Trim further so the example finishes fast; orderings still hold.
+	cfg.CorpusCfg.NumDocs = 6000
+	cfg.CorpusCfg.VocabSize = 6000
+	cfg.TrainQueries = 600
+	cfg.EvalQueries = 800
+
+	log.Println("building setup (corpus, shards, predictors, traces)...")
+	s, err := harness.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Println("replaying both traces under every policy...")
+	c := s.RunComparison(s.Policies())
+	harness.RenderComparison(os.Stdout, c)
+}

@@ -1,0 +1,3 @@
+module cottage
+
+go 1.22

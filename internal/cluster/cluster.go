@@ -1,0 +1,378 @@
+// Package cluster simulates the paper's testbed in virtual time: a set of
+// Index Serving Nodes (one core each, with per-core DVFS over the Xeon
+// E5-2697's 1.2–2.7 GHz ladder), FIFO request queues, a service-time cost
+// model driven by the *real* work the query evaluator measured, network
+// delays, and package power accounting (internal/power).
+//
+// All latency and power results in the experiment harness come from this
+// simulator's virtual clock, which keeps every figure deterministic and
+// machine-independent while preserving the per-query variance of the real
+// retrieval engine. Times are float64 milliseconds.
+package cluster
+
+import (
+	"fmt"
+
+	"cottage/internal/power"
+	"cottage/internal/search"
+)
+
+// Ladder is the set of selectable CPU frequencies in GHz, ascending.
+type Ladder struct {
+	Levels []float64
+	// DefaultIdx indexes the frequency ISNs run at when no policy boosts
+	// them — power-conscious deployments keep this below max (the
+	// "current frequency" of the paper's Fig. 9).
+	DefaultIdx int
+}
+
+// DefaultLadder mirrors the paper's platform: 1.2–2.7 GHz, with 1.8 GHz
+// as the power-conscious default.
+func DefaultLadder() Ladder {
+	return Ladder{
+		Levels:     []float64{1.2, 1.5, 1.8, 2.1, 2.4, 2.7},
+		DefaultIdx: 2,
+	}
+}
+
+// Default returns the default frequency in GHz.
+func (l Ladder) Default() float64 { return l.Levels[l.DefaultIdx] }
+
+// Max returns the highest (boost) frequency in GHz.
+func (l Ladder) Max() float64 { return l.Levels[len(l.Levels)-1] }
+
+// ClampUp returns the lowest ladder frequency >= f, or Max if none.
+func (l Ladder) ClampUp(f float64) float64 {
+	for _, lv := range l.Levels {
+		if lv >= f-1e-12 {
+			return lv
+		}
+	}
+	return l.Max()
+}
+
+// Validate checks ladder invariants.
+func (l Ladder) Validate() error {
+	if len(l.Levels) == 0 {
+		return fmt.Errorf("cluster: empty frequency ladder")
+	}
+	for i := 1; i < len(l.Levels); i++ {
+		if l.Levels[i] <= l.Levels[i-1] {
+			return fmt.Errorf("cluster: ladder not ascending at %d", i)
+		}
+	}
+	if l.DefaultIdx < 0 || l.DefaultIdx >= len(l.Levels) {
+		return fmt.Errorf("cluster: default index %d out of range", l.DefaultIdx)
+	}
+	return nil
+}
+
+// CostModel converts measured query-evaluation work into CPU cycles. The
+// constants are the calibration lever that maps our ~48K-document corpus
+// onto the paper's 34M-document testbed: per-unit costs are inflated so
+// that per-ISN service times land in the paper's 4–65 ms range (Fig. 10)
+// at the default frequency. DESIGN.md documents this substitution.
+type CostModel struct {
+	BaseCycles       float64 // fixed per-query overhead (parsing, setup)
+	CyclesPerPosting float64 // per posting traversed (decode + compare)
+	CyclesPerDoc     float64 // per candidate document scored
+	CyclesPerInsert  float64 // per top-K heap update
+}
+
+// DefaultCostModel returns the calibrated model described above. With the
+// default 48K-document corpus and Wikipedia-like trace, the slowest
+// shard's service time at 1.8 GHz lands near 11 ms at the median, ~27 ms
+// at the 95th percentile and ~63 ms at the maximum — the paper's 4–65 ms
+// exhaustive range (Fig. 10a).
+// The small fixed overhead keeps per-ISN service times dominated by
+// retrieval work, so the per-query variance *across* ISNs (Fig. 2's
+// premise, and what Algorithm 1's budget exploits) mirrors the real
+// skew of posting-list lengths across topical shards.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		BaseCycles:       2_000_000,
+		CyclesPerPosting: 15_000,
+		CyclesPerDoc:     12_000,
+		CyclesPerInsert:  50_000,
+	}
+}
+
+// Cycles converts execution statistics into CPU cycles.
+func (c CostModel) Cycles(st search.ExecStats) float64 {
+	return c.BaseCycles +
+		c.CyclesPerPosting*float64(st.PostingsTraversed) +
+		c.CyclesPerDoc*float64(st.DocsScored) +
+		c.CyclesPerInsert*float64(st.HeapInserts)
+}
+
+// ServiceMS converts cycles to milliseconds at frequency f (GHz):
+// 1 GHz executes 1e6 cycles per millisecond.
+func ServiceMS(cycles, freqGHz float64) float64 {
+	if freqGHz <= 0 {
+		panic("cluster: non-positive frequency")
+	}
+	return cycles / (freqGHz * 1e6)
+}
+
+// Network models the datacenter fabric between aggregator and ISNs plus
+// the client access link. The paper argues coordination overhead is
+// negligible against tens-of-ms service times; these constants keep it
+// small but present.
+type Network struct {
+	// AggToISNMS is the one-way aggregator <-> ISN delay.
+	AggToISNMS float64
+	// ClientMS is the one-way client <-> aggregator delay.
+	ClientMS float64
+}
+
+// DefaultNetwork uses 50 µs fabric hops and a 200 µs client link.
+func DefaultNetwork() Network {
+	return Network{AggToISNMS: 0.05, ClientMS: 0.2}
+}
+
+// ISN is the simulated state of one index-serving node: when each of its
+// workers frees up, and cumulative accounting.
+type ISN struct {
+	ID int
+	// SpeedFactor scales this node's service time (1 = nominal, 2 = a
+	// straggler taking twice as long per cycle). Models the server
+	// heterogeneity of real fleets (Haque et al., MICRO'17); per-ISN
+	// latency predictors absorb it because each ISN's model is trained on
+	// its own observed service costs.
+	SpeedFactor float64
+	// freeAtMS[w] is when worker w finishes its current backlog. The
+	// paper's ISNs are multithreaded Solr instances; WorkersPerISN > 1
+	// lets an ISN serve that many queries concurrently (each worker is
+	// one core for power accounting).
+	freeAtMS []float64
+	// Totals for reporting.
+	BusyMS        float64
+	QueriesServed int
+}
+
+// earliestWorker returns the index of the worker that frees up first.
+func (n *ISN) earliestWorker() int {
+	best := 0
+	for w := 1; w < len(n.freeAtMS); w++ {
+		if n.freeAtMS[w] < n.freeAtMS[best] {
+			best = w
+		}
+	}
+	return best
+}
+
+// Cluster simulates a fleet of ISNs sharing one CPU package.
+type Cluster struct {
+	ISNs    []*ISN
+	Ladder  Ladder
+	Cost    CostModel
+	Net     Network
+	Meter   *power.Meter
+	InferMS float64 // per-query predictor inference time charged at the ISN
+	nowMS   float64 // latest event time observed, for horizon accounting
+}
+
+// Config assembles a Cluster.
+type Config struct {
+	NumISNs int
+	Ladder  Ladder
+	Cost    CostModel
+	Net     Network
+	Power   power.Model
+	InferMS float64
+	// SpeedFactors optionally sets per-ISN service-time multipliers
+	// (heterogeneous fleet). Missing or non-positive entries default to 1.
+	SpeedFactors []float64
+	// WorkersPerISN is each ISN's concurrency (default 1). Each busy
+	// worker is charged as one active core.
+	WorkersPerISN int
+}
+
+// DefaultConfig returns a 16-ISN cluster matching the paper's deployment.
+func DefaultConfig() Config {
+	return Config{
+		NumISNs: 16,
+		Ladder:  DefaultLadder(),
+		Cost:    DefaultCostModel(),
+		Net:     DefaultNetwork(),
+		Power:   power.Default(),
+		InferMS: 0.11, // quality (41 µs) + latency (70 µs) inference, Figs. 7b/8b
+	}
+}
+
+// New builds a cluster. It panics on invalid configuration.
+func New(cfg Config) *Cluster {
+	if cfg.NumISNs <= 0 {
+		panic("cluster: NumISNs must be positive")
+	}
+	if err := cfg.Ladder.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cluster{
+		Ladder:  cfg.Ladder,
+		Cost:    cfg.Cost,
+		Net:     cfg.Net,
+		Meter:   power.NewMeter(cfg.Power),
+		InferMS: cfg.InferMS,
+	}
+	workers := cfg.WorkersPerISN
+	if workers <= 0 {
+		workers = 1
+	}
+	for i := 0; i < cfg.NumISNs; i++ {
+		speed := 1.0
+		if i < len(cfg.SpeedFactors) && cfg.SpeedFactors[i] > 0 {
+			speed = cfg.SpeedFactors[i]
+		}
+		c.ISNs = append(c.ISNs, &ISN{ID: i, SpeedFactor: speed, freeAtMS: make([]float64, workers)})
+	}
+	return c
+}
+
+// EffectiveCycles returns the cycle cost of a request on ISN isn,
+// including its speed factor. Everything that predicts or schedules work
+// for an ISN must go through this so predictions and execution agree.
+func (c *Cluster) EffectiveCycles(isn int, cycles float64) float64 {
+	return cycles * c.ISNs[isn].SpeedFactor
+}
+
+// NowMS returns the latest simulated time the cluster has seen.
+func (c *Cluster) NowMS() float64 { return c.nowMS }
+
+// observe advances the cluster's notion of the horizon.
+func (c *Cluster) observe(tMS float64) {
+	if tMS > c.nowMS {
+		c.nowMS = tMS
+	}
+}
+
+// QueueDelayMS returns how long a request arriving at the ISN at tMS
+// waits before service starts (time until the earliest worker frees up).
+func (c *Cluster) QueueDelayMS(isn int, tMS float64) float64 {
+	n := c.ISNs[isn]
+	d := n.freeAtMS[n.earliestWorker()] - tMS
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// EquivalentLatencyMS implements the paper's Eq. 2: the latency a request
+// with predictedCycles of work would see at ISN isn running at frequency
+// f, including the backlog already queued there. The backlog term uses
+// the queue's cycle content, matching the paper's sum of predicted
+// service times.
+func (c *Cluster) EquivalentLatencyMS(isn int, tMS, predictedCycles, f float64) float64 {
+	backlogMS := c.QueueDelayMS(isn, tMS)
+	return backlogMS + ServiceMS(predictedCycles, f)
+}
+
+// Execution reports what happened when an ISN processed a request.
+type Execution struct {
+	ISN       int
+	StartMS   float64 // service start (after queueing)
+	FinishMS  float64 // service end (possibly truncated by deadline)
+	ServiceMS float64 // actual busy time charged
+	Freq      float64
+	Completed bool // false if the deadline truncated the work
+	QueueMS   float64
+}
+
+// Execute schedules a request on ISN isn: it arrives at tMS (aggregator
+// clock), costs cycles at frequency f, and must finish by deadlineMS
+// (absolute; +Inf for none). If the work cannot finish by the deadline the
+// ISN still spends the truncated busy time (it worked until the budget
+// expired, as in step 6 of the paper's protocol) but the execution is
+// marked incomplete and its results are dropped by the aggregator.
+//
+// Inference overhead (quality+latency predictors, step 2) is charged as
+// busy time at the default frequency before service.
+func (c *Cluster) Execute(isn int, tMS, cycles, f, deadlineMS float64) Execution {
+	if f <= 0 {
+		panic("cluster: non-positive frequency")
+	}
+	node := c.ISNs[isn]
+	arrive := tMS + c.Net.AggToISNMS
+	worker := node.earliestWorker()
+	start := arrive
+	if node.freeAtMS[worker] > start {
+		start = node.freeAtMS[worker]
+	}
+	full := ServiceMS(cycles, f)
+	finish := start + full
+	busy := full
+	completed := true
+	if finish > deadlineMS {
+		// Work until the budget expires, then abandon.
+		completed = false
+		if deadlineMS > start {
+			busy = deadlineMS - start
+			finish = deadlineMS
+		} else {
+			busy = 0
+			finish = start
+		}
+	}
+	node.freeAtMS[worker] = finish
+	node.BusyMS += busy + c.InferMS
+	node.QueriesServed++
+	c.Meter.AddBusy(f, busy)
+	if c.InferMS > 0 {
+		c.Meter.AddBusy(c.Ladder.Max(), c.InferMS)
+	}
+	c.observe(finish)
+	return Execution{
+		ISN:       isn,
+		StartMS:   start,
+		FinishMS:  finish,
+		ServiceMS: busy,
+		Freq:      f,
+		Completed: completed,
+		QueueMS:   start - arrive,
+	}
+}
+
+// ResponseAtAggregatorMS is when the aggregator holds the ISN's response.
+func (c *Cluster) ResponseAtAggregatorMS(e Execution) float64 {
+	return e.FinishMS + c.Net.AggToISNMS
+}
+
+// ClientLatencyMS converts an aggregator-side completion time for a query
+// that arrived (at the aggregator) at tMS into the client-observed
+// latency.
+func (c *Cluster) ClientLatencyMS(tMS, aggDoneMS float64) float64 {
+	return (aggDoneMS - tMS) + 2*c.Net.ClientMS
+}
+
+// AveragePowerWatts reports mean package power over the simulated horizon.
+func (c *Cluster) AveragePowerWatts() float64 {
+	if c.nowMS <= 0 {
+		return c.Meter.Model().IdleWatts
+	}
+	return c.Meter.AveragePowerWatts(c.nowMS)
+}
+
+// Utilization returns the mean busy fraction across ISNs over the horizon.
+func (c *Cluster) Utilization() float64 {
+	if c.nowMS <= 0 {
+		return 0
+	}
+	total := 0.0
+	for _, n := range c.ISNs {
+		total += n.BusyMS
+	}
+	return total / (c.nowMS * float64(len(c.ISNs)))
+}
+
+// Reset returns the cluster to its initial state, keeping configuration.
+func (c *Cluster) Reset() {
+	for _, n := range c.ISNs {
+		for w := range n.freeAtMS {
+			n.freeAtMS[w] = 0
+		}
+		n.BusyMS = 0
+		n.QueriesServed = 0
+	}
+	c.Meter.Reset()
+	c.nowMS = 0
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cottage/internal/cluster"
+)
+
+// report builds an ISNReport with plain service-time semantics (no queue):
+// lcur at the default frequency, lboost = lcur * default/max.
+func report(isn int, qk, qk2 int, serviceAtDefaultMS float64, ladder cluster.Ladder) ISNReport {
+	cycles := serviceAtDefaultMS * ladder.Default() * 1e6
+	return ISNReport{
+		ISN:        isn,
+		QK:         qk,
+		QK2:        qk2,
+		HasK:       qk > 0,
+		HasK2:      qk2 > 0,
+		ExpQK:      float64(qk),
+		LCurrent:   serviceAtDefaultMS,
+		LBoosted:   cluster.ServiceMS(cycles, ladder.Max()),
+		PredCycles: cycles,
+	}
+}
+
+func TestDetermineBudgetCutsZeroQuality(t *testing.T) {
+	ladder := cluster.DefaultLadder()
+	reports := []ISNReport{
+		report(0, 3, 2, 10, ladder),
+		report(1, 0, 0, 5, ladder),
+		report(2, 2, 1, 8, ladder),
+		report(3, 0, 0, 30, ladder),
+	}
+	res := DetermineBudget(reports, ladder, BudgetOptions{})
+	if len(res.Selected) != 2 {
+		t.Fatalf("selected %d, want 2", len(res.Selected))
+	}
+	for _, c := range res.Cut {
+		if c != 1 && c != 3 {
+			t.Errorf("cut wrong ISN %d", c)
+		}
+	}
+}
+
+func TestDetermineBudgetFirstK2Contributor(t *testing.T) {
+	ladder := cluster.DefaultLadder()
+	// Fig. 9's shape: the slowest ISN has no top-K/2 contribution, the
+	// second slowest does. The budget must be the second's boosted
+	// latency, and the slowest must be cut.
+	slowNoK2 := report(7, 1, 0, 27, ladder) // boosted = 18
+	slowK2 := report(1, 2, 1, 24, ladder)   // boosted = 16
+	fast := report(2, 3, 2, 6, ladder)      // boosted = 4
+	res := DetermineBudget([]ISNReport{fast, slowNoK2, slowK2}, ladder, BudgetOptions{})
+	wantT := slowK2.LBoosted
+	if math.Abs(res.BudgetMS-wantT) > 1e-9 {
+		t.Fatalf("budget = %v, want %v", res.BudgetMS, wantT)
+	}
+	// ISN 7 cannot meet the budget even boosted: cut.
+	foundCut := false
+	for _, c := range res.Cut {
+		if c == 7 {
+			foundCut = true
+		}
+	}
+	if !foundCut {
+		t.Error("ISN 7 should be cut (boosted latency above budget)")
+	}
+	// ISN 1 must be selected and boosted (current 24 > budget 16).
+	for _, a := range res.Selected {
+		if a.ISN == 1 {
+			if !a.Boosted || a.Freq != ladder.Max() {
+				t.Errorf("ISN 1 should boost to max, got %+v", a)
+			}
+		}
+		if a.ISN == 2 {
+			if a.Boosted {
+				t.Error("fast ISN should not boost")
+			}
+		}
+	}
+}
+
+func TestDetermineBudgetStrictTopK(t *testing.T) {
+	ladder := cluster.DefaultLadder()
+	reports := []ISNReport{
+		report(0, 1, 0, 27, ladder), // slowest, no K/2
+		report(1, 2, 1, 12, ladder),
+	}
+	loose := DetermineBudget(reports, ladder, BudgetOptions{})
+	strict := DetermineBudget(reports, ladder, BudgetOptions{StrictTopK: true})
+	if strict.BudgetMS <= loose.BudgetMS {
+		t.Errorf("strict budget %v should exceed relaxed %v", strict.BudgetMS, loose.BudgetMS)
+	}
+	if len(strict.Selected) != 2 {
+		t.Error("strict mode must keep every top-K contributor")
+	}
+}
+
+func TestDetermineBudgetBoostMinimalFrequency(t *testing.T) {
+	ladder := cluster.DefaultLadder()
+	// Budget setter: boosted latency 12ms (service 18ms at default).
+	setter := report(0, 2, 1, 18, ladder)
+	// Slightly slow: 13ms at default; meets 12ms at 2.1 GHz
+	// (13*1.8/2.1 = 11.14), so it must boost to exactly 2.1, not max.
+	slightly := report(1, 1, 1, 13, ladder)
+	res := DetermineBudget([]ISNReport{setter, slightly}, ladder, BudgetOptions{})
+	for _, a := range res.Selected {
+		if a.ISN == 1 {
+			if a.Freq != 2.1 {
+				t.Errorf("ISN 1 frequency = %v, want 2.1", a.Freq)
+			}
+			if !a.Boosted || a.Downclocked {
+				t.Errorf("ISN 1 flags wrong: %+v", a)
+			}
+		}
+	}
+}
+
+func TestDetermineBudgetDownclock(t *testing.T) {
+	ladder := cluster.DefaultLadder()
+	setter := report(0, 2, 1, 18, ladder) // budget = 12
+	fast := report(1, 1, 1, 2, ladder)    // tons of slack
+	res := DetermineBudget([]ISNReport{setter, fast}, ladder, BudgetOptions{Downclock: true})
+	for _, a := range res.Selected {
+		if a.ISN == 1 {
+			if !a.Downclocked || a.Freq != ladder.Levels[0] {
+				t.Errorf("fast ISN should downclock to min: %+v", a)
+			}
+		}
+		if a.ISN == 0 && a.Downclocked {
+			t.Error("budget setter must not downclock")
+		}
+	}
+	// Without the option, the fast ISN stays at default.
+	res2 := DetermineBudget([]ISNReport{setter, fast}, ladder, BudgetOptions{})
+	for _, a := range res2.Selected {
+		if a.ISN == 1 && a.Freq != ladder.Default() {
+			t.Errorf("without Downclock, freq = %v", a.Freq)
+		}
+	}
+}
+
+func TestDetermineBudgetEmptyAndAllZero(t *testing.T) {
+	ladder := cluster.DefaultLadder()
+	res := DetermineBudget(nil, ladder, BudgetOptions{})
+	if len(res.Selected) != 0 || !math.IsInf(res.BudgetMS, 1) {
+		t.Error("empty reports should select nothing")
+	}
+	res2 := DetermineBudget([]ISNReport{report(0, 0, 0, 5, ladder)}, ladder, BudgetOptions{})
+	if len(res2.Selected) != 0 || len(res2.Cut) != 1 {
+		t.Error("all-zero quality should cut everything")
+	}
+}
+
+func TestDetermineBudgetNoK2Anywhere(t *testing.T) {
+	ladder := cluster.DefaultLadder()
+	// Top-K contributors exist but none has top-K/2 contribution: the
+	// budget falls back to the slowest candidate's boosted latency.
+	a := report(0, 1, 0, 20, ladder)
+	b := report(1, 1, 0, 10, ladder)
+	res := DetermineBudget([]ISNReport{a, b}, ladder, BudgetOptions{})
+	if math.Abs(res.BudgetMS-a.LBoosted) > 1e-9 {
+		t.Errorf("budget = %v, want slowest boosted %v", res.BudgetMS, a.LBoosted)
+	}
+	if len(res.Selected) != 2 {
+		t.Errorf("both should be selected, got %d", len(res.Selected))
+	}
+}
+
+func TestDetermineBudgetDeterministic(t *testing.T) {
+	ladder := cluster.DefaultLadder()
+	reports := []ISNReport{
+		report(3, 1, 1, 9, ladder),
+		report(0, 2, 1, 9, ladder), // tie on latency
+		report(2, 1, 0, 14, ladder),
+		report(1, 0, 0, 3, ladder),
+	}
+	a := DetermineBudget(reports, ladder, BudgetOptions{})
+	// Shuffle input order.
+	shuffled := []ISNReport{reports[2], reports[0], reports[3], reports[1]}
+	b := DetermineBudget(shuffled, ladder, BudgetOptions{})
+	if a.BudgetMS != b.BudgetMS || len(a.Selected) != len(b.Selected) {
+		t.Fatal("result depends on input order")
+	}
+	for i := range a.Selected {
+		if a.Selected[i] != b.Selected[i] {
+			t.Fatal("selection differs under input permutation")
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewCottage().Name() != "cottage" ||
+		NewCottageISN().Name() != "cottage-isn" ||
+		NewCottageNoML().Name() != "cottage-noml" ||
+		(&CottageOracle{}).Name() != "cottage-oracle" {
+		t.Error("policy names wrong")
+	}
+}

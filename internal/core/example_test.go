@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"fmt"
+
+	"cottage/internal/cluster"
+	"cottage/internal/core"
+)
+
+// ExampleDetermineBudget reruns the paper's Fig. 9 scenario: the slowest
+// ISN contributes nothing to the top-K/2 and is cut; the budget becomes
+// the next-slowest contributor's boosted latency, and slow contributors
+// are boosted to meet it.
+func ExampleDetermineBudget() {
+	ladder := cluster.DefaultLadder()
+	mk := func(isn, qk, qk2 int, serviceMS float64) core.ISNReport {
+		cycles := serviceMS * ladder.Default() * 1e6
+		return core.ISNReport{
+			ISN: isn, QK: qk, QK2: qk2,
+			HasK: qk > 0, HasK2: qk2 > 0, ExpQK: float64(qk),
+			LCurrent:   serviceMS,
+			LBoosted:   cluster.ServiceMS(cycles, ladder.Max()),
+			PredCycles: cycles,
+		}
+	}
+	reports := []core.ISNReport{
+		mk(7, 1, 0, 27), // slowest, no top-K/2 contribution
+		mk(1, 2, 1, 24), // slow but essential
+		mk(2, 4, 3, 6),  // fast
+		mk(4, 0, 0, 12), // zero quality
+	}
+	res := core.DetermineBudget(reports, ladder, core.BudgetOptions{})
+	fmt.Printf("budget: %.0f ms, cut: %v\n", res.BudgetMS, res.Cut)
+	for _, a := range res.Selected {
+		fmt.Printf("ISN %d at %.1f GHz (boosted=%v)\n", a.ISN, a.Freq, a.Boosted)
+	}
+	// Output:
+	// budget: 16 ms, cut: [4 7]
+	// ISN 1 at 2.7 GHz (boosted=true)
+	// ISN 2 at 1.8 GHz (boosted=false)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+
+	"cottage/internal/engine"
+	"cottage/internal/trace"
+)
+
+// CottageISN is the uncoordinated ablation (Section V-D): every ISN makes
+// its own cutoff decision from its local quality prediction, with no
+// aggregator optimizer, no global time budget, and no frequency boosting.
+// Low-quality ISNs still drop themselves (so resource usage matches
+// Cottage), but the aggregator must wait for the slowest participant —
+// which is why Fig. 15(a) shows it ~1.9x slower than coordinated Cottage.
+type CottageISN struct {
+	DropZeroProb float64
+}
+
+// NewCottageISN returns the ablation with the same calibrated cutoff as
+// Cottage.
+func NewCottageISN() *CottageISN { return &CottageISN{DropZeroProb: 0.8} }
+
+// Name implements engine.Policy.
+func (*CottageISN) Name() string { return "cottage-isn" }
+
+// Decide implements engine.Policy.
+func (v *CottageISN) Decide(e *engine.Engine, q trace.Query, _ float64) engine.Decision {
+	if e.Fleet == nil {
+		panic("core: CottageISN requires a trained fleet")
+	}
+	preds := e.Fleet.PredictAll(e.Shards, q.Terms)
+	d := engine.Decision{
+		Participate: make([]bool, len(e.Shards)),
+		BudgetMS:    math.Inf(1),
+		// Local decisions: inference cost only, no coordination trips.
+		CoordMS:        e.Cluster.InferMS,
+		UsedPredictors: true,
+	}
+	any := false
+	best, bestISN := -1.0, -1
+	for isn, p := range preds {
+		if !p.Matched {
+			continue
+		}
+		if p.ExpQK > best {
+			best, bestISN = p.ExpQK, isn
+		}
+		if p.PZeroK < v.DropZeroProb {
+			d.Participate[isn] = true
+			any = true
+		}
+	}
+	if !any && bestISN >= 0 {
+		d.Participate[bestISN] = true
+	}
+	return d
+}
+
+// Observe implements engine.Policy.
+func (*CottageISN) Observe(float64) {}
+
+// CottageNoML is the Cottage-withoutML ablation (Section V-D): the full
+// coordinated Algorithm 1, but with quality contributions estimated by
+// Taily's Gamma model instead of the neural network. Latency prediction
+// stays neural (the variant isolates the quality model). Fig. 15 shows
+// the distribution-based estimates keep ~13 ISNs active and lose ~10% of
+// P@10 versus the learned predictor.
+type CottageNoML struct {
+	// Tau is the Gamma-estimate threshold standing in for the "zero
+	// contribution" test.
+	Tau float64
+	// Boost, StrictTopK, Downclock and LatencyMargin mirror Cottage's
+	// switches.
+	Boost         bool
+	StrictTopK    bool
+	Downclock     bool
+	LatencyMargin float64
+}
+
+// NewCottageNoML returns the paper's configuration.
+func NewCottageNoML() *CottageNoML {
+	return &CottageNoML{Tau: 0.05, Boost: true, Downclock: true, LatencyMargin: 0.5}
+}
+
+// Name implements engine.Policy.
+func (*CottageNoML) Name() string { return "cottage-noml" }
+
+// Decide implements engine.Policy.
+func (v *CottageNoML) Decide(e *engine.Engine, q trace.Query, nowMS float64) engine.Decision {
+	if e.Fleet == nil {
+		panic("core: CottageNoML requires a trained fleet for latency prediction")
+	}
+	estK := e.Gamma.Estimate(q.Terms, e.K)
+	estK2 := e.Gamma.Estimate(q.Terms, e.K/2)
+	preds := e.Fleet.PredictAll(e.Shards, q.Terms)
+
+	fdef, fmax := e.Cluster.Ladder.Default(), e.Cluster.Ladder.Max()
+	reports := make([]ISNReport, 0, len(preds))
+	for isn, p := range preds {
+		if !p.Matched {
+			continue
+		}
+		cycles := p.Cycles * (1 + v.LatencyMargin)
+		reports = append(reports, ISNReport{
+			ISN:        isn,
+			QK:         int(math.Round(estK[isn])),
+			QK2:        int(math.Round(estK2[isn])),
+			HasK:       estK[isn] >= v.Tau,
+			HasK2:      estK2[isn] >= v.Tau,
+			ExpQK:      estK[isn],
+			LCurrent:   e.Cluster.EquivalentLatencyMS(isn, nowMS, cycles, fdef),
+			LBoosted:   e.Cluster.EquivalentLatencyMS(isn, nowMS, cycles, fmax),
+			PredCycles: cycles,
+		})
+	}
+	inner := &Cottage{Boost: v.Boost, StrictTopK: v.StrictTopK, Downclock: v.Downclock}
+	return inner.decideFromReports(e, reports)
+}
+
+// Observe implements engine.Policy.
+func (*CottageNoML) Observe(float64) {}

@@ -1,0 +1,442 @@
+// Package engine assembles the full distributed search system: index
+// shards on a simulated ISN cluster behind an aggregator, driven by a
+// pluggable ISN-selection/time-budget policy. It implements the paper's
+// seven-step coordination protocol (Fig. 5) generically:
+//
+//  1. broadcast the query,
+//  2. per-ISN quality/latency prediction (policies that use it),
+//  3. predictions return to the aggregator,
+//  4. the policy decides participants, frequencies and the time budget,
+//  5. the decision is broadcast,
+//  6. participating ISNs execute within the budget,
+//  7. responses are merged; stragglers are dropped.
+//
+// Per-query retrieval work is real (the shards and query evaluator are
+// real); time and power are simulated (internal/cluster). The engine
+// separates the policy-independent evaluation of a query (what documents
+// match, how much work it costs — Evaluate) from the policy-dependent
+// replay (Run), so the experiment harness evaluates each trace once and
+// replays it under every policy.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cottage/internal/cluster"
+	"cottage/internal/index"
+	"cottage/internal/predict"
+	"cottage/internal/qcache"
+	"cottage/internal/search"
+	"cottage/internal/stats"
+	"cottage/internal/textgen"
+	"cottage/internal/trace"
+)
+
+// Engine is one deployment: shards + cluster + predictors.
+type Engine struct {
+	Shards  []*index.Shard
+	Cluster *cluster.Cluster
+	// Fleet holds the trained per-ISN predictors; nil until TrainFleet
+	// (baselines that do not predict still work).
+	Fleet *predict.Fleet
+	// Gamma is the Taily-style estimator over the same shards.
+	Gamma *predict.GammaEstimator
+	// K is the client-side result count (P@K evaluation).
+	K int
+	// Strategy is the per-ISN evaluation algorithm.
+	Strategy search.Strategy
+	// Cache, when set, answers repeated queries at the aggregator without
+	// touching any ISN (qcache.LRU). Cached answers cost only the client
+	// round trip plus a lookup; misses follow the configured policy and
+	// populate the cache.
+	Cache *qcache.LRU
+}
+
+// Config assembles an Engine.
+type Config struct {
+	NumShards int
+	K         int
+	Strategy  search.Strategy
+	Cluster   cluster.Config
+	BM25      index.BM25Params
+}
+
+// DefaultConfig mirrors the paper's deployment: 16 ISNs, P@10, and a
+// dynamically-pruned (MaxScore) production engine.
+func DefaultConfig() Config {
+	cc := cluster.DefaultConfig()
+	return Config{
+		NumShards: 16,
+		K:         10,
+		Strategy:  search.StrategyMaxScore,
+		Cluster:   cc,
+		BM25:      index.DefaultBM25(),
+	}
+}
+
+// BuildShards indexes a synthetic corpus into cfg.NumShards shards using
+// a topical allocation (the layout selective-search systems are designed
+// for; see textgen.AllocateTopical).
+func BuildShards(corpus *textgen.Corpus, cfg Config, homeShards int, spill float64, seed uint64) []*index.Shard {
+	alloc := corpus.AllocateTopical(cfg.NumShards, homeShards, spill, seed)
+	return buildFromAllocation(corpus, alloc, cfg)
+}
+
+// BuildShardsRoundRobin indexes with source-order allocation, for
+// contrast experiments.
+func BuildShardsRoundRobin(corpus *textgen.Corpus, cfg Config) []*index.Shard {
+	return buildFromAllocation(corpus, corpus.AllocateRoundRobin(cfg.NumShards), cfg)
+}
+
+func buildFromAllocation(corpus *textgen.Corpus, alloc [][]int, cfg Config) []*index.Shard {
+	shards := make([]*index.Shard, len(alloc))
+	for si, docIDs := range alloc {
+		b := index.NewBuilder(si, cfg.BM25, cfg.K)
+		for _, id := range docIDs {
+			d := &corpus.Docs[id]
+			terms := make(map[string]int, len(d.Terms))
+			for tid, tf := range d.Terms {
+				terms[corpus.Vocab[tid]] = tf
+			}
+			b.Add(int64(id), terms, d.Length)
+		}
+		shards[si] = b.Finalize()
+	}
+	return shards
+}
+
+// New assembles an engine over pre-built shards.
+func New(shards []*index.Shard, cfg Config) *Engine {
+	if len(shards) == 0 {
+		panic("engine: no shards")
+	}
+	cfg.Cluster.NumISNs = len(shards)
+	return &Engine{
+		Shards:   shards,
+		Cluster:  cluster.New(cfg.Cluster),
+		Gamma:    &predict.GammaEstimator{Shards: shards},
+		K:        cfg.K,
+		Strategy: cfg.Strategy,
+	}
+}
+
+// TrainFleet harvests ground truth from training queries and fits the
+// per-ISN predictors.
+func (e *Engine) TrainFleet(trainQueries []trace.Query, pcfg predict.Config) (*predict.Dataset, error) {
+	ds := predict.Harvest(e.Shards, trainQueries, e.K, e.Strategy, e.Cluster.Cost)
+	// Scale harvested service costs by each ISN's speed factor so the
+	// per-ISN latency models learn the node they actually run on
+	// (heterogeneous fleets).
+	for isn := range ds.PerISN {
+		sf := e.Cluster.ISNs[isn].SpeedFactor
+		if sf == 1 {
+			continue
+		}
+		for qi := range ds.PerISN[isn] {
+			ds.PerISN[isn][qi].Cycles *= sf
+		}
+	}
+	fleet, err := predict.Train(ds, pcfg)
+	if err != nil {
+		return nil, fmt.Errorf("engine: training fleet: %w", err)
+	}
+	e.Fleet = fleet
+	return ds, nil
+}
+
+// Evaluated is the policy-independent part of one query: every shard's
+// full top-K response and work, plus the merged ground truth.
+type Evaluated struct {
+	Query    trace.Query
+	PerShard []search.Result
+	// Cycles[i] is shard i's measured service cost at the reference
+	// strategy.
+	Cycles []float64
+	// TopK is the global ground-truth top-K (what exhaustive search
+	// returns); TopKSet indexes it.
+	TopK    []search.Hit
+	TopKSet map[int64]bool
+}
+
+// Evaluate runs the query on every shard and merges ground truth.
+func (e *Engine) Evaluate(q trace.Query) *Evaluated {
+	ev := &Evaluated{
+		Query:    q,
+		PerShard: make([]search.Result, len(e.Shards)),
+		Cycles:   make([]float64, len(e.Shards)),
+	}
+	lists := make([][]search.Hit, len(e.Shards))
+	for si, s := range e.Shards {
+		ev.PerShard[si] = search.Eval(e.Strategy, s, q.Terms, e.K)
+		ev.Cycles[si] = e.Cluster.EffectiveCycles(si, e.Cluster.Cost.Cycles(ev.PerShard[si].Stats))
+		lists[si] = ev.PerShard[si].Hits
+	}
+	ev.TopK = search.Merge(e.K, lists...)
+	ev.TopKSet = search.DocSet(ev.TopK)
+	return ev
+}
+
+// EvaluateAll evaluates a whole trace (the expensive, policy-independent
+// pass — do it once and replay it under many policies). Queries are
+// evaluated in parallel across CPUs; shards are immutable and the result
+// slice is index-addressed, so the output is deterministic.
+func (e *Engine) EvaluateAll(qs []trace.Query) []*Evaluated {
+	out := make([]*Evaluated, len(qs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 {
+		for i, q := range qs {
+			out[i] = e.Evaluate(q)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(qs) {
+					return
+				}
+				out[i] = e.Evaluate(qs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Decision is a policy's verdict for one query.
+type Decision struct {
+	// Participate[i] marks ISN i as selected; unselected ISNs do no work.
+	Participate []bool
+	// Freq[i] is the DVFS frequency for ISN i (ignored when not
+	// participating). Zero means the ladder default.
+	Freq []float64
+	// BudgetMS is the relative deadline from dispatch; +Inf means the
+	// aggregator waits for every participant.
+	BudgetMS float64
+	// CoordMS is coordination overhead before dispatch (prediction round
+	// trips, optimizer time) added to the query's critical path.
+	CoordMS float64
+	// UsedPredictors charges every ISN the predictor inference cost
+	// (energy + queue occupancy), whether or not it participates — the
+	// prediction step runs on all ISNs (step 2 of the protocol).
+	UsedPredictors bool
+}
+
+// Policy decides, per query, which ISNs run, at what frequency, and under
+// what time budget. Implementations must only use information available
+// to a real aggregator: the query terms, index statistics, predictions,
+// and cluster queue state — never the Evaluated ground truth.
+type Policy interface {
+	Name() string
+	Decide(e *Engine, q trace.Query, nowMS float64) Decision
+	// Observe feeds back the client latency of a completed query, for
+	// adaptive policies (epoch-based aggregation). Others ignore it.
+	Observe(latencyMS float64)
+}
+
+// Outcome is one query's result under a policy.
+type Outcome struct {
+	QueryID    int
+	ArrivalMS  float64
+	LatencyMS  float64
+	PAtK       float64
+	ActiveISNs int
+	// DocsSearched is C_RES: documents scored across participating ISNs.
+	DocsSearched int
+	// DroppedISNs counts participants whose responses missed the budget.
+	DroppedISNs int
+	BudgetMS    float64
+}
+
+// RunResult aggregates a full trace replay under one policy.
+type RunResult struct {
+	Policy      string
+	Outcomes    []Outcome
+	AvgPowerW   float64
+	Utilization float64
+	DurationMS  float64
+	// CacheHitRate is the aggregator cache's hit rate for this run
+	// (zero when no cache is configured).
+	CacheHitRate float64
+}
+
+// Run replays evaluated queries under policy p. The cluster (and cache,
+// if any) is reset first, so results of consecutive runs are independent.
+func (e *Engine) Run(p Policy, evs []*Evaluated) RunResult {
+	e.Cluster.Reset()
+	if e.Cache != nil {
+		e.Cache.Reset()
+	}
+	res := RunResult{Policy: p.Name(), Outcomes: make([]Outcome, 0, len(evs))}
+	for _, ev := range evs {
+		res.Outcomes = append(res.Outcomes, e.runOne(p, ev))
+	}
+	res.DurationMS = e.Cluster.NowMS()
+	res.AvgPowerW = e.Cluster.AveragePowerWatts()
+	res.Utilization = e.Cluster.Utilization()
+	if e.Cache != nil {
+		res.CacheHitRate = e.Cache.HitRate()
+	}
+	return res
+}
+
+// cacheLookupMS is the aggregator-side cost of a cache probe.
+const cacheLookupMS = 0.02
+
+func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
+	arrive := ev.Query.ArrivalMS + e.Cluster.Net.ClientMS // at aggregator
+	if e.Cache != nil {
+		key := qcache.Key(ev.Query.Terms)
+		if hits, ok := e.Cache.Get(key); ok {
+			out := Outcome{
+				QueryID:   ev.Query.ID,
+				ArrivalMS: ev.Query.ArrivalMS,
+				LatencyMS: 2*e.Cluster.Net.ClientMS + cacheLookupMS,
+				BudgetMS:  0,
+			}
+			if len(ev.TopK) > 0 {
+				out.PAtK = float64(search.Overlap(hits, ev.TopKSet)) / float64(len(ev.TopK))
+			} else {
+				out.PAtK = 1
+			}
+			p.Observe(out.LatencyMS)
+			return out
+		}
+	}
+	d := p.Decide(e, ev.Query, arrive)
+	if len(d.Participate) != len(e.Shards) {
+		panic(fmt.Sprintf("engine: policy %s sized Participate %d for %d shards",
+			p.Name(), len(d.Participate), len(e.Shards)))
+	}
+	if d.UsedPredictors {
+		e.chargeInference()
+	}
+	dispatch := arrive + d.CoordMS
+	deadline := math.Inf(1)
+	if !math.IsInf(d.BudgetMS, 1) {
+		deadline = dispatch + d.BudgetMS
+	}
+
+	out := Outcome{
+		QueryID:   ev.Query.ID,
+		ArrivalMS: ev.Query.ArrivalMS,
+		BudgetMS:  d.BudgetMS,
+	}
+	var lists [][]search.Hit
+	aggDone := dispatch
+	anyDropped := false
+	for si := range e.Shards {
+		if !d.Participate[si] {
+			continue
+		}
+		out.ActiveISNs++
+		f := e.Cluster.Ladder.Default()
+		if d.Freq != nil && d.Freq[si] > 0 {
+			f = d.Freq[si]
+		}
+		exec := e.Cluster.Execute(si, dispatch, ev.Cycles[si], f, deadline)
+		out.DocsSearched += ev.PerShard[si].Stats.DocsScored
+		if exec.Completed {
+			lists = append(lists, ev.PerShard[si].Hits)
+			if resp := e.Cluster.ResponseAtAggregatorMS(exec); resp > aggDone {
+				aggDone = resp
+			}
+		} else {
+			anyDropped = true
+			out.DroppedISNs++
+		}
+	}
+	if anyDropped {
+		// The aggregator waited for the full budget before giving up on
+		// the stragglers.
+		if t := deadline + e.Cluster.Net.AggToISNMS; t > aggDone {
+			aggDone = t
+		}
+	}
+	merged := search.Merge(e.K, lists...)
+	denom := len(ev.TopK)
+	if denom > 0 {
+		out.PAtK = float64(search.Overlap(merged, ev.TopKSet)) / float64(denom)
+	} else {
+		out.PAtK = 1 // nothing to find; trivially perfect
+	}
+	out.LatencyMS = aggDone + e.Cluster.Net.ClientMS - ev.Query.ArrivalMS
+	if e.Cache != nil {
+		e.Cache.Put(qcache.Key(ev.Query.Terms), merged)
+	}
+	p.Observe(out.LatencyMS)
+	return out
+}
+
+// chargeInference accounts the per-ISN predictor inference cost on every
+// ISN (energy only; the latency cost is part of Decision.CoordMS).
+func (e *Engine) chargeInference() {
+	if e.Cluster.InferMS <= 0 {
+		return
+	}
+	for range e.Shards {
+		e.Cluster.Meter.AddBusy(e.Cluster.Ladder.Default(), e.Cluster.InferMS)
+	}
+}
+
+// Summary condenses a RunResult into the numbers the paper's figures
+// report.
+type Summary struct {
+	Policy      string
+	MeanLatency float64
+	// LatencyCILo/Hi bound the mean latency with a 95% percentile
+	// bootstrap over the per-query latencies (deterministic).
+	LatencyCILo float64
+	LatencyCIHi float64
+	P95Latency  float64
+	P99Latency  float64
+	MeanPAtK    float64
+	MeanISNs    float64
+	MeanCRES    float64
+	AvgPowerW   float64
+	Utilization float64
+	Queries     int
+	DroppedFrac float64
+}
+
+// Summarize computes a Summary from a RunResult.
+func Summarize(r RunResult) Summary {
+	s := Summary{Policy: r.Policy, AvgPowerW: r.AvgPowerW, Utilization: r.Utilization,
+		Queries: len(r.Outcomes)}
+	if len(r.Outcomes) == 0 {
+		return s
+	}
+	lats := make([]float64, len(r.Outcomes))
+	dropped := 0
+	for i, o := range r.Outcomes {
+		lats[i] = o.LatencyMS
+		s.MeanPAtK += o.PAtK
+		s.MeanISNs += float64(o.ActiveISNs)
+		s.MeanCRES += float64(o.DocsSearched)
+		if o.DroppedISNs > 0 {
+			dropped++
+		}
+	}
+	n := float64(len(r.Outcomes))
+	s.MeanLatency = stats.Mean(lats)
+	s.LatencyCILo, s.LatencyCIHi = stats.BootstrapCI(lats, 200, 0.95, 42)
+	s.P95Latency = stats.Percentile(lats, 95)
+	s.P99Latency = stats.Percentile(lats, 99)
+	s.MeanPAtK /= n
+	s.MeanISNs /= n
+	s.MeanCRES /= n
+	s.DroppedFrac = float64(dropped) / n
+	return s
+}

@@ -1,0 +1,172 @@
+package features
+
+import (
+	"testing"
+
+	"cottage/internal/index"
+)
+
+func buildShard(t testing.TB) *index.Shard {
+	t.Helper()
+	b := index.NewBuilder(0, index.DefaultBM25(), 10)
+	docs := []map[string]int{
+		{"tokyo": 3, "city": 1},
+		{"tokyo": 1, "japan": 2},
+		{"toyota": 5, "car": 1},
+		{"tokyo": 2, "toyota": 1},
+		{"city": 4},
+		{"japan": 1, "city": 2, "tokyo": 1},
+	}
+	for i, d := range docs {
+		n := 0
+		for _, tf := range d {
+			n += tf
+		}
+		b.Add(int64(i), d, n+10)
+	}
+	return b.Finalize()
+}
+
+func TestQualityVector(t *testing.T) {
+	s := buildShard(t)
+	vec, ok := Quality(s, []string{"tokyo"})
+	if !ok {
+		t.Fatal("tokyo should match")
+	}
+	ti, _ := s.Lookup("tokyo")
+	st := ti.Stats
+	want := []float64{st.Q1, st.Mean, st.Median, st.GeoMean, st.HarmMean,
+		st.Q3, st.KthScore, st.MaxScore, st.Variance, float64(st.PostingLen),
+		float64(st.DocsEverInTopK), float64(st.DocsWithin5OfKth), float64(st.DocsWithin5OfMax),
+		float64(st.NumMaxScore), st.IDF}
+	for i, w := range want {
+		if vec[i] != w {
+			t.Errorf("%s = %v, want %v", QualityNames[i], vec[i], w)
+		}
+	}
+}
+
+func TestQualityMaxAggregation(t *testing.T) {
+	s := buildShard(t)
+	a, _ := Quality(s, []string{"tokyo"})
+	b, _ := Quality(s, []string{"city"})
+	both, _ := Quality(s, []string{"tokyo", "city"})
+	for i := range both {
+		want := a[i]
+		if b[i] > want {
+			want = b[i]
+		}
+		if both[i] != want {
+			t.Errorf("%s: MAX aggregation wrong: %v, want %v", QualityNames[i], both[i], want)
+		}
+	}
+}
+
+func TestQualityNoMatch(t *testing.T) {
+	s := buildShard(t)
+	vec, ok := Quality(s, []string{"absent"})
+	if ok {
+		t.Fatal("absent term should not match")
+	}
+	for i, v := range vec {
+		if v != 0 {
+			t.Errorf("feature %d non-zero for absent term: %v", i, v)
+		}
+	}
+	// Partial match: absent terms ignored.
+	full, _ := Quality(s, []string{"tokyo"})
+	part, ok := Quality(s, []string{"tokyo", "absent"})
+	if !ok || part != full {
+		t.Error("partial match should equal the matching term's vector")
+	}
+}
+
+func TestLatencyVector(t *testing.T) {
+	s := buildShard(t)
+	vec, ok := Latency(s, []string{"toyota", "car"})
+	if !ok {
+		t.Fatal("should match")
+	}
+	if vec[5] != 2 {
+		t.Errorf("query length feature = %v, want 2", vec[5])
+	}
+	// Posting list length must be the max of the two terms'.
+	toyota, _ := s.Lookup("toyota")
+	car, _ := s.Lookup("car")
+	wantLen := float64(toyota.Stats.PostingLen)
+	if float64(car.Stats.PostingLen) > wantLen {
+		wantLen = float64(car.Stats.PostingLen)
+	}
+	if vec[0] != wantLen {
+		t.Errorf("posting length feature = %v, want %v", vec[0], wantLen)
+	}
+	// IDF is the max IDF.
+	wantIDF := toyota.Stats.IDF
+	if car.Stats.IDF > wantIDF {
+		wantIDF = car.Stats.IDF
+	}
+	if vec[14] != wantIDF {
+		t.Errorf("idf feature = %v, want %v", vec[14], wantIDF)
+	}
+}
+
+func TestLatencyQueryLengthCountsAllTerms(t *testing.T) {
+	s := buildShard(t)
+	// Query length counts requested terms, matched or not (the aggregator
+	// does not know which terms a shard holds when it builds the query).
+	vec, ok := Latency(s, []string{"tokyo", "absent", "alsoabsent"})
+	if !ok {
+		t.Fatal("one term matches")
+	}
+	if vec[5] != 3 {
+		t.Errorf("query length = %v, want 3", vec[5])
+	}
+}
+
+func TestLatencyNoMatch(t *testing.T) {
+	s := buildShard(t)
+	vec, ok := Latency(s, []string{"absent"})
+	if ok {
+		t.Fatal("should not match")
+	}
+	// Only the query-length slot may be non-zero.
+	for i, v := range vec {
+		if i != 5 && v != 0 {
+			t.Errorf("feature %d non-zero: %v", i, v)
+		}
+	}
+}
+
+func TestDimsMatchNames(t *testing.T) {
+	if len(QualityNames) != QualityDim || len(LatencyNames) != LatencyDim {
+		t.Fatal("name tables out of sync with dims")
+	}
+	for _, n := range QualityNames {
+		if n == "" {
+			t.Fatal("empty quality feature name")
+		}
+	}
+	for _, n := range LatencyNames {
+		if n == "" {
+			t.Fatal("empty latency feature name")
+		}
+	}
+}
+
+func BenchmarkQuality(b *testing.B) {
+	s := buildShard(b)
+	q := []string{"tokyo", "city"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Quality(s, q)
+	}
+}
+
+func BenchmarkLatency(b *testing.B) {
+	s := buildShard(b)
+	q := []string{"tokyo", "city"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Latency(s, q)
+	}
+}

@@ -1,0 +1,115 @@
+package index
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"cottage/internal/xrand"
+)
+
+func randomPostings(rng *xrand.RNG, n int) []Posting {
+	ps := make([]Posting, n)
+	doc := uint32(0)
+	for i := range ps {
+		doc += 1 + uint32(rng.Intn(50))
+		ps[i] = Posting{Doc: doc, TF: 1 + uint32(rng.Intn(12))}
+	}
+	return ps
+}
+
+func TestPostingsRoundTrip(t *testing.T) {
+	rng := xrand.New(1)
+	for _, n := range []int{0, 1, 2, 10, 1000, 50000} {
+		ps := randomPostings(rng, n)
+		blob := EncodePostings(ps)
+		got, err := DecodePostings(blob, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != len(ps) {
+			t.Fatalf("n=%d: length %d", n, len(got))
+		}
+		for i := range ps {
+			if got[i] != ps[i] {
+				t.Fatalf("n=%d: posting %d differs: %v vs %v", n, i, got[i], ps[i])
+			}
+		}
+	}
+}
+
+func TestPostingsRoundTripProperty(t *testing.T) {
+	rng := xrand.New(2)
+	for trial := 0; trial < 200; trial++ {
+		ps := randomPostings(rng, rng.Intn(300))
+		got, err := DecodePostings(EncodePostings(ps), len(ps))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range ps {
+			if got[i] != ps[i] {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	ps := randomPostings(xrand.New(3), 20)
+	blob := EncodePostings(ps)
+	// Truncated.
+	if _, err := DecodePostings(blob[:len(blob)/2], 20); err == nil {
+		t.Error("truncated blob should fail")
+	}
+	// Wrong count (too few -> trailing bytes).
+	if _, err := DecodePostings(blob, 10); err == nil {
+		t.Error("short count should fail on trailing bytes")
+	}
+	// Wrong count (too many).
+	if _, err := DecodePostings(blob, 30); err == nil {
+		t.Error("long count should fail")
+	}
+	// Zero tf is invalid.
+	bad := EncodePostings([]Posting{{Doc: 1, TF: 0}})
+	if _, err := DecodePostings(bad, 1); err == nil {
+		t.Error("zero tf should fail")
+	}
+	// Zero gap after the first entry (duplicate doc) is invalid.
+	dup := append(EncodePostings([]Posting{{Doc: 5, TF: 1}}), 0, 1)
+	if _, err := DecodePostings(dup, 2); err == nil {
+		t.Error("duplicate doc should fail")
+	}
+}
+
+func TestCompressionShrinks(t *testing.T) {
+	ps := randomPostings(xrand.New(4), 10000)
+	blob := EncodePostings(ps)
+	var raw bytes.Buffer
+	if err := gob.NewEncoder(&raw).Encode(ps); err != nil {
+		t.Fatal(err)
+	}
+	if len(blob)*2 >= raw.Len() {
+		t.Errorf("compression too weak: %d compressed vs %d gob", len(blob), raw.Len())
+	}
+}
+
+func BenchmarkEncodePostings(b *testing.B) {
+	ps := randomPostings(xrand.New(5), 10000)
+	b.SetBytes(int64(len(ps) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EncodePostings(ps)
+	}
+}
+
+func BenchmarkDecodePostings(b *testing.B) {
+	ps := randomPostings(xrand.New(5), 10000)
+	blob := EncodePostings(ps)
+	b.SetBytes(int64(len(ps) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodePostings(blob, len(ps)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

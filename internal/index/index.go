@@ -1,0 +1,287 @@
+// Package index implements the inverted-index substrate that stands in for
+// Solr/Lucene in the paper's testbed: a dictionary, document-ordered
+// postings lists, BM25 scoring, and — crucially for Cottage — the per-term
+// index-time statistics that feed the quality predictor (Table I) and the
+// latency predictor (Table II). The paper computes all its query features
+// "during the indexing phase" from term statistics; Finalize does the same
+// here, so query-time feature extraction is a handful of map lookups.
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Posting is one (document, term-frequency) pair. Doc is a shard-local
+// document ordinal; GlobalDoc translates to a collection-wide ID.
+type Posting struct {
+	Doc uint32
+	TF  uint32
+}
+
+// TermInfo is everything a shard knows about one term: its postings and
+// the index-time statistics over that term's BM25 score distribution.
+// Positions is non-nil only on positional shards (see EnablePositions):
+// Positions[i] lists the ascending token offsets of the term in
+// Postings[i]'s document.
+type TermInfo struct {
+	Text      string
+	Postings  []Posting
+	Positions [][]uint32
+	Stats     TermStats
+}
+
+// Shard is one ISN's index: a self-contained searchable partition. Shards
+// are immutable once built (Builder.Finalize), which makes them safe for
+// concurrent readers without locking.
+type Shard struct {
+	ID        int
+	NumDocs   int
+	AvgDocLen float64
+	// DocLens[local] is the token length of the document, used by BM25
+	// length normalization.
+	DocLens []uint32
+	// GlobalIDs[local] is the collection-wide document identifier.
+	GlobalIDs []int64
+	// dict maps term text to an offset into Terms.
+	dict  map[string]int32
+	Terms []TermInfo
+
+	BM25 BM25Params
+	// StatsK is the K used for the K-th-score statistics (top-K oriented
+	// features). The paper evaluates P@10, so the default is 10.
+	StatsK int
+}
+
+// BM25Params are the classic Okapi BM25 constants.
+type BM25Params struct {
+	K1 float64
+	B  float64
+}
+
+// DefaultBM25 returns the widely used K1=1.2, B=0.75 parameterization.
+func DefaultBM25() BM25Params { return BM25Params{K1: 1.2, B: 0.75} }
+
+// Score computes the BM25 contribution of a term occurring tf times in a
+// document of length dl, given the term's idf and the shard's average
+// document length.
+func (p BM25Params) Score(idf float64, tf, dl uint32, avgDocLen float64) float64 {
+	ftf := float64(tf)
+	norm := p.K1 * (1 - p.B + p.B*float64(dl)/avgDocLen)
+	return idf * ftf * (p.K1 + 1) / (ftf + norm)
+}
+
+// Lookup returns the TermInfo for text and whether the shard contains it.
+func (s *Shard) Lookup(text string) (*TermInfo, bool) {
+	i, ok := s.dict[text]
+	if !ok {
+		return nil, false
+	}
+	return &s.Terms[i], true
+}
+
+// HasTerm reports whether the shard's dictionary contains text.
+func (s *Shard) HasTerm(text string) bool {
+	_, ok := s.dict[text]
+	return ok
+}
+
+// NumTerms returns the dictionary size.
+func (s *Shard) NumTerms() int { return len(s.Terms) }
+
+// GlobalDoc translates a shard-local document ordinal to its
+// collection-wide ID.
+func (s *Shard) GlobalDoc(local uint32) int64 { return s.GlobalIDs[local] }
+
+// TermScore computes the BM25 score of a single posting of term ti.
+func (s *Shard) TermScore(ti *TermInfo, p Posting) float64 {
+	return s.BM25.Score(ti.Stats.IDF, p.TF, s.DocLens[p.Doc], s.AvgDocLen)
+}
+
+// Builder accumulates documents and produces an immutable Shard. It is not
+// safe for concurrent use; build shards in parallel with one Builder each.
+type Builder struct {
+	shardID    int
+	bm25       BM25Params
+	statsK     int
+	docLens    []uint32
+	globals    []int64
+	dict       map[string]int32
+	postings   [][]Posting
+	positions  [][][]uint32
+	terms      []string
+	totalLen   uint64
+	sealed     bool
+	positional bool
+}
+
+// NewBuilder creates a Builder for shard shardID. statsK is the K used for
+// K-th-score term statistics (use 10 to match the paper's P@10 focus).
+func NewBuilder(shardID int, bm25 BM25Params, statsK int) *Builder {
+	if statsK <= 0 {
+		panic("index: statsK must be positive")
+	}
+	return &Builder{
+		shardID: shardID,
+		bm25:    bm25,
+		statsK:  statsK,
+		dict:    make(map[string]int32),
+	}
+}
+
+// Add appends one document given its global ID, bag-of-words term
+// frequencies, and total token length. Documents receive local ordinals in
+// insertion order, so postings lists are document-ordered by construction.
+func (b *Builder) Add(globalID int64, terms map[string]int, length int) {
+	if b.sealed {
+		panic("index: Add after Finalize")
+	}
+	local := uint32(len(b.docLens))
+	b.docLens = append(b.docLens, uint32(length))
+	b.globals = append(b.globals, globalID)
+	b.totalLen += uint64(length)
+	for text, tf := range terms {
+		if tf <= 0 {
+			continue
+		}
+		idx, ok := b.dict[text]
+		if !ok {
+			idx = int32(len(b.terms))
+			b.dict[text] = idx
+			b.terms = append(b.terms, text)
+			b.postings = append(b.postings, nil)
+			b.positions = append(b.positions, nil)
+		}
+		b.postings[idx] = append(b.postings[idx], Posting{Doc: local, TF: uint32(tf)})
+		if b.positional {
+			panic("index: positional builders must use AddTokens (Add has no ordering)")
+		}
+	}
+}
+
+// AddText tokenizes raw text with Tokenize and adds the document.
+func (b *Builder) AddText(globalID int64, text string) {
+	tokens := Tokenize(text)
+	terms := make(map[string]int, len(tokens))
+	for _, tok := range tokens {
+		terms[tok]++
+	}
+	b.Add(globalID, terms, len(tokens))
+}
+
+// Finalize seals the builder and computes IDF plus the full Table I/II
+// term statistics for every term. The Builder must not be used afterwards.
+func (b *Builder) Finalize() *Shard {
+	if b.sealed {
+		panic("index: Finalize called twice")
+	}
+	b.sealed = true
+	n := len(b.docLens)
+	if n == 0 {
+		panic("index: Finalize on empty shard")
+	}
+	s := &Shard{
+		ID:        b.shardID,
+		NumDocs:   n,
+		AvgDocLen: float64(b.totalLen) / float64(n),
+		DocLens:   b.docLens,
+		GlobalIDs: b.globals,
+		dict:      b.dict,
+		Terms:     make([]TermInfo, len(b.terms)),
+		BM25:      b.bm25,
+		StatsK:    b.statsK,
+	}
+	for i := range b.terms {
+		ti := &s.Terms[i]
+		ti.Text = b.terms[i]
+		ti.Postings = b.postings[i]
+		if b.positional {
+			ti.Positions = b.positions[i]
+		}
+		ti.Stats = computeTermStats(s, ti, b.statsK)
+	}
+	return s
+}
+
+// Tokenize lower-cases text and splits it into maximal runs of letters and
+// digits. It is intentionally simple — the experiments use a synthetic
+// corpus — but sufficient for indexing arbitrary user text files too.
+func Tokenize(text string) []string {
+	text = strings.ToLower(text)
+	var tokens []string
+	start := -1
+	for i, r := range text {
+		alnum := (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')
+		if alnum && start < 0 {
+			start = i
+		}
+		if !alnum && start >= 0 {
+			tokens = append(tokens, text[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		tokens = append(tokens, text[start:])
+	}
+	return tokens
+}
+
+// Seek returns the smallest index i in ps with ps[i].Doc >= doc, or
+// len(ps) if none. Postings are document-ordered, so this is a binary
+// search; the dynamic pruning strategies use it to skip ranges.
+func Seek(ps []Posting, doc uint32) int {
+	return sort.Search(len(ps), func(i int) bool { return ps[i].Doc >= doc })
+}
+
+// Validate performs internal consistency checks and returns a descriptive
+// error for the first violation found. Tests and the indexer binary call
+// it after builds and after deserialization.
+func (s *Shard) Validate() error {
+	if s.NumDocs != len(s.DocLens) || s.NumDocs != len(s.GlobalIDs) {
+		return fmt.Errorf("index: doc metadata length mismatch (%d docs, %d lens, %d globals)",
+			s.NumDocs, len(s.DocLens), len(s.GlobalIDs))
+	}
+	if len(s.dict) != len(s.Terms) {
+		return fmt.Errorf("index: dict has %d entries, %d terms", len(s.dict), len(s.Terms))
+	}
+	for text, idx := range s.dict {
+		if int(idx) >= len(s.Terms) || s.Terms[idx].Text != text {
+			return fmt.Errorf("index: dict entry %q points at wrong term", text)
+		}
+	}
+	for i := range s.Terms {
+		ps := s.Terms[i].Postings
+		if len(ps) == 0 {
+			return fmt.Errorf("index: term %q has empty postings", s.Terms[i].Text)
+		}
+		prev := int64(-1)
+		for _, p := range ps {
+			if int64(p.Doc) <= prev {
+				return fmt.Errorf("index: term %q postings out of order", s.Terms[i].Text)
+			}
+			if p.Doc >= uint32(s.NumDocs) {
+				return fmt.Errorf("index: term %q references doc %d of %d", s.Terms[i].Text, p.Doc, s.NumDocs)
+			}
+			if p.TF == 0 {
+				return fmt.Errorf("index: term %q has zero tf posting", s.Terms[i].Text)
+			}
+			prev = int64(p.Doc)
+		}
+		if err := validatePositions(&s.Terms[i]); err != nil {
+			return err
+		}
+		st := s.Terms[i].Stats
+		if st.PostingLen != len(ps) {
+			return fmt.Errorf("index: term %q stats posting length %d != %d", s.Terms[i].Text, st.PostingLen, len(ps))
+		}
+		if st.MaxScore < st.KthScore-1e-9 {
+			return fmt.Errorf("index: term %q max score below kth score", s.Terms[i].Text)
+		}
+		if math.IsNaN(st.IDF) || st.IDF < 0 {
+			return fmt.Errorf("index: term %q has invalid idf %v", s.Terms[i].Text, st.IDF)
+		}
+	}
+	return nil
+}

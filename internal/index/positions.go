@@ -1,0 +1,92 @@
+package index
+
+import "fmt"
+
+// Positional indexing is opt-in: a Builder created with NewPositional (or
+// fed through AddTokens after EnablePositions) records, for every
+// posting, the token offsets at which the term occurs. Positions enable
+// phrase queries (search.Phrase) at the cost of roughly doubling index
+// size, so the synthetic-corpus experiments — which never issue phrase
+// queries — leave it off.
+
+// EnablePositions switches the builder to positional mode. It must be
+// called before the first document is added, and positional documents
+// must be added with AddTokens (bag-of-words Add has no ordering
+// information).
+func (b *Builder) EnablePositions() {
+	if len(b.docLens) > 0 {
+		panic("index: EnablePositions after documents were added")
+	}
+	b.positional = true
+}
+
+// Positional reports whether the builder records positions.
+func (b *Builder) Positional() bool { return b.positional }
+
+// AddTokens appends one document as an ordered token sequence, recording
+// term positions when the builder is positional.
+func (b *Builder) AddTokens(globalID int64, tokens []string) {
+	if b.sealed {
+		panic("index: AddTokens after Finalize")
+	}
+	local := uint32(len(b.docLens))
+	b.docLens = append(b.docLens, uint32(len(tokens)))
+	b.globals = append(b.globals, globalID)
+	b.totalLen += uint64(len(tokens))
+
+	// Group positions per term in one pass.
+	perTerm := make(map[string][]uint32)
+	for pos, tok := range tokens {
+		perTerm[tok] = append(perTerm[tok], uint32(pos))
+	}
+	for text, positions := range perTerm {
+		idx, ok := b.dict[text]
+		if !ok {
+			idx = int32(len(b.terms))
+			b.dict[text] = idx
+			b.terms = append(b.terms, text)
+			b.postings = append(b.postings, nil)
+			b.positions = append(b.positions, nil)
+		}
+		b.postings[idx] = append(b.postings[idx], Posting{Doc: local, TF: uint32(len(positions))})
+		if b.positional {
+			for int(idx) >= len(b.positions) {
+				b.positions = append(b.positions, nil)
+			}
+			b.positions[idx] = append(b.positions[idx], positions)
+		}
+	}
+}
+
+// HasPositions reports whether the shard carries positional data.
+func (s *Shard) HasPositions() bool {
+	for i := range s.Terms {
+		if s.Terms[i].Positions != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// validatePositions checks positional invariants for one term.
+func validatePositions(ti *TermInfo) error {
+	if ti.Positions == nil {
+		return nil
+	}
+	if len(ti.Positions) != len(ti.Postings) {
+		return fmt.Errorf("index: term %q has %d position lists for %d postings",
+			ti.Text, len(ti.Positions), len(ti.Postings))
+	}
+	for i, ps := range ti.Positions {
+		if len(ps) != int(ti.Postings[i].TF) {
+			return fmt.Errorf("index: term %q posting %d: %d positions for tf %d",
+				ti.Text, i, len(ps), ti.Postings[i].TF)
+		}
+		for j := 1; j < len(ps); j++ {
+			if ps[j] <= ps[j-1] {
+				return fmt.Errorf("index: term %q posting %d: positions not increasing", ti.Text, i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cottage/internal/xrand"
+)
+
+// spiralData makes a simple 2D, linearly-inseparable classification set.
+func spiralData(n int, seed uint64) ([][]float64, []int) {
+	rng := xrand.New(seed)
+	xs := make([][]float64, 0, 2*n)
+	ys := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		// Class 0: points inside radius 1; class 1: ring at radius ~2.
+		a := rng.Float64() * 2 * math.Pi
+		r0 := rng.Float64() * 0.9
+		xs = append(xs, []float64{r0 * math.Cos(a), r0 * math.Sin(a)})
+		ys = append(ys, 0)
+		b := rng.Float64() * 2 * math.Pi
+		r1 := 1.6 + rng.Float64()*0.8
+		xs = append(xs, []float64{r1 * math.Cos(b), r1 * math.Sin(b)})
+		ys = append(ys, 1)
+	}
+	return xs, ys
+}
+
+func TestNewShapes(t *testing.T) {
+	n := New(Config{InputDim: 4, Hidden: []int{8, 6}, NumClasses: 3, Seed: 1})
+	if len(n.Layers) != 3 {
+		t.Fatalf("got %d layers", len(n.Layers))
+	}
+	if n.Layers[0].In != 4 || n.Layers[0].Out != 8 ||
+		n.Layers[1].In != 8 || n.Layers[1].Out != 6 ||
+		n.Layers[2].In != 6 || n.Layers[2].Out != 3 {
+		t.Fatal("layer shapes wrong")
+	}
+	want := 4*8 + 8 + 8*6 + 6 + 6*3 + 3
+	if n.NumParams() != want {
+		t.Fatalf("NumParams = %d, want %d", n.NumParams(), want)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{InputDim: 0, NumClasses: 2},
+		{InputDim: 3, NumClasses: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) should panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestForwardIsDistribution(t *testing.T) {
+	n := New(Config{InputDim: 5, Hidden: []int{16}, NumClasses: 4, Seed: 2})
+	rng := xrand.New(3)
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float64, 5)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		probs := n.Forward(x)
+		sum := 0.0
+		for _, p := range probs {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("invalid probability %v", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := New(Config{InputDim: 3, Hidden: []int{8}, NumClasses: 2, Seed: 7})
+	b := New(Config{InputDim: 3, Hidden: []int{8}, NumClasses: 2, Seed: 7})
+	for li := range a.Layers {
+		for i := range a.Layers[li].W {
+			if a.Layers[li].W[i] != b.Layers[li].W[i] {
+				t.Fatal("same seed produced different weights")
+			}
+		}
+	}
+	c := New(Config{InputDim: 3, Hidden: []int{8}, NumClasses: 2, Seed: 8})
+	if a.Layers[0].W[0] == c.Layers[0].W[0] {
+		t.Fatal("different seeds produced identical first weight")
+	}
+}
+
+func TestTrainLearnsSeparableData(t *testing.T) {
+	xs, ys := spiralData(400, 10)
+	n := New(Config{InputDim: 2, Hidden: []int{32, 32}, NumClasses: 2, Seed: 1})
+	losses, err := n.Train(xs, ys, DefaultTrainConfig(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 400 {
+		t.Fatalf("got %d loss entries", len(losses))
+	}
+	// Loss should drop substantially.
+	early := (losses[0] + losses[1] + losses[2]) / 3
+	late := (losses[397] + losses[398] + losses[399]) / 3
+	if late >= early/2 {
+		t.Errorf("loss did not decrease enough: %v -> %v", early, late)
+	}
+	if acc := n.Accuracy(xs, ys); acc < 0.95 {
+		t.Errorf("training accuracy = %v, want >= 0.95", acc)
+	}
+	// Held-out data from the same distribution.
+	tx, ty := spiralData(200, 99)
+	if acc := n.Accuracy(tx, ty); acc < 0.93 {
+		t.Errorf("test accuracy = %v, want >= 0.93", acc)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	n := New(Config{InputDim: 2, Hidden: []int{4}, NumClasses: 2, Seed: 1})
+	if _, err := n.Train(nil, nil, DefaultTrainConfig(10)); err == nil {
+		t.Error("empty data should fail")
+	}
+	if _, err := n.Train([][]float64{{1, 2}}, []int{0, 1}, DefaultTrainConfig(10)); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := n.Train([][]float64{{1}}, []int{0}, DefaultTrainConfig(10)); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	if _, err := n.Train([][]float64{{1, 2}}, []int{5}, DefaultTrainConfig(10)); err == nil {
+		t.Error("out-of-range label should fail")
+	}
+}
+
+func TestNormalizationHelpsScaledFeatures(t *testing.T) {
+	// Feature 1 carries the signal but at a tiny scale next to feature 0.
+	rng := xrand.New(21)
+	n := 600
+	xs := make([][]float64, n)
+	ys := make([]int, n)
+	for i := range xs {
+		label := i % 2
+		noise := rng.NormFloat64() * 1e5
+		signal := float64(label)*2 - 1 + rng.NormFloat64()*0.2
+		xs[i] = []float64{noise, signal * 1e-3}
+		ys[i] = label
+	}
+	cfg := Config{InputDim: 2, Hidden: []int{16}, NumClasses: 2, Seed: 3}
+	withNorm := New(cfg)
+	tc := DefaultTrainConfig(300)
+	if _, err := withNorm.Train(xs, ys, tc); err != nil {
+		t.Fatal(err)
+	}
+	if acc := withNorm.Accuracy(xs, ys); acc < 0.9 {
+		t.Errorf("normalized accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestAccuracyWithin(t *testing.T) {
+	xs, ys := spiralData(200, 33)
+	n := New(Config{InputDim: 2, Hidden: []int{16}, NumClasses: 2, Seed: 5})
+	if _, err := n.Train(xs, ys, DefaultTrainConfig(200)); err != nil {
+		t.Fatal(err)
+	}
+	exact := n.Accuracy(xs, ys)
+	within0 := n.AccuracyWithin(xs, ys, 0)
+	within1 := n.AccuracyWithin(xs, ys, 1)
+	if exact != within0 {
+		t.Errorf("AccuracyWithin(0)=%v should equal Accuracy=%v", within0, exact)
+	}
+	if within1 != 1 {
+		t.Errorf("two-class within-1 accuracy should be 1, got %v", within1)
+	}
+}
+
+func TestPredictorMatchesForward(t *testing.T) {
+	xs, ys := spiralData(100, 44)
+	n := New(Config{InputDim: 2, Hidden: []int{8}, NumClasses: 2, Seed: 9})
+	if _, err := n.Train(xs, ys, DefaultTrainConfig(50)); err != nil {
+		t.Fatal(err)
+	}
+	p := n.NewPredictor()
+	for i := 0; i < 20; i++ {
+		want := n.Forward(xs[i])
+		got := p.Probs(xs[i])
+		for c := range want {
+			if math.Abs(want[c]-got[c]) > 1e-12 {
+				t.Fatalf("predictor diverges from Forward at sample %d", i)
+			}
+		}
+		if p.Classify(xs[i]) != n.Classify(xs[i]) {
+			t.Fatal("Classify mismatch")
+		}
+	}
+}
+
+func TestExpectedValue(t *testing.T) {
+	n := New(Config{InputDim: 1, Hidden: []int{4}, NumClasses: 3, Seed: 1})
+	p := n.NewPredictor()
+	e := p.Expected([]float64{0.5})
+	if e < 0 || e > 2 {
+		t.Errorf("Expected = %v outside class range", e)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	xs, ys := spiralData(100, 55)
+	n := New(Config{InputDim: 2, Hidden: []int{8, 8}, NumClasses: 2, Seed: 6})
+	if _, err := n.Train(xs, ys, DefaultTrainConfig(100)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		a := n.Forward(xs[i])
+		b := got.Forward(xs[i])
+		for c := range a {
+			if a[c] != b[c] {
+				t.Fatal("round trip changed outputs")
+			}
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestNormalizer(t *testing.T) {
+	xs := [][]float64{{1, 100}, {3, 300}, {5, 500}}
+	nm := FitNormalizer(xs)
+	if nm.Mean[0] != 3 || nm.Mean[1] != 300 {
+		t.Fatalf("means wrong: %v", nm.Mean)
+	}
+	out := make([]float64, 2)
+	nm.Apply([]float64{3, 300}, out)
+	if out[0] != 0 || out[1] != 0 {
+		t.Errorf("centering wrong: %v", out)
+	}
+	// Constant column gets std 1.
+	cm := FitNormalizer([][]float64{{7}, {7}, {7}})
+	if cm.Std[0] != 1 {
+		t.Errorf("constant column std = %v, want 1", cm.Std[0])
+	}
+}
+
+func TestTrainingDeterministic(t *testing.T) {
+	xs, ys := spiralData(100, 66)
+	run := func() float64 {
+		n := New(Config{InputDim: 2, Hidden: []int{8}, NumClasses: 2, Seed: 4})
+		if _, err := n.Train(xs, ys, DefaultTrainConfig(80)); err != nil {
+			t.Fatal(err)
+		}
+		return n.Layers[0].W[0]
+	}
+	if run() != run() {
+		t.Fatal("training is not deterministic")
+	}
+}
+
+func BenchmarkInferenceFast(b *testing.B) {
+	n := New(FastConfig(16, 24, 1))
+	p := n.NewPredictor()
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Classify(x)
+	}
+}
+
+// BenchmarkInferencePaper measures inference latency for the paper's
+// 5x128 architecture — the quantity Figs. 7b/8b report (41-80 us on the
+// paper's hardware).
+func BenchmarkInferencePaper(b *testing.B) {
+	n := New(PaperConfig(16, 24, 1))
+	p := n.NewPredictor()
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Classify(x)
+	}
+}
+
+func BenchmarkTrainStep(b *testing.B) {
+	xs, ys := spiralData(200, 77)
+	n := New(Config{InputDim: 2, Hidden: []int{64, 64}, NumClasses: 2, Seed: 1})
+	tc := DefaultTrainConfig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Train(xs, ys, tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestGradientCheck validates backprop against numerical differentiation:
+// for a small network and a handful of parameters, the analytic gradient
+// must match (f(w+h) - f(w-h)) / 2h.
+func TestGradientCheck(t *testing.T) {
+	n := New(Config{InputDim: 3, Hidden: []int{5, 4}, NumClasses: 3, Seed: 13})
+	x := []float64{0.7, -1.2, 2.3}
+	y := 1
+
+	sc := n.newScratch()
+	g := newGradients(n)
+	g.zero()
+	n.backprop(x, y, sc, g)
+
+	loss := func() float64 {
+		probs := n.Forward(x)
+		return -math.Log(probs[y])
+	}
+	const h = 1e-6
+	checks := 0
+	for li := range n.Layers {
+		l := &n.Layers[li]
+		// Check a spread of weight and bias entries per layer.
+		for _, wi := range []int{0, len(l.W) / 2, len(l.W) - 1} {
+			orig := l.W[wi]
+			l.W[wi] = orig + h
+			up := loss()
+			l.W[wi] = orig - h
+			down := loss()
+			l.W[wi] = orig
+			numeric := (up - down) / (2 * h)
+			analytic := g.w[li][wi]
+			if diff := math.Abs(numeric - analytic); diff > 1e-4*(1+math.Abs(numeric)) {
+				t.Errorf("layer %d W[%d]: analytic %v vs numeric %v", li, wi, analytic, numeric)
+			}
+			checks++
+		}
+		bi := len(l.B) - 1
+		orig := l.B[bi]
+		l.B[bi] = orig + h
+		up := loss()
+		l.B[bi] = orig - h
+		down := loss()
+		l.B[bi] = orig
+		numeric := (up - down) / (2 * h)
+		if diff := math.Abs(numeric - g.b[li][bi]); diff > 1e-4*(1+math.Abs(numeric)) {
+			t.Errorf("layer %d B[%d]: analytic %v vs numeric %v", li, bi, g.b[li][bi], numeric)
+		}
+		checks++
+	}
+	if checks < 8 {
+		t.Fatalf("only %d gradient entries checked", checks)
+	}
+}

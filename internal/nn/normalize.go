@@ -1,0 +1,52 @@
+package nn
+
+import "math"
+
+// Normalizer standardizes feature vectors to zero mean and unit variance
+// using statistics captured from a training set. The Table I/II features
+// mix raw scores (~10) with posting-list lengths (~10^5); without
+// standardization the network effectively ignores the small features.
+type Normalizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitNormalizer computes per-dimension statistics from xs. Dimensions with
+// (near-)zero variance get Std 1 so they pass through centered.
+func FitNormalizer(xs [][]float64) *Normalizer {
+	if len(xs) == 0 {
+		panic("nn: FitNormalizer on empty data")
+	}
+	dim := len(xs[0])
+	nm := &Normalizer{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	for _, x := range xs {
+		for i, v := range x {
+			nm.Mean[i] += v
+		}
+	}
+	inv := 1 / float64(len(xs))
+	for i := range nm.Mean {
+		nm.Mean[i] *= inv
+	}
+	for _, x := range xs {
+		for i, v := range x {
+			d := v - nm.Mean[i]
+			nm.Std[i] += d * d
+		}
+	}
+	for i := range nm.Std {
+		nm.Std[i] = math.Sqrt(nm.Std[i] * inv)
+		if nm.Std[i] < 1e-9 {
+			nm.Std[i] = 1
+		}
+	}
+	return nm
+}
+
+// Apply writes the standardized form of x into out. The slices must have
+// the normalizer's dimension; out may alias x.
+func (nm *Normalizer) Apply(x, out []float64) {
+	for i, v := range x {
+		out[i] = (v - nm.Mean[i]) / nm.Std[i]
+	}
+}

@@ -1,0 +1,34 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// netWire is the gob wire form of a Network; all fields of Network are
+// exported, but an explicit wire struct keeps the format stable if the
+// in-memory representation grows non-serializable members later.
+type netWire struct {
+	Cfg    Config
+	Layers []layer
+	Norm   *Normalizer
+}
+
+// Encode serializes the network with encoding/gob.
+func (n *Network) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(netWire{Cfg: n.Cfg, Layers: n.Layers, Norm: n.Norm})
+}
+
+// Decode deserializes a network written by Encode.
+func Decode(r io.Reader) (*Network, error) {
+	var w netWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("nn: decoding network: %w", err)
+	}
+	n := &Network{Cfg: w.Cfg, Layers: w.Layers, Norm: w.Norm}
+	if len(n.Layers) == 0 {
+		return nil, fmt.Errorf("nn: decoded network has no layers")
+	}
+	return n, nil
+}

@@ -1,0 +1,51 @@
+package predict
+
+import (
+	"bytes"
+	"testing"
+
+	"cottage/internal/cluster"
+	"cottage/internal/search"
+)
+
+func TestISNPredictorRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a predictor")
+	}
+	f := getFixture(t)
+	ds := Harvest(f.shards[:1], f.train[:200], 10, search.StrategyMaxScore, cluster.DefaultCostModel())
+	cfg := DefaultConfig(10)
+	cfg.QualitySteps = 80
+	cfg.LatencySteps = 60
+	fleet, err := Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fleet.Predictors[0]
+
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeISNPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ISN != p.ISN || got.K != p.K || got.LatBins != p.LatBins {
+		t.Fatal("metadata lost in round trip")
+	}
+	// Predictions must be identical after the round trip.
+	for _, q := range f.test[:50] {
+		a := p.Predict(f.shards[0], q.Terms)
+		b := got.Predict(f.shards[0], q.Terms)
+		if a != b {
+			t.Fatalf("prediction differs after round trip: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestDecodeISNPredictorGarbage(t *testing.T) {
+	if _, err := DecodeISNPredictor(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

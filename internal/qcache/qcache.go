@@ -1,0 +1,100 @@
+// Package qcache implements an aggregator-side query result cache. Search
+// traffic is heavily skewed (the trace generators reproduce the Zipfian
+// term popularity of real logs), so a small LRU of merged top-K results
+// answers a large share of queries without touching any ISN — the classic
+// optimization of Baeza-Yates et al. (reference [1] of the paper). The
+// engine integrates it through engine.Cached, which wraps any selection
+// policy.
+package qcache
+
+import (
+	"container/list"
+	"sort"
+	"strings"
+
+	"cottage/internal/search"
+)
+
+// Key canonicalizes a query's terms (order-insensitive, deduplicated) so
+// "red car" and "car red" share a cache entry.
+func Key(terms []string) string {
+	c := make([]string, len(terms))
+	copy(c, terms)
+	sort.Strings(c)
+	return strings.Join(c, "\x00")
+}
+
+// LRU is a fixed-capacity least-recently-used result cache. It is not
+// safe for concurrent use; the simulator is single-threaded and a real
+// aggregator would shard it per worker.
+type LRU struct {
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits, misses int
+}
+
+type entry struct {
+	key  string
+	hits []search.Hit
+}
+
+// NewLRU creates a cache holding up to capacity entries.
+func NewLRU(capacity int) *LRU {
+	if capacity <= 0 {
+		panic("qcache: capacity must be positive")
+	}
+	return &LRU{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached hits for key, if present, and refreshes its
+// recency.
+func (c *LRU) Get(key string) ([]search.Hit, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).hits, true
+}
+
+// Put stores hits under key, evicting the least recently used entry when
+// full. The slice is stored as-is; callers must not mutate it afterwards.
+func (c *LRU) Put(key string, hits []search.Hit) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).hits = hits
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, hits: hits})
+}
+
+// Len returns the current entry count.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// HitRate returns hits / (hits+misses) so far, or 0 before any lookup.
+func (c *LRU) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Stats returns raw hit/miss counters.
+func (c *LRU) Stats() (hits, misses int) { return c.hits, c.misses }
+
+// Reset clears contents and counters.
+func (c *LRU) Reset() {
+	c.ll = list.New()
+	c.items = make(map[string]*list.Element)
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,165 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cottage/internal/cluster"
+	"cottage/internal/core"
+	"cottage/internal/search"
+)
+
+// Aggregator coordinates a set of remote ISNs over the wire: it fans
+// queries out, gathers predictions, runs Algorithm 1, and merges the
+// responses that arrive within the budget — the network counterpart of
+// the simulated engine.
+type Aggregator struct {
+	Clients []*Client
+	K       int
+	// Ladder converts predicted cycles into the current/boosted
+	// latencies Algorithm 1 compares. Remote DVFS is advisory here (the
+	// demo processes share one machine), but the budget math is the real
+	// thing.
+	Ladder cluster.Ladder
+	// DropZeroProb / K2ZeroProb mirror core.Cottage's calibrated cutoffs.
+	DropZeroProb float64
+	K2ZeroProb   float64
+}
+
+// NewAggregator wires an aggregator over dialed clients.
+func NewAggregator(clients []*Client, k int) *Aggregator {
+	return &Aggregator{
+		Clients:      clients,
+		K:            k,
+		Ladder:       cluster.DefaultLadder(),
+		DropZeroProb: 0.8,
+		K2ZeroProb:   0.95,
+	}
+}
+
+// Result is a distributed query's outcome.
+type Result struct {
+	Hits     []search.Hit
+	BudgetMS float64
+	Selected []int // ISN indices searched
+	Cut      []int
+	Elapsed  time.Duration
+	// Failed lists ISNs that errored or timed out; their contributions
+	// are missing from Hits (degraded but non-empty results, the
+	// behaviour a production aggregator prefers over failing the query).
+	Failed []int
+}
+
+// SearchExhaustive queries every ISN with no budget and merges. Failed
+// ISNs degrade the result (reported in Result.Failed) rather than failing
+// the query; an error is returned only when every ISN fails.
+func (a *Aggregator) SearchExhaustive(terms []string) (Result, error) {
+	start := time.Now()
+	lists := make([][]search.Hit, len(a.Clients))
+	errs := make([]error, len(a.Clients))
+	var wg sync.WaitGroup
+	for i, c := range a.Clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			r, err := c.Search(terms, a.K, 0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			lists[i] = r.Hits
+		}(i, c)
+	}
+	wg.Wait()
+	res := Result{Elapsed: time.Since(start)}
+	failures := 0
+	for i, err := range errs {
+		if err != nil {
+			failures++
+			res.Failed = append(res.Failed, i)
+			continue
+		}
+		res.Selected = append(res.Selected, i)
+	}
+	if failures == len(a.Clients) {
+		return Result{}, fmt.Errorf("rpc: all %d ISNs failed; first error: %w", failures, firstErr(errs))
+	}
+	res.Hits = search.Merge(a.K, lists...)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SearchCottage runs the full coordinated protocol: predict everywhere,
+// determine the budget, search the selected ISNs with the budget as a
+// deadline, and merge what returns.
+func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
+	start := time.Now()
+	// Steps 2-3: gather predictions in parallel.
+	preds := make([]core.ISNReport, 0, len(a.Clients))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, c := range a.Clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			p, err := c.Predict(terms)
+			if err != nil || !p.Matched {
+				return
+			}
+			fdef, fmax := a.Ladder.Default(), a.Ladder.Max()
+			r := core.ISNReport{
+				ISN:        i,
+				QK:         p.QK,
+				QK2:        p.QK2,
+				HasK:       p.PZeroK < a.DropZeroProb,
+				HasK2:      p.PZeroK2 < a.K2ZeroProb,
+				ExpQK:      p.ExpQK,
+				LCurrent:   cluster.ServiceMS(p.Cycles, fdef),
+				LBoosted:   cluster.ServiceMS(p.Cycles, fmax),
+				PredCycles: p.Cycles,
+			}
+			mu.Lock()
+			preds = append(preds, r)
+			mu.Unlock()
+		}(i, c)
+	}
+	wg.Wait()
+
+	// Step 4: time budget determination.
+	budget := core.DetermineBudget(preds, a.Ladder, core.BudgetOptions{})
+	res := Result{BudgetMS: budget.BudgetMS, Cut: budget.Cut}
+	if len(budget.Selected) == 0 {
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// Steps 5-7: budget-bounded search on the selected ISNs.
+	deadline := time.Duration(budget.BudgetMS * float64(time.Millisecond))
+	lists := make([][]search.Hit, len(budget.Selected))
+	for li, asg := range budget.Selected {
+		res.Selected = append(res.Selected, asg.ISN)
+		wg.Add(1)
+		go func(li int, isn int) {
+			defer wg.Done()
+			r, err := a.Clients[isn].Search(terms, a.K, deadline)
+			if err != nil {
+				return // straggler or failure: dropped at merge
+			}
+			lists[li] = r.Hits
+		}(li, asg.ISN)
+	}
+	wg.Wait()
+	res.Hits = search.Merge(a.K, lists...)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,237 @@
+// Package rpc implements a small gob-over-TCP transport so the
+// partition-aggregate protocol can run across real processes, mirroring
+// the Solr deployment of Section IV: each ISN process serves search and
+// prediction requests for one shard, and an aggregator fans queries out,
+// runs Algorithm 1 on the returned predictions, broadcasts the budget
+// (as a per-request deadline) and merges the responses that make it back
+// in time.
+//
+// The simulated cluster (internal/cluster) remains the measurement
+// substrate for the paper's experiments — wall-clock latencies on a
+// shared laptop are not reproducible — but this package demonstrates the
+// same seven-step protocol end to end on real sockets
+// (examples/distributed, cmd/cottage-server, cmd/cottage-client).
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"cottage/internal/index"
+	"cottage/internal/predict"
+	"cottage/internal/search"
+)
+
+// Kind discriminates request types.
+type Kind int
+
+const (
+	// KindSearch asks the ISN to evaluate the query and return its local
+	// top-K (protocol steps 5–6).
+	KindSearch Kind = iota
+	// KindPredict asks only for the quality/latency predictions
+	// (protocol steps 2–3).
+	KindPredict
+	// KindPing checks liveness.
+	KindPing
+	// KindPhrase asks the ISN for an exact-phrase evaluation (requires a
+	// positional shard).
+	KindPhrase
+)
+
+// Request is the wire request.
+type Request struct {
+	Kind  Kind
+	ID    uint64
+	Terms []string
+	K     int
+	// DeadlineUS is the search budget in microseconds (0 = none). The
+	// server abandons result delivery past the deadline, mimicking
+	// budget-bounded ISN processing.
+	DeadlineUS int64
+}
+
+// Response is the wire response.
+type Response struct {
+	ID    uint64
+	Hits  []search.Hit
+	Stats search.ExecStats
+	Pred  predict.Prediction
+	Err   string
+}
+
+// Server serves one shard (one ISN) over a listener.
+type Server struct {
+	Shard    *index.Shard
+	Pred     *predict.ISNPredictor // optional; KindPredict fails without it
+	Strategy search.Strategy
+	mu       sync.Mutex // serializes predictor scratch use
+}
+
+// Serve accepts connections until the listener is closed. Each connection
+// gets its own goroutine and a gob codec.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("rpc: accept: %w", err)
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupted; drop it
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Request) *Response {
+	resp := &Response{ID: req.ID}
+	switch req.Kind {
+	case KindPing:
+	case KindSearch:
+		start := time.Now()
+		r := search.Eval(s.Strategy, s.Shard, req.Terms, req.K)
+		if req.DeadlineUS > 0 && time.Since(start).Microseconds() > req.DeadlineUS {
+			resp.Err = "deadline exceeded"
+			return resp
+		}
+		resp.Hits = r.Hits
+		resp.Stats = r.Stats
+	case KindPredict:
+		if s.Pred == nil {
+			resp.Err = "no predictor loaded"
+			return resp
+		}
+		s.mu.Lock()
+		resp.Pred = s.Pred.Predict(s.Shard, req.Terms)
+		s.mu.Unlock()
+	case KindPhrase:
+		r, err := search.Phrase(s.Shard, req.Terms, req.K)
+		if err != nil {
+			resp.Err = err.Error()
+			return resp
+		}
+		resp.Hits = r.Hits
+		resp.Stats = r.Stats
+	default:
+		resp.Err = fmt.Sprintf("unknown request kind %d", req.Kind)
+	}
+	return resp
+}
+
+// Client is a synchronous connection to one ISN server. It is safe for
+// concurrent use; calls are serialized on the connection.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	next    uint64
+	timeout time.Duration
+}
+
+// Dial connects to an ISN server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Timeout bounds each round trip; zero means no bound. Set it once,
+// before concurrent use.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// call performs one synchronous round trip.
+func (c *Client) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	req.ID = c.next
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("rpc: deadline: %w", err)
+		}
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("rpc: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("rpc: server closed connection")
+		}
+		return nil, fmt.Errorf("rpc: receive: %w", err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("rpc: response ID %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("rpc: server error: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(&Request{Kind: KindPing})
+	return err
+}
+
+// Search evaluates a query on the remote shard.
+func (c *Client) Search(terms []string, k int, deadline time.Duration) (search.Result, error) {
+	resp, err := c.call(&Request{
+		Kind: KindSearch, Terms: terms, K: k, DeadlineUS: deadline.Microseconds()})
+	if err != nil {
+		return search.Result{}, err
+	}
+	return search.Result{Hits: resp.Hits, Stats: resp.Stats}, nil
+}
+
+// Phrase evaluates an exact-phrase query on the remote (positional)
+// shard.
+func (c *Client) Phrase(terms []string, k int) (search.Result, error) {
+	resp, err := c.call(&Request{Kind: KindPhrase, Terms: terms, K: k})
+	if err != nil {
+		return search.Result{}, err
+	}
+	return search.Result{Hits: resp.Hits, Stats: resp.Stats}, nil
+}
+
+// Predict fetches the remote ISN's quality/latency predictions.
+func (c *Client) Predict(terms []string) (predict.Prediction, error) {
+	resp, err := c.call(&Request{Kind: KindPredict, Terms: terms})
+	if err != nil {
+		return predict.Prediction{}, err
+	}
+	return resp.Pred, nil
+}

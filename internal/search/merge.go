@@ -1,0 +1,48 @@
+package search
+
+import "sort"
+
+// Merge combines per-shard hit lists into the global top-k, the
+// aggregator's step-7 ranking. Ties on score break toward the smaller
+// document ID so merged rankings are deterministic regardless of shard
+// order.
+func Merge(k int, lists ...[]Hit) []Hit {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	all := make([]Hit, 0, total)
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Doc < all[j].Doc
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// DocSet returns the set of document IDs in hits.
+func DocSet(hits []Hit) map[int64]bool {
+	s := make(map[int64]bool, len(hits))
+	for _, h := range hits {
+		s[h.Doc] = true
+	}
+	return s
+}
+
+// Overlap counts how many documents of hits appear in want.
+func Overlap(hits []Hit, want map[int64]bool) int {
+	n := 0
+	for _, h := range hits {
+		if want[h.Doc] {
+			n++
+		}
+	}
+	return n
+}

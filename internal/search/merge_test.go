@@ -1,0 +1,101 @@
+package search
+
+import (
+	"sort"
+	"testing"
+
+	"cottage/internal/xrand"
+)
+
+func randomHits(rng *xrand.RNG, n int) []Hit {
+	hits := make([]Hit, n)
+	for i := range hits {
+		hits[i] = Hit{Doc: int64(rng.Intn(10000)), Score: rng.Float64() * 20}
+	}
+	return hits
+}
+
+func TestMergeBasics(t *testing.T) {
+	a := []Hit{{Doc: 1, Score: 5}, {Doc: 2, Score: 3}}
+	b := []Hit{{Doc: 3, Score: 4}}
+	m := Merge(2, a, b)
+	if len(m) != 2 || m[0].Doc != 1 || m[1].Doc != 3 {
+		t.Fatalf("merge wrong: %v", m)
+	}
+	if len(Merge(10, a, b)) != 3 {
+		t.Error("k larger than total should return everything")
+	}
+	if len(Merge(5)) != 0 {
+		t.Error("no lists should merge to empty")
+	}
+	if len(Merge(0, a)) != 0 {
+		t.Error("k=0 should be empty")
+	}
+}
+
+func TestMergeSortedAndDeterministic(t *testing.T) {
+	rng := xrand.New(9)
+	for trial := 0; trial < 100; trial++ {
+		lists := make([][]Hit, 1+rng.Intn(5))
+		for i := range lists {
+			lists[i] = randomHits(rng, rng.Intn(30))
+		}
+		k := 1 + rng.Intn(15)
+		m := Merge(k, lists...)
+		for i := 1; i < len(m); i++ {
+			if m[i].Score > m[i-1].Score {
+				t.Fatal("merge not sorted by score")
+			}
+			if m[i].Score == m[i-1].Score && m[i].Doc < m[i-1].Doc {
+				t.Fatal("merge tie-break violated")
+			}
+		}
+		// Order of input lists must not matter.
+		rev := make([][]Hit, len(lists))
+		for i := range lists {
+			rev[i] = lists[len(lists)-1-i]
+		}
+		m2 := Merge(k, rev...)
+		for i := range m {
+			if m[i] != m2[i] {
+				t.Fatal("merge depends on list order")
+			}
+		}
+	}
+}
+
+func TestMergeEqualsGlobalSort(t *testing.T) {
+	rng := xrand.New(10)
+	lists := make([][]Hit, 4)
+	var all []Hit
+	for i := range lists {
+		lists[i] = randomHits(rng, 50)
+		all = append(all, lists[i]...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].Doc < all[j].Doc
+	})
+	m := Merge(10, lists...)
+	for i := range m {
+		if m[i] != all[i] {
+			t.Fatalf("merge differs from global sort at %d", i)
+		}
+	}
+}
+
+func TestDocSetAndOverlap(t *testing.T) {
+	hits := []Hit{{Doc: 1}, {Doc: 2}, {Doc: 3}}
+	set := DocSet(hits)
+	if len(set) != 3 || !set[2] {
+		t.Fatal("DocSet wrong")
+	}
+	if Overlap([]Hit{{Doc: 2}, {Doc: 9}}, set) != 1 {
+		t.Fatal("Overlap wrong")
+	}
+	if Overlap(nil, set) != 0 || Overlap(hits, nil) != 0 {
+		t.Fatal("empty overlap wrong")
+	}
+}

@@ -1,0 +1,111 @@
+package search
+
+import (
+	"errors"
+
+	"cottage/internal/index"
+)
+
+// ErrNotPositional is returned when a phrase query hits a shard indexed
+// without positions.
+var ErrNotPositional = errors.New("search: phrase queries need a positional shard (index.Builder.EnablePositions)")
+
+// Phrase evaluates an exact-phrase query: documents must contain the
+// terms consecutively and in order. Matching documents score as the sum
+// of their terms' BM25 contributions (a common choice; phrase-proximity
+// boosts are orthogonal). The evaluator intersects postings
+// document-at-a-time and verifies adjacency with a positional merge.
+func Phrase(s *index.Shard, phrase []string, k int) (Result, error) {
+	var st ExecStats
+	if len(phrase) == 0 || k <= 0 {
+		return Result{Stats: st}, nil
+	}
+	infos := make([]*index.TermInfo, len(phrase))
+	for i, t := range phrase {
+		ti, ok := s.Lookup(t)
+		if !ok {
+			// A missing term means no document can contain the phrase.
+			return Result{Stats: st}, nil
+		}
+		if ti.Positions == nil {
+			return Result{}, ErrNotPositional
+		}
+		infos[i] = ti
+		st.TermsMatched++
+	}
+
+	// Conjunctive DAAT intersection, driven by the rarest term.
+	rare := 0
+	for i, ti := range infos {
+		if ti.Stats.PostingLen < infos[rare].Stats.PostingLen {
+			rare = i
+		}
+	}
+	cursors := make([]int, len(infos)) // posting offsets per term
+	tk := newTopK(k)
+outer:
+	for _, p := range infos[rare].Postings {
+		doc := p.Doc
+		// Locate doc in every other term's postings.
+		offsets := make([]int, len(infos))
+		for i, ti := range infos {
+			ps := ti.Postings
+			cursors[i] += index.Seek(ps[cursors[i]:], doc)
+			st.PostingsTraversed++
+			if cursors[i] >= len(ps) {
+				break outer // some term is exhausted: no further phrase can match
+			}
+			if ps[cursors[i]].Doc != doc {
+				continue outer
+			}
+			offsets[i] = cursors[i]
+		}
+		st.DocsScored++
+		if !phraseInDoc(infos, offsets) {
+			continue
+		}
+		score := 0.0
+		for i, ti := range infos {
+			score += s.TermScore(ti, ti.Postings[offsets[i]])
+		}
+		if tk.offer(doc, score) {
+			st.HeapInserts++
+		}
+	}
+	return Result{Hits: tk.hits(s), Stats: st}, nil
+}
+
+// phraseInDoc reports whether the terms occur consecutively: some
+// position p of term 0 with p+1 in term 1's positions, p+2 in term 2's,
+// and so on. Position lists are ascending, so each adjacency check is a
+// linear merge.
+func phraseInDoc(infos []*index.TermInfo, offsets []int) bool {
+	first := infos[0].Positions[offsets[0]]
+	for _, start := range first {
+		ok := true
+		for j := 1; j < len(infos); j++ {
+			if !containsPos(infos[j].Positions[offsets[j]], start+uint32(j)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// containsPos binary-searches an ascending position list.
+func containsPos(ps []uint32, want uint32) bool {
+	lo, hi := 0, len(ps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ps[mid] < want {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(ps) && ps[lo] == want
+}

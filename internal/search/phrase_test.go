@@ -1,0 +1,199 @@
+package search
+
+import (
+	"strings"
+	"testing"
+
+	"cottage/internal/index"
+	"cottage/internal/xrand"
+)
+
+// buildPositional builds a small positional shard from raw sentences.
+func buildPositional(tb testing.TB, docs []string) *index.Shard {
+	tb.Helper()
+	b := index.NewBuilder(0, index.DefaultBM25(), 10)
+	b.EnablePositions()
+	for i, d := range docs {
+		b.AddTokens(int64(i), index.Tokenize(d))
+	}
+	return b.Finalize()
+}
+
+func TestPhraseBasics(t *testing.T) {
+	s := buildPositional(t, []string{
+		"the quick brown fox jumps",
+		"the brown quick fox",
+		"quick brown shoes and a quick brown fox",
+		"nothing relevant here",
+	})
+	r, err := Phrase(s, []string{"quick", "brown", "fox"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]bool{}
+	for _, h := range r.Hits {
+		got[h.Doc] = true
+	}
+	if !got[0] || !got[2] || got[1] || got[3] {
+		t.Fatalf("phrase matched wrong docs: %v", got)
+	}
+}
+
+func TestPhraseOrderMatters(t *testing.T) {
+	s := buildPositional(t, []string{"alpha beta", "beta alpha"})
+	r, err := Phrase(s, []string{"alpha", "beta"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hits) != 1 || r.Hits[0].Doc != 0 {
+		t.Fatalf("phrase should match only doc 0: %+v", r.Hits)
+	}
+}
+
+func TestPhraseSingleTermEqualsTermQuery(t *testing.T) {
+	s := buildPositional(t, []string{"a b c", "b c d", "c d e"})
+	ph, err := Phrase(s, []string{"c"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := Exhaustive(s, []string{"c"}, 10)
+	if !sameScores(scoreMultiset(ph), scoreMultiset(ex), 1e-12) {
+		t.Fatal("single-term phrase should equal term query")
+	}
+}
+
+func TestPhraseMissingTermAndEdge(t *testing.T) {
+	s := buildPositional(t, []string{"x y z"})
+	r, err := Phrase(s, []string{"x", "missing"}, 10)
+	if err != nil || len(r.Hits) != 0 {
+		t.Fatalf("missing term should yield empty result, got %v %v", r.Hits, err)
+	}
+	if r, err := Phrase(s, nil, 10); err != nil || len(r.Hits) != 0 {
+		t.Fatal("empty phrase should be empty")
+	}
+	if r, err := Phrase(s, []string{"x"}, 0); err != nil || len(r.Hits) != 0 {
+		t.Fatal("k=0 should be empty")
+	}
+}
+
+func TestPhraseRequiresPositions(t *testing.T) {
+	b := index.NewBuilder(0, index.DefaultBM25(), 10)
+	b.AddText(0, "plain bag of words index")
+	s := b.Finalize()
+	if _, err := Phrase(s, []string{"bag", "of"}, 10); err != ErrNotPositional {
+		t.Fatalf("expected ErrNotPositional, got %v", err)
+	}
+}
+
+// TestPhraseAgainstNaive cross-checks the evaluator against a string scan
+// over randomly generated sentences.
+func TestPhraseAgainstNaive(t *testing.T) {
+	rng := xrand.New(71)
+	words := []string{"red", "green", "blue", "fast", "slow", "car", "boat", "sky"}
+	docs := make([]string, 300)
+	for i := range docs {
+		n := 3 + rng.Intn(12)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = words[rng.Intn(len(words))]
+		}
+		docs[i] = strings.Join(parts, " ")
+	}
+	s := buildPositional(t, docs)
+	for trial := 0; trial < 60; trial++ {
+		plen := 2 + rng.Intn(2)
+		phrase := make([]string, plen)
+		for j := range phrase {
+			phrase[j] = words[rng.Intn(len(words))]
+		}
+		r, err := Phrase(s, phrase, len(docs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[int64]bool{}
+		for _, h := range r.Hits {
+			got[h.Doc] = true
+		}
+		needle := " " + strings.Join(phrase, " ") + " "
+		for i, d := range docs {
+			want := strings.Contains(" "+d+" ", needle)
+			if got[int64(i)] != want {
+				t.Fatalf("trial %d: doc %d (%q) phrase %v: got %v want %v",
+					trial, i, d, phrase, got[int64(i)], want)
+			}
+		}
+	}
+}
+
+func TestPositionalValidateAndRoundTrip(t *testing.T) {
+	s := buildPositional(t, []string{"one two three two", "two three"})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.HasPositions() {
+		t.Fatal("shard should be positional")
+	}
+	path := t.TempDir() + "/pos.shard"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := index.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasPositions() {
+		t.Fatal("positions lost in round trip")
+	}
+	r, err := Phrase(got, []string{"two", "three"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Hits) != 2 {
+		t.Fatalf("phrase on loaded shard found %d docs, want 2", len(r.Hits))
+	}
+}
+
+func TestPositionalBuilderPanics(t *testing.T) {
+	b := index.NewBuilder(0, index.DefaultBM25(), 10)
+	b.EnablePositions()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bag-of-words Add on positional builder should panic")
+			}
+		}()
+		b.Add(0, map[string]int{"a": 1}, 1)
+	}()
+	b2 := index.NewBuilder(0, index.DefaultBM25(), 10)
+	b2.AddTokens(0, []string{"a"})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EnablePositions after adds should panic")
+			}
+		}()
+		b2.EnablePositions()
+	}()
+}
+
+func BenchmarkPhrase(b *testing.B) {
+	rng := xrand.New(5)
+	words := []string{"red", "green", "blue", "fast", "slow", "car", "boat", "sky"}
+	bl := index.NewBuilder(0, index.DefaultBM25(), 10)
+	bl.EnablePositions()
+	for i := 0; i < 5000; i++ {
+		n := 10 + rng.Intn(30)
+		toks := make([]string, n)
+		for j := range toks {
+			toks[j] = words[rng.Intn(len(words))]
+		}
+		bl.AddTokens(int64(i), toks)
+	}
+	s := bl.Finalize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Phrase(s, []string{"fast", "car"}, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

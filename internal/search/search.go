@@ -1,0 +1,437 @@
+// Package search implements top-K query evaluation over an index shard:
+// exhaustive document-at-a-time (DAAT) scoring plus the MaxScore
+// (Turtle & Flood) and WAND (Broder et al.) dynamic-pruning strategies the
+// paper names as the reason a query's service time is hard to predict from
+// posting-list length alone (Section III-C). Every evaluator reports
+// ExecStats — the documents scored and postings traversed — which drive
+// the cluster simulator's service-time cost model and the C_RES metric.
+package search
+
+import (
+	"container/heap"
+	"sort"
+
+	"cottage/internal/index"
+)
+
+// Hit is one scored document in a shard's response.
+type Hit struct {
+	Doc   int64 // collection-wide document ID
+	Local uint32
+	Score float64
+}
+
+// ExecStats quantifies the work one query evaluation performed. The cost
+// model converts it to CPU cycles (internal/cluster).
+type ExecStats struct {
+	// PostingsTraversed counts cursor advancements, including seeks
+	// (a seek is one advancement: postings are binary-searched).
+	PostingsTraversed int
+	// DocsScored counts candidate documents whose score was computed
+	// (fully or far enough to be rejected).
+	DocsScored int
+	// HeapInserts counts top-K heap updates.
+	HeapInserts int
+	// TermsMatched is how many of the query's terms exist in the shard.
+	TermsMatched int
+}
+
+// Add accumulates other into s.
+func (s *ExecStats) Add(other ExecStats) {
+	s.PostingsTraversed += other.PostingsTraversed
+	s.DocsScored += other.DocsScored
+	s.HeapInserts += other.HeapInserts
+	s.TermsMatched += other.TermsMatched
+}
+
+// Result is a shard's answer to a query: its local top-K and the work done.
+type Result struct {
+	Hits  []Hit // descending score, ties broken by ascending doc ID
+	Stats ExecStats
+}
+
+// Evaluator is a query evaluation strategy over one shard.
+type Evaluator func(s *index.Shard, terms []string, k int) Result
+
+// Strategy names an evaluation algorithm.
+type Strategy int
+
+const (
+	// StrategyExhaustive scores every posting of every query term.
+	StrategyExhaustive Strategy = iota
+	// StrategyMaxScore skips non-essential lists whose upper bounds
+	// cannot lift a document into the top-K.
+	StrategyMaxScore
+	// StrategyWAND uses pivot-based skipping with per-term upper bounds.
+	StrategyWAND
+	// StrategyTAAT scores term-at-a-time with accumulators (no pruning).
+	StrategyTAAT
+)
+
+// String returns the strategy's name.
+func (st Strategy) String() string {
+	switch st {
+	case StrategyExhaustive:
+		return "exhaustive"
+	case StrategyMaxScore:
+		return "maxscore"
+	case StrategyWAND:
+		return "wand"
+	case StrategyTAAT:
+		return "taat"
+	default:
+		return "unknown"
+	}
+}
+
+// Eval dispatches to the named strategy.
+func Eval(st Strategy, s *index.Shard, terms []string, k int) Result {
+	switch st {
+	case StrategyExhaustive:
+		return Exhaustive(s, terms, k)
+	case StrategyMaxScore:
+		return MaxScore(s, terms, k)
+	case StrategyWAND:
+		return WAND(s, terms, k)
+	case StrategyTAAT:
+		return TAAT(s, terms, k)
+	default:
+		panic("search: unknown strategy")
+	}
+}
+
+// cursor walks one term's postings.
+type cursor struct {
+	ti  *index.TermInfo
+	pos int
+}
+
+func (c *cursor) exhausted() bool { return c.pos >= len(c.ti.Postings) }
+func (c *cursor) doc() uint32     { return c.ti.Postings[c.pos].Doc }
+func (c *cursor) posting() index.Posting {
+	return c.ti.Postings[c.pos]
+}
+
+// seek advances the cursor to the first posting with Doc >= doc and
+// reports whether a posting at exactly doc exists.
+func (c *cursor) seek(doc uint32) bool {
+	// Fast path: already there or one step away, common in dense merges.
+	for !c.exhausted() && c.doc() < doc && c.pos+1 < len(c.ti.Postings) && c.ti.Postings[c.pos+1].Doc <= doc {
+		c.pos++
+	}
+	if !c.exhausted() && c.doc() < doc {
+		c.pos += index.Seek(c.ti.Postings[c.pos:], doc)
+	}
+	return !c.exhausted() && c.doc() == doc
+}
+
+// openCursors resolves terms against the shard dictionary, dropping
+// duplicates and absent terms.
+func openCursors(s *index.Shard, terms []string) []*cursor {
+	var cs []*cursor
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if ti, ok := s.Lookup(t); ok {
+			cs = append(cs, &cursor{ti: ti})
+		}
+	}
+	return cs
+}
+
+// canonicalScore computes a document's full score by summing term
+// contributions in a fixed (cursor-slice) order, so that every evaluation
+// strategy assigns bitwise-identical scores to the same document and the
+// pruning strategies return exactly the exhaustive top-K.
+func canonicalScore(s *index.Shard, cs []*cursor, doc uint32) float64 {
+	score := 0.0
+	for _, c := range cs {
+		ps := c.ti.Postings
+		i := index.Seek(ps, doc)
+		if i < len(ps) && ps[i].Doc == doc {
+			score += s.TermScore(c.ti, ps[i])
+		}
+	}
+	return score
+}
+
+// Exhaustive evaluates the query by a full multiway DAAT merge: every
+// posting of every matching term is visited. This is the paper's baseline
+// "exhaustive search" behaviour at a single ISN.
+func Exhaustive(s *index.Shard, terms []string, k int) Result {
+	cs := openCursors(s, terms)
+	var st ExecStats
+	st.TermsMatched = len(cs)
+	if len(cs) == 0 || k <= 0 {
+		return Result{Stats: st}
+	}
+	tk := newTopK(k)
+	for {
+		// Find the minimum current document among live cursors.
+		minDoc := uint32(0)
+		live := false
+		for _, c := range cs {
+			if c.exhausted() {
+				continue
+			}
+			if !live || c.doc() < minDoc {
+				minDoc = c.doc()
+				live = true
+			}
+		}
+		if !live {
+			break
+		}
+		score := 0.0
+		for _, c := range cs {
+			if !c.exhausted() && c.doc() == minDoc {
+				score += s.TermScore(c.ti, c.posting())
+				c.pos++
+				st.PostingsTraversed++
+			}
+		}
+		st.DocsScored++
+		if tk.offer(minDoc, score) {
+			st.HeapInserts++
+		}
+	}
+	return Result{Hits: tk.hits(s), Stats: st}
+}
+
+// MaxScore evaluates the query with the MaxScore optimization: terms are
+// ordered by their maximum possible contribution, and once the top-K
+// threshold exceeds the combined upper bound of the lowest-impact lists,
+// those lists stop producing candidates and are only probed for documents
+// surfaced by the essential lists.
+func MaxScore(s *index.Shard, terms []string, k int) Result {
+	cs := openCursors(s, terms)
+	var st ExecStats
+	st.TermsMatched = len(cs)
+	if len(cs) == 0 || k <= 0 {
+		return Result{Stats: st}
+	}
+	// Ascending by max score: cs[0] is the least impactful list.
+	sort.Slice(cs, func(i, j int) bool {
+		return cs[i].ti.Stats.MaxScore < cs[j].ti.Stats.MaxScore
+	})
+	m := len(cs)
+	prefix := make([]float64, m) // prefix[i] = sum of max scores of cs[0..i]
+	acc := 0.0
+	for i, c := range cs {
+		acc += c.ti.Stats.MaxScore
+		prefix[i] = acc
+	}
+	tk := newTopK(k)
+	first := 0 // first essential list index
+	for first < m {
+		// Candidate: min doc among essential lists.
+		minDoc := uint32(0)
+		live := false
+		for _, c := range cs[first:] {
+			if c.exhausted() {
+				continue
+			}
+			if !live || c.doc() < minDoc {
+				minDoc = c.doc()
+				live = true
+			}
+		}
+		if !live {
+			break
+		}
+		// Score essential lists at minDoc.
+		score := 0.0
+		for _, c := range cs[first:] {
+			if !c.exhausted() && c.doc() == minDoc {
+				score += s.TermScore(c.ti, c.posting())
+				c.pos++
+				st.PostingsTraversed++
+			}
+		}
+		st.DocsScored++
+		// Probe non-essential lists from most to least impactful,
+		// abandoning the document once even full credit from the
+		// remaining lists cannot beat the threshold.
+		theta := tk.threshold()
+		ok := true
+		for j := first - 1; j >= 0; j-- {
+			if score+prefix[j] <= theta {
+				ok = false
+				break
+			}
+			c := cs[j]
+			if c.seek(minDoc) {
+				score += s.TermScore(c.ti, c.posting())
+			}
+			st.PostingsTraversed++
+		}
+		if ok && score > theta {
+			// Re-score canonically so ties and float ordering match the
+			// exhaustive evaluator exactly.
+			if tk.offer(minDoc, canonicalScore(s, cs, minDoc)) {
+				st.HeapInserts++
+			}
+		}
+		// Threshold may have moved: recompute the essential boundary.
+		theta = tk.threshold()
+		for first < m && prefix[first] <= theta {
+			first++
+		}
+	}
+	return Result{Hits: tk.hits(s), Stats: st}
+}
+
+// WAND evaluates the query with the WAND pivot algorithm: cursors stay
+// sorted by their current document; the pivot is the first cursor at which
+// the cumulative upper bound exceeds the threshold, and cursors before the
+// pivot leapfrog directly to the pivot document.
+func WAND(s *index.Shard, terms []string, k int) Result {
+	cs := openCursors(s, terms)
+	var st ExecStats
+	st.TermsMatched = len(cs)
+	if len(cs) == 0 || k <= 0 {
+		return Result{Stats: st}
+	}
+	tk := newTopK(k)
+	for {
+		// Drop exhausted cursors; sort the rest by current doc.
+		live := cs[:0]
+		for _, c := range cs {
+			if !c.exhausted() {
+				live = append(live, c)
+			}
+		}
+		cs = live
+		if len(cs) == 0 {
+			break
+		}
+		sort.Slice(cs, func(i, j int) bool { return cs[i].doc() < cs[j].doc() })
+		// Find the pivot.
+		theta := tk.threshold()
+		ub := 0.0
+		pivot := -1
+		for i, c := range cs {
+			ub += c.ti.Stats.MaxScore
+			if ub > theta {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			break // no document can beat the threshold anymore
+		}
+		pivotDoc := cs[pivot].doc()
+		if cs[0].doc() == pivotDoc {
+			// Full evaluation at pivotDoc.
+			score := 0.0
+			for _, c := range cs {
+				if c.doc() != pivotDoc {
+					break
+				}
+				score += s.TermScore(c.ti, c.posting())
+			}
+			st.DocsScored++
+			if score > theta {
+				if tk.offer(pivotDoc, canonicalScore(s, cs, pivotDoc)) {
+					st.HeapInserts++
+				}
+			}
+			for _, c := range cs {
+				if c.exhausted() || c.doc() != pivotDoc {
+					continue
+				}
+				c.pos++
+				st.PostingsTraversed++
+			}
+		} else {
+			// Advance the highest-upper-bound cursor that is strictly
+			// before the pivot document (one always exists: cs[0]).
+			// Restricting to doc < pivotDoc guarantees progress.
+			adv := 0
+			for i := 1; i < pivot; i++ {
+				if cs[i].doc() < pivotDoc && cs[i].ti.Stats.MaxScore > cs[adv].ti.Stats.MaxScore {
+					adv = i
+				}
+			}
+			cs[adv].seek(pivotDoc)
+			st.PostingsTraversed++
+		}
+	}
+	return Result{Hits: tk.hits(s), Stats: st}
+}
+
+// topK is a fixed-capacity min-heap of (doc, score) keeping the best k.
+// Ties on score are broken toward smaller document IDs, deterministically.
+type topK struct {
+	k int
+	h hitHeap
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+// threshold is the score a new document must strictly exceed to enter a
+// full heap; -inf semantics are represented by a large negative number so
+// zero-scored documents still enter an unfilled heap.
+func (t *topK) threshold() float64 {
+	if len(t.h) < t.k {
+		return -1
+	}
+	return t.h[0].Score
+}
+
+// offer inserts the document if it qualifies; reports whether the heap
+// changed.
+func (t *topK) offer(doc uint32, score float64) bool {
+	if len(t.h) < t.k {
+		heap.Push(&t.h, Hit{Local: doc, Score: score})
+		return true
+	}
+	min := t.h[0]
+	if score > min.Score || (score == min.Score && doc < min.Local) {
+		t.h[0] = Hit{Local: doc, Score: score}
+		heap.Fix(&t.h, 0)
+		return true
+	}
+	return false
+}
+
+// hits drains the heap into a descending-score slice with global doc IDs
+// resolved.
+func (t *topK) hits(s *index.Shard) []Hit {
+	out := make([]Hit, len(t.h))
+	copy(out, t.h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Local < out[j].Local
+	})
+	for i := range out {
+		out[i].Doc = s.GlobalDoc(out[i].Local)
+	}
+	return out
+}
+
+// hitHeap orders hits worst-first (min score; among equal scores, the
+// larger doc ID is evicted first).
+type hitHeap []Hit
+
+func (h hitHeap) Len() int { return len(h) }
+func (h hitHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Local > h[j].Local
+}
+func (h hitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hitHeap) Push(x interface{}) { *h = append(*h, x.(Hit)) }
+func (h *hitHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,46 @@
+package search
+
+import (
+	"sort"
+
+	"cottage/internal/index"
+)
+
+// TAAT evaluates the query term-at-a-time: each term's postings are
+// scanned in full, accumulating partial scores per document, and the
+// top-K is selected from the accumulators at the end. TAAT is the other
+// classic evaluation order (Turtle & Flood compare both); it trades the
+// DAAT family's pruning opportunities for perfectly sequential postings
+// access. The engine's experiments use DAAT/MaxScore; TAAT exists for the
+// pruning ablation benchmarks and as a third independent oracle in the
+// cross-strategy equivalence tests.
+func TAAT(s *index.Shard, terms []string, k int) Result {
+	cs := openCursors(s, terms)
+	var st ExecStats
+	st.TermsMatched = len(cs)
+	if len(cs) == 0 || k <= 0 {
+		return Result{Stats: st}
+	}
+	acc := make(map[uint32]float64)
+	for _, c := range cs {
+		for _, p := range c.ti.Postings {
+			acc[p.Doc] += s.TermScore(c.ti, p)
+			st.PostingsTraversed++
+		}
+	}
+	st.DocsScored = len(acc)
+	tk := newTopK(k)
+	// Deterministic iteration: offer in ascending document order so the
+	// tie-break behaviour matches the DAAT evaluators.
+	docs := make([]uint32, 0, len(acc))
+	for d := range acc {
+		docs = append(docs, d)
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+	for _, d := range docs {
+		if tk.offer(d, acc[d]) {
+			st.HeapInserts++
+		}
+	}
+	return Result{Hits: tk.hits(s), Stats: st}
+}

@@ -1,0 +1,184 @@
+package search
+
+import (
+	"sort"
+
+	"cottage/internal/index"
+)
+
+// WeightedTerm is a query term with a personalization weight, the
+// extension the paper sketches as future work (Section III-B: "we will
+// give personalized term-weights for each person based on the user
+// profile"). A document's score is the weighted sum of its per-term BM25
+// contributions. Weights must be positive; a weight of 1 reproduces the
+// unweighted evaluators exactly.
+type WeightedTerm struct {
+	Text   string
+	Weight float64
+}
+
+// Uniform wraps plain terms with weight 1.
+func Uniform(terms []string) []WeightedTerm {
+	out := make([]WeightedTerm, len(terms))
+	for i, t := range terms {
+		out[i] = WeightedTerm{Text: t, Weight: 1}
+	}
+	return out
+}
+
+// wcursor pairs a postings cursor with its term weight.
+type wcursor struct {
+	cursor
+	weight float64
+}
+
+func openWeightedCursors(s *index.Shard, terms []WeightedTerm) []*wcursor {
+	var cs []*wcursor
+	seen := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		if t.Weight <= 0 {
+			panic("search: weighted term with non-positive weight")
+		}
+		// Duplicate terms accumulate weight, matching how a scorer would
+		// fold repeated personalization signals.
+		seen[t.Text] += t.Weight
+	}
+	// Deterministic order regardless of map iteration.
+	uniq := make([]WeightedTerm, 0, len(seen))
+	for _, t := range terms {
+		if w, ok := seen[t.Text]; ok {
+			uniq = append(uniq, WeightedTerm{Text: t.Text, Weight: w})
+			delete(seen, t.Text)
+		}
+	}
+	for _, t := range uniq {
+		if ti, ok := s.Lookup(t.Text); ok {
+			cs = append(cs, &wcursor{cursor: cursor{ti: ti}, weight: t.Weight})
+		}
+	}
+	return cs
+}
+
+// canonicalWeightedScore recomputes a document's full weighted score in
+// cursor order, so both weighted evaluators assign identical floats.
+func canonicalWeightedScore(s *index.Shard, cs []*wcursor, doc uint32) float64 {
+	score := 0.0
+	for _, c := range cs {
+		ps := c.ti.Postings
+		i := index.Seek(ps, doc)
+		if i < len(ps) && ps[i].Doc == doc {
+			score += c.weight * s.TermScore(c.ti, ps[i])
+		}
+	}
+	return score
+}
+
+// ExhaustiveWeighted evaluates a weighted query with a full DAAT merge.
+func ExhaustiveWeighted(s *index.Shard, terms []WeightedTerm, k int) Result {
+	cs := openWeightedCursors(s, terms)
+	var st ExecStats
+	st.TermsMatched = len(cs)
+	if len(cs) == 0 || k <= 0 {
+		return Result{Stats: st}
+	}
+	tk := newTopK(k)
+	for {
+		minDoc := uint32(0)
+		live := false
+		for _, c := range cs {
+			if c.exhausted() {
+				continue
+			}
+			if !live || c.doc() < minDoc {
+				minDoc = c.doc()
+				live = true
+			}
+		}
+		if !live {
+			break
+		}
+		score := 0.0
+		for _, c := range cs {
+			if !c.exhausted() && c.doc() == minDoc {
+				score += c.weight * s.TermScore(c.ti, c.posting())
+				c.pos++
+				st.PostingsTraversed++
+			}
+		}
+		st.DocsScored++
+		if tk.offer(minDoc, score) {
+			st.HeapInserts++
+		}
+	}
+	return Result{Hits: tk.hits(s), Stats: st}
+}
+
+// MaxScoreWeighted evaluates a weighted query with the MaxScore
+// optimization; per-list upper bounds are weight × the term's max score.
+func MaxScoreWeighted(s *index.Shard, terms []WeightedTerm, k int) Result {
+	cs := openWeightedCursors(s, terms)
+	var st ExecStats
+	st.TermsMatched = len(cs)
+	if len(cs) == 0 || k <= 0 {
+		return Result{Stats: st}
+	}
+	ub := func(c *wcursor) float64 { return c.weight * c.ti.Stats.MaxScore }
+	sort.Slice(cs, func(i, j int) bool { return ub(cs[i]) < ub(cs[j]) })
+	m := len(cs)
+	prefix := make([]float64, m)
+	acc := 0.0
+	for i, c := range cs {
+		acc += ub(c)
+		prefix[i] = acc
+	}
+	tk := newTopK(k)
+	first := 0
+	for first < m {
+		minDoc := uint32(0)
+		live := false
+		for _, c := range cs[first:] {
+			if c.exhausted() {
+				continue
+			}
+			if !live || c.doc() < minDoc {
+				minDoc = c.doc()
+				live = true
+			}
+		}
+		if !live {
+			break
+		}
+		score := 0.0
+		for _, c := range cs[first:] {
+			if !c.exhausted() && c.doc() == minDoc {
+				score += c.weight * s.TermScore(c.ti, c.posting())
+				c.pos++
+				st.PostingsTraversed++
+			}
+		}
+		st.DocsScored++
+		theta := tk.threshold()
+		ok := true
+		for j := first - 1; j >= 0; j-- {
+			if score+prefix[j] <= theta {
+				ok = false
+				break
+			}
+			c := cs[j]
+			if c.seek(minDoc) {
+				score += c.weight * s.TermScore(c.ti, c.posting())
+			}
+			st.PostingsTraversed++
+		}
+		if ok && score > theta {
+			if tk.offer(minDoc, canonicalWeightedScore(s, cs, minDoc)) {
+				st.HeapInserts++
+			}
+		}
+		theta = tk.threshold()
+		for first < m && prefix[first] <= theta {
+			first++
+		}
+	}
+	return Result{Hits: tk.hits(s), Stats: st}
+}

@@ -1,0 +1,137 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"cottage/internal/xrand"
+)
+
+func TestWeightOneMatchesUnweighted(t *testing.T) {
+	s := buildShard(t, 41, 2500)
+	for _, q := range queries() {
+		// Duplicate terms intentionally differ: the unweighted path
+		// collapses them, the weighted path accumulates weight.
+		if hasDuplicate(q) {
+			continue
+		}
+		for _, k := range []int{1, 5, 20} {
+			plain := Exhaustive(s, q, k)
+			weighted := ExhaustiveWeighted(s, Uniform(q), k)
+			if !sameScores(scoreMultiset(plain), scoreMultiset(weighted), 1e-12) {
+				t.Fatalf("weight-1 exhaustive differs for %v k=%d", q, k)
+			}
+			wms := MaxScoreWeighted(s, Uniform(q), k)
+			if !sameScores(scoreMultiset(plain), scoreMultiset(wms), 1e-9) {
+				t.Fatalf("weight-1 maxscore differs for %v k=%d", q, k)
+			}
+		}
+	}
+}
+
+func hasDuplicate(q []string) bool {
+	seen := map[string]bool{}
+	for _, t := range q {
+		if seen[t] {
+			return true
+		}
+		seen[t] = true
+	}
+	return false
+}
+
+func TestWeightedStrategiesAgree(t *testing.T) {
+	s := buildShard(t, 43, 2000)
+	rng := xrand.New(77)
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(4)
+		q := make([]WeightedTerm, n)
+		for i := range q {
+			q[i] = WeightedTerm{Text: term(rng.Intn(300)), Weight: 0.25 + 3*rng.Float64()}
+		}
+		k := 1 + rng.Intn(15)
+		a := ExhaustiveWeighted(s, q, k)
+		b := MaxScoreWeighted(s, q, k)
+		if !sameScores(scoreMultiset(a), scoreMultiset(b), 1e-9) {
+			t.Fatalf("trial %d: weighted maxscore mismatch for %+v k=%d", trial, q, k)
+		}
+	}
+}
+
+func TestWeightsChangeRanking(t *testing.T) {
+	s := buildShard(t, 47, 2500)
+	q := []string{"wa", "wdp"}
+	base := Exhaustive(s, q, 10)
+	// Heavily up-weight the rare term: documents containing it should
+	// dominate the top-K.
+	boosted := ExhaustiveWeighted(s, []WeightedTerm{
+		{Text: "wa", Weight: 1},
+		{Text: "wdp", Weight: 50},
+	}, 10)
+	if len(base.Hits) == 0 || len(boosted.Hits) == 0 {
+		t.Skip("terms missing from this shard")
+	}
+	// The boosted top hit must contain the rare term.
+	ti, ok := s.Lookup("wdp")
+	if !ok {
+		t.Skip("rare term absent")
+	}
+	present := false
+	for _, p := range ti.Postings {
+		if p.Doc == boosted.Hits[0].Local {
+			present = true
+			break
+		}
+	}
+	if !present {
+		t.Error("top boosted hit does not contain the up-weighted term")
+	}
+	// Scores scale: uniform weight w multiplies every score by w.
+	scaled := ExhaustiveWeighted(s, []WeightedTerm{
+		{Text: "wa", Weight: 2},
+		{Text: "wdp", Weight: 2},
+	}, 10)
+	for i := range base.Hits {
+		if math.Abs(scaled.Hits[i].Score-2*base.Hits[i].Score) > 1e-9 {
+			t.Fatalf("uniform scaling broken at hit %d", i)
+		}
+	}
+}
+
+func TestWeightedDuplicateTermsAccumulate(t *testing.T) {
+	s := buildShard(t, 53, 1000)
+	a := ExhaustiveWeighted(s, []WeightedTerm{{Text: "wa", Weight: 1}, {Text: "wa", Weight: 1}}, 5)
+	b := ExhaustiveWeighted(s, []WeightedTerm{{Text: "wa", Weight: 2}}, 5)
+	if !sameScores(scoreMultiset(a), scoreMultiset(b), 1e-12) {
+		t.Error("duplicate weighted terms should accumulate")
+	}
+}
+
+func TestWeightedPanicsOnNonPositive(t *testing.T) {
+	s := buildShard(t, 59, 200)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero weight")
+		}
+	}()
+	ExhaustiveWeighted(s, []WeightedTerm{{Text: "wa", Weight: 0}}, 5)
+}
+
+func TestWeightedEmpty(t *testing.T) {
+	s := buildShard(t, 61, 200)
+	if r := ExhaustiveWeighted(s, nil, 10); len(r.Hits) != 0 {
+		t.Error("empty weighted query should return nothing")
+	}
+	if r := MaxScoreWeighted(s, []WeightedTerm{{Text: "missing", Weight: 1}}, 10); len(r.Hits) != 0 {
+		t.Error("absent weighted term should return nothing")
+	}
+}
+
+func BenchmarkMaxScoreWeighted(b *testing.B) {
+	s := buildShard(b, 9, 10000)
+	q := []WeightedTerm{{Text: "wa", Weight: 1.5}, {Text: "wb", Weight: 0.7}, {Text: "wc", Weight: 2}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MaxScoreWeighted(s, q, 10)
+	}
+}

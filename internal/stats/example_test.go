@@ -1,0 +1,29 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"cottage/internal/stats"
+)
+
+// ExampleFitGamma fits a Gamma distribution to a score sample the way the
+// Taily baseline models per-term score distributions.
+func ExampleFitGamma() {
+	scores := []float64{1, 1, 2, 2, 2, 3, 3, 4, 5, 9}
+	g, err := stats.FitGamma(scores)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mean %.1f, P(X > 6) = %.3f\n", g.Mean(), g.TailProb(6))
+	// Output:
+	// mean 3.2, P(X > 6) = 0.112
+}
+
+// ExampleSummarize computes the descriptive summary that feeds the
+// Table I quality features.
+func ExampleSummarize() {
+	s := stats.Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	fmt.Printf("mean %.1f median %.1f max %.0f\n", s.Mean, s.Median, s.Max)
+	// Output:
+	// mean 5.0 median 4.5 max 9
+}

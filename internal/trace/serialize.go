@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// traceWire versions the on-disk format.
+type traceWire struct {
+	Version int
+	Queries []Query
+}
+
+const wireVersion = 1
+
+// Save serializes a trace with encoding/gob.
+func Save(w io.Writer, qs []Query) error {
+	return gob.NewEncoder(w).Encode(traceWire{Version: wireVersion, Queries: qs})
+}
+
+// Load deserializes a trace written by Save.
+func Load(r io.Reader) ([]Query, error) {
+	var w traceWire
+	if err := gob.NewDecoder(r).Decode(&w); err != nil {
+		return nil, fmt.Errorf("trace: decoding: %w", err)
+	}
+	if w.Version != wireVersion {
+		return nil, fmt.Errorf("trace: unsupported trace version %d", w.Version)
+	}
+	prev := -1.0
+	for i, q := range w.Queries {
+		if q.ArrivalMS < prev {
+			return nil, fmt.Errorf("trace: arrivals out of order at query %d", i)
+		}
+		if len(q.Terms) == 0 {
+			return nil, fmt.Errorf("trace: query %d has no terms", i)
+		}
+		prev = q.ArrivalMS
+	}
+	return w.Queries, nil
+}
+
+// SaveFile writes a trace to path.
+func SaveFile(path string, qs []Query) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := Save(bw, qs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a trace written by SaveFile.
+func LoadFile(path string) ([]Query, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cottage/internal/textgen"
+)
+
+func testCorpus() *textgen.Corpus {
+	cfg := textgen.DefaultConfig()
+	cfg.NumDocs = 500
+	cfg.VocabSize = 2000
+	cfg.NumTopics = 8
+	cfg.TopicTermCount = 100
+	return textgen.Generate(cfg)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := testCorpus()
+	cfg := Config{Kind: Wikipedia, Seed: 9, NumQueries: 200, QPS: 10}
+	a := Generate(c, cfg)
+	b := Generate(c, cfg)
+	for i := range a {
+		if a[i].ArrivalMS != b[i].ArrivalMS || len(a[i].Terms) != len(b[i].Terms) {
+			t.Fatalf("query %d differs across runs", i)
+		}
+		for j := range a[i].Terms {
+			if a[i].Terms[j] != b[i].Terms[j] {
+				t.Fatalf("query %d term %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestArrivalsMonotoneAndPoisson(t *testing.T) {
+	c := testCorpus()
+	qs := Generate(c, Config{Kind: Wikipedia, Seed: 1, NumQueries: 5000, QPS: 10})
+	prev := -1.0
+	for _, q := range qs {
+		if q.ArrivalMS <= prev {
+			t.Fatal("arrivals not strictly increasing")
+		}
+		prev = q.ArrivalMS
+	}
+	// Mean gap should be ~100 ms at 10 QPS.
+	meanGap := DurationMS(qs) / float64(len(qs))
+	if math.Abs(meanGap-100) > 10 {
+		t.Errorf("mean inter-arrival %v ms, want ~100", meanGap)
+	}
+}
+
+func TestQueryShape(t *testing.T) {
+	c := testCorpus()
+	for _, kind := range []Kind{Wikipedia, Lucene} {
+		qs := Generate(c, Config{Kind: kind, Seed: 2, NumQueries: 2000, QPS: 10})
+		lenCounts := make(map[int]int)
+		for i, q := range qs {
+			if q.ID != i {
+				t.Fatalf("%v: query %d has ID %d", kind, i, q.ID)
+			}
+			if len(q.Terms) < 1 || len(q.Terms) > 4 {
+				t.Fatalf("%v: query length %d out of range", kind, len(q.Terms))
+			}
+			seen := map[string]bool{}
+			for _, term := range q.Terms {
+				if term == "" {
+					t.Fatalf("%v: empty term", kind)
+				}
+				if seen[term] {
+					t.Fatalf("%v: duplicate term in query", kind)
+				}
+				seen[term] = true
+			}
+			lenCounts[len(q.Terms)]++
+		}
+		for l := 1; l <= 4; l++ {
+			if lenCounts[l] == 0 {
+				t.Errorf("%v: no queries of length %d", kind, l)
+			}
+		}
+	}
+}
+
+func TestKindsDiffer(t *testing.T) {
+	c := testCorpus()
+	wiki := Generate(c, Config{Kind: Wikipedia, Seed: 3, NumQueries: 3000, QPS: 10})
+	luc := Generate(c, Config{Kind: Lucene, Seed: 3, NumQueries: 3000, QPS: 10})
+	wSingle, lSingle := 0, 0
+	for _, q := range wiki {
+		if len(q.Terms) == 1 {
+			wSingle++
+		}
+	}
+	for _, q := range luc {
+		if len(q.Terms) == 1 {
+			lSingle++
+		}
+	}
+	// Wikipedia profile is more single-term heavy.
+	if wSingle <= lSingle {
+		t.Errorf("wiki single-term %d should exceed lucene %d", wSingle, lSingle)
+	}
+}
+
+func TestTermPopularitySkewed(t *testing.T) {
+	c := testCorpus()
+	qs := Generate(c, Config{Kind: Wikipedia, Seed: 4, NumQueries: 5000, QPS: 10})
+	freq := map[string]int{}
+	total := 0
+	for _, q := range qs {
+		for _, term := range q.Terms {
+			freq[term]++
+			total++
+		}
+	}
+	max := 0
+	for _, n := range freq {
+		if n > max {
+			max = n
+		}
+	}
+	// The most popular term should appear in well over its uniform share.
+	if float64(max) < 5*float64(total)/float64(len(freq)) {
+		t.Errorf("term popularity too flat: max %d of %d over %d distinct", max, total, len(freq))
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	c := testCorpus()
+	qs := Generate(c, Config{Kind: Wikipedia, Seed: 5, NumQueries: 100, QPS: 10})
+	train, test := TrainTestSplit(qs, 0.8)
+	if len(train) != 80 || len(test) != 20 {
+		t.Fatalf("split sizes %d/%d", len(train), len(test))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad frac should panic")
+			}
+		}()
+		TrainTestSplit(qs, 1.5)
+	}()
+}
+
+func TestGeneratePanics(t *testing.T) {
+	c := testCorpus()
+	for i, cfg := range []Config{
+		{Kind: Wikipedia, NumQueries: 0, QPS: 1},
+		{Kind: Wikipedia, NumQueries: 10, QPS: 0},
+		{Kind: Kind(42), NumQueries: 10, QPS: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d should panic", i)
+				}
+			}()
+			Generate(c, cfg)
+		}()
+	}
+}
+
+func TestDurationEmpty(t *testing.T) {
+	if DurationMS(nil) != 0 {
+		t.Error("empty trace duration should be 0")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Wikipedia.String() != "wikipedia" || Lucene.String() != "lucene" || Kind(9).String() != "unknown" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	c := testCorpus()
+	cfg := Config{Kind: Wikipedia, Seed: 1, NumQueries: 1000, QPS: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Generate(c, cfg)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := testCorpus()
+	qs := Generate(c, Config{Kind: Wikipedia, Seed: 8, NumQueries: 150, QPS: 20})
+	path := t.TempDir() + "/trace.gob"
+	if err := SaveFile(path, qs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(qs) {
+		t.Fatalf("round trip lost queries: %d vs %d", len(got), len(qs))
+	}
+	for i := range qs {
+		if got[i].ArrivalMS != qs[i].ArrivalMS || len(got[i].Terms) != len(qs[i].Terms) {
+			t.Fatalf("query %d differs", i)
+		}
+		for j := range qs[i].Terms {
+			if got[i].Terms[j] != qs[i].Terms[j] {
+				t.Fatalf("query %d term %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsBadTraces(t *testing.T) {
+	// Out-of-order arrivals.
+	var buf bytes.Buffer
+	bad := []Query{{ID: 0, Terms: []string{"a"}, ArrivalMS: 10}, {ID: 1, Terms: []string{"b"}, ArrivalMS: 5}}
+	if err := Save(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Error("out-of-order trace should fail to load")
+	}
+	// Empty terms.
+	buf.Reset()
+	if err := Save(&buf, []Query{{ID: 0, ArrivalMS: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Error("empty-terms trace should fail to load")
+	}
+	// Garbage bytes.
+	if _, err := Load(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("garbage should fail to load")
+	}
+}

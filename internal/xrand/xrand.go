@@ -1,0 +1,223 @@
+// Package xrand provides a deterministic, splittable pseudo-random number
+// generator plus the handful of non-uniform distributions the rest of the
+// repository needs (Zipf, Gamma, log-normal, Poisson, exponential).
+//
+// Every experiment in this repository must be reproducible from a seed, and
+// independent subsystems (corpus generation, trace generation, network
+// jitter, ...) must not perturb each other's random streams. math/rand's
+// global source satisfies neither requirement, so we use a SplitMix64 core:
+// it is tiny, passes BigCrush, and splits cleanly — Split derives an
+// independent child stream from a parent without consuming more than one
+// value of the parent's sequence.
+package xrand
+
+import "math"
+
+// RNG is a SplitMix64 pseudo-random number generator. The zero value is a
+// valid generator seeded with 0; prefer New so related seeds don't produce
+// correlated streams.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Two generators with different
+// seeds — even adjacent integers — produce unrelated streams because the
+// output function mixes the counter through two rounds of multiplication
+// and xor-shift.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// golden gamma: the SplitMix64 counter increment.
+const golden = 0x9e3779b97f4a7c15
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += golden
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split derives a new generator whose stream is statistically independent of
+// the parent's. The parent advances by exactly one step, so inserting or
+// removing Split calls does not shift unrelated streams.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64()}
+}
+
+// SplitName derives a child generator keyed by a string label, so subsystems
+// can be given stable streams by name regardless of the order in which they
+// are created.
+func (r *RNG) SplitName(name string) *RNG {
+	h := r.state + golden // do not advance the parent
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 0x100000001b3
+	}
+	child := &RNG{state: h}
+	child.Uint64() // decorrelate from the raw hash
+	return child
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative 63-bit value.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes s in place using the Fisher-Yates algorithm.
+func Shuffle[T any](r *RNG, s []T) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	// 1 - Float64() is in (0, 1], so the log is finite.
+	return -math.Log(1 - r.Float64())
+}
+
+// LogNormal returns exp(N(mu, sigma)).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Poisson returns a Poisson variate with the given mean, using Knuth's
+// product method for small means and a normal approximation above 30 (the
+// approximation error there is far below anything our workloads notice).
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := mean + math.Sqrt(mean)*r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Gamma returns a Gamma(shape, scale) variate using the Marsaglia–Tsang
+// squeeze method (with the standard shape<1 boost).
+func (r *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("xrand: Gamma requires positive shape and scale")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Zipf draws integers from [0, n) with P(k) proportional to 1/(k+1)^s.
+// It precomputes the CDF once, so draws are O(log n).
+type Zipf struct {
+	rng *RNG
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(rng *RNG, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// Draw returns the next rank.
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	// Binary search for the first CDF entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the number of ranks the sampler draws from.
+func (z *Zipf) N() int { return len(z.cdf) }
