@@ -1,0 +1,39 @@
+# Developer entry points. `make check` is the full pre-merge gate:
+# vet + build + race-enabled tests + a fuzz smoke pass over the wire
+# codec. Tier-1 CI runs `make test`.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race fuzz-smoke corpus check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The harness package replays every experiment; under the race detector
+# it needs more than `go test`'s default 10-minute package timeout.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# Each fuzz target gets a short budget; any panic in the gob decode path
+# is a remote crash, so this runs on every check.
+fuzz-smoke:
+	$(GO) test ./internal/rpc/ -run '^$$' -fuzz FuzzDecodeRequest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/rpc/ -run '^$$' -fuzz FuzzDecodeResponse -fuzztime $(FUZZTIME)
+
+# Regenerate the checked-in fuzz seed corpus after wire-format changes.
+corpus:
+	$(GO) run ./tools/gencorpus
+
+check: vet build race fuzz-smoke
+
+clean:
+	$(GO) clean ./...

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"cottage/internal/core"
 	"cottage/internal/rpc"
 	"cottage/internal/search"
 	"cottage/internal/trace"
@@ -36,6 +37,10 @@ func main() {
 		speedup   = flag.Float64("speedup", 1, "replay the trace this many times faster than recorded")
 		k         = flag.Int("k", 10, "results per query")
 		compare   = flag.Bool("compare", false, "run both protocols and report overlap")
+		retries   = flag.Int("retries", 2, "transport retries per request (reconnect + capped exponential backoff)")
+		hedgeMS   = flag.Float64("hedge-after-ms", 0, "issue a hedged duplicate request after this many ms (0 = off)")
+		timeoutMS = flag.Float64("timeout-ms", 2000, "per-round-trip timeout in ms (0 = none)")
+		degraded  = flag.String("degraded", "exclude", "budget policy for ISNs with missing predictions: exclude|conservative")
 	)
 	flag.Parse()
 	if *servers == "" || (*queries == "" && *tracePath == "") {
@@ -45,17 +50,37 @@ func main() {
 
 	var clients []*rpc.Client
 	for _, addr := range strings.Split(*servers, ",") {
-		c, err := rpc.Dial(strings.TrimSpace(addr))
+		addr = strings.TrimSpace(addr)
+		c, err := rpc.Dial(addr)
 		if err != nil {
-			log.Fatal(err)
+			// Not fatal: treat an ISN that is down at startup like one
+			// that dies later — every call redials through the retry
+			// path, and the aggregator degrades around it meanwhile.
+			log.Printf("warning: %s unreachable: %v (will redial per request)", addr, err)
+			c = rpc.Offline(addr)
 		}
 		defer c.Close()
+		if *timeoutMS > 0 {
+			c.SetTimeout(time.Duration(*timeoutMS * float64(time.Millisecond)))
+		}
+		c.SetRetryPolicy(rpc.RetryPolicy{Max: *retries})
 		if err := c.Ping(); err != nil {
-			log.Fatalf("%s: %v", addr, err)
+			// Not fatal: the aggregator degrades around unhealthy ISNs
+			// per query, and retries may yet bring this one back.
+			log.Printf("warning: %s unhealthy: %v", addr, err)
 		}
 		clients = append(clients, c)
 	}
 	agg := rpc.NewAggregator(clients, *k)
+	agg.HedgeAfter = time.Duration(*hedgeMS * float64(time.Millisecond))
+	switch *degraded {
+	case "exclude":
+		agg.Degraded = core.DegradedExclude
+	case "conservative":
+		agg.Degraded = core.DegradedConservative
+	default:
+		log.Fatalf("unknown degraded mode %q", *degraded)
+	}
 
 	var queryList [][]string
 	var arrivals []float64
@@ -117,9 +142,13 @@ func main() {
 		elapsed := time.Since(start)
 		totalMS += float64(elapsed.Microseconds()) / 1000
 		n++
-		fmt.Printf("%-40s %3d hits  %2d ISNs  budget %6.2f ms  %8.3f ms\n",
+		failed := ""
+		if len(res.Failed) > 0 {
+			failed = fmt.Sprintf("  DEGRADED (ISNs %v down)", res.Failed)
+		}
+		fmt.Printf("%-40s %3d hits  %2d ISNs  budget %6.2f ms  %8.3f ms%s\n",
 			strings.Join(terms, " "), len(res.Hits), len(res.Selected), res.BudgetMS,
-			float64(elapsed.Microseconds())/1000)
+			float64(elapsed.Microseconds())/1000, failed)
 		if *compare {
 			exh, err := agg.SearchExhaustive(terms)
 			if err != nil {
@@ -141,4 +170,8 @@ func main() {
 		fmt.Printf(", mean overlap %.3f", overlapSum/float64(n))
 	}
 	fmt.Println()
+	if st := agg.Stats(); st.Retries > 0 || st.Hedges > 0 {
+		fmt.Printf("transport: %d retries, %d hedges (%d won, %d cancelled)\n",
+			st.Retries, st.Hedges, st.HedgeWins, st.HedgesCancelled)
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"net"
 	"os"
 
+	"cottage/internal/faults"
 	"cottage/internal/index"
 	"cottage/internal/predict"
 	"cottage/internal/rpc"
@@ -25,6 +26,9 @@ func main() {
 		modelPath = flag.String("model", "", "path to a .model file (optional)")
 		listen    = flag.String("listen", ":7001", "listen address")
 		strategy  = flag.String("strategy", "maxscore", "evaluation strategy: exhaustive|maxscore|wand")
+		failRate  = flag.Float64("fail-rate", 0, "inject: probability each response write is dropped (connection cut)")
+		slowMS    = flag.Float64("slow-ms", 0, "inject: fixed extra delay per response write, in milliseconds")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for the injected fault schedule (replayable)")
 	)
 	flag.Parse()
 	if *shardPath == "" {
@@ -70,6 +74,16 @@ func main() {
 	}
 	log.Printf("serving on %s", l.Addr())
 	srv := &rpc.Server{Shard: shard, Pred: pred, Strategy: strat}
+	if *failRate > 0 || *slowMS > 0 {
+		// Chaos mode: the injector mangles this ISN's response stream so
+		// aggregator-side retries/hedging can be exercised against a real
+		// process. The seed makes a fault schedule replayable.
+		in := faults.NewInjector(*faultSeed)
+		in.SetPlan(0, faults.Plan{DropProb: *failRate, SlowMS: *slowMS})
+		srv.Faults = in
+		l = faults.WrapListener(l, in, 0)
+		log.Printf("fault injection on: drop prob %.2f, slow %.1f ms (seed %d)", *failRate, *slowMS, *faultSeed)
+	}
 	if err := srv.Serve(l); err != nil {
 		log.Fatal(err)
 	}

@@ -140,6 +140,18 @@ type ISN struct {
 	// latency predictors absorb it because each ISN's model is trained on
 	// its own observed service costs.
 	SpeedFactor float64
+	// Failed marks the node dead: it answers neither predictions nor
+	// searches, and requests routed to it are lost until the aggregator's
+	// failure-detection timeout. Fault state is configuration, not
+	// accumulated statistics — Reset keeps it so an availability sweep
+	// can inject failures once and replay many policies (ClearFaults
+	// undoes injection).
+	Failed bool
+	// ExtraDelayMS is injected per-request latency (a virtual-time
+	// straggler: GC pause, noisy neighbour, degraded disk). It is charged
+	// as busy time at the serving frequency — the node burns power while
+	// it limps.
+	ExtraDelayMS float64
 	// freeAtMS[w] is when worker w finishes its current backlog. The
 	// paper's ISNs are multithreaded Solr instances; WorkersPerISN > 1
 	// lets an ISN serve that many queries concurrently (each worker is
@@ -169,7 +181,13 @@ type Cluster struct {
 	Net     Network
 	Meter   *power.Meter
 	InferMS float64 // per-query predictor inference time charged at the ISN
-	nowMS   float64 // latest event time observed, for horizon accounting
+	// FailTimeoutMS is the aggregator's failure-detection timeout: how
+	// long it waits for an ISN that will never answer before giving up,
+	// when no tighter per-query budget applies (budgeted queries give up
+	// at the budget). Real aggregators detect dead peers with TCP
+	// resets/heartbeats in tens of milliseconds.
+	FailTimeoutMS float64
+	nowMS         float64 // latest event time observed, for horizon accounting
 }
 
 // Config assembles a Cluster.
@@ -186,6 +204,8 @@ type Config struct {
 	// WorkersPerISN is each ISN's concurrency (default 1). Each busy
 	// worker is charged as one active core.
 	WorkersPerISN int
+	// FailTimeoutMS overrides the failure-detection timeout (default 100).
+	FailTimeoutMS float64
 }
 
 // DefaultConfig returns a 16-ISN cluster matching the paper's deployment.
@@ -209,11 +229,15 @@ func New(cfg Config) *Cluster {
 		panic(err)
 	}
 	c := &Cluster{
-		Ladder:  cfg.Ladder,
-		Cost:    cfg.Cost,
-		Net:     cfg.Net,
-		Meter:   power.NewMeter(cfg.Power),
-		InferMS: cfg.InferMS,
+		Ladder:        cfg.Ladder,
+		Cost:          cfg.Cost,
+		Net:           cfg.Net,
+		Meter:         power.NewMeter(cfg.Power),
+		InferMS:       cfg.InferMS,
+		FailTimeoutMS: cfg.FailTimeoutMS,
+	}
+	if c.FailTimeoutMS <= 0 {
+		c.FailTimeoutMS = 100
 	}
 	workers := cfg.WorkersPerISN
 	if workers <= 0 {
@@ -227,6 +251,37 @@ func New(cfg Config) *Cluster {
 		c.ISNs = append(c.ISNs, &ISN{ID: i, SpeedFactor: speed, freeAtMS: make([]float64, workers)})
 	}
 	return c
+}
+
+// FailISN marks an ISN dead (see ISN.Failed).
+func (c *Cluster) FailISN(isn int) { c.ISNs[isn].Failed = true }
+
+// ReviveISN brings a failed ISN back.
+func (c *Cluster) ReviveISN(isn int) { c.ISNs[isn].Failed = false }
+
+// IsFailed reports whether an ISN is currently dead.
+func (c *Cluster) IsFailed(isn int) bool { return c.ISNs[isn].Failed }
+
+// FailedCount returns how many ISNs are currently dead.
+func (c *Cluster) FailedCount() int {
+	n := 0
+	for _, node := range c.ISNs {
+		if node.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// SetExtraDelayMS injects a per-request virtual-time slowdown on an ISN.
+func (c *Cluster) SetExtraDelayMS(isn int, ms float64) { c.ISNs[isn].ExtraDelayMS = ms }
+
+// ClearFaults removes all injected failures and slowdowns.
+func (c *Cluster) ClearFaults() {
+	for _, node := range c.ISNs {
+		node.Failed = false
+		node.ExtraDelayMS = 0
+	}
 }
 
 // EffectiveCycles returns the cycle cost of a request on ISN isn,
@@ -275,7 +330,11 @@ type Execution struct {
 	ServiceMS float64 // actual busy time charged
 	Freq      float64
 	Completed bool // false if the deadline truncated the work
-	QueueMS   float64
+	// Failed marks a request sent to a dead ISN: no work was done and no
+	// response will ever arrive (the aggregator waits out its
+	// failure-detection timeout instead of the response).
+	Failed  bool
+	QueueMS float64
 }
 
 // Execute schedules a request on ISN isn: it arrives at tMS (aggregator
@@ -293,12 +352,17 @@ func (c *Cluster) Execute(isn int, tMS, cycles, f, deadlineMS float64) Execution
 	}
 	node := c.ISNs[isn]
 	arrive := tMS + c.Net.AggToISNMS
+	if node.Failed {
+		// The request is lost; the node does no work and burns no power.
+		c.observe(arrive)
+		return Execution{ISN: isn, StartMS: arrive, FinishMS: arrive, Freq: f, Failed: true}
+	}
 	worker := node.earliestWorker()
 	start := arrive
 	if node.freeAtMS[worker] > start {
 		start = node.freeAtMS[worker]
 	}
-	full := ServiceMS(cycles, f)
+	full := ServiceMS(cycles, f) + node.ExtraDelayMS
 	finish := start + full
 	busy := full
 	completed := true

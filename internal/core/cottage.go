@@ -88,23 +88,12 @@ type BudgetOptions struct {
 // ladder frequency that meets it.
 func DetermineBudget(reports []ISNReport, ladder cluster.Ladder, opts BudgetOptions) BudgetResult {
 	var res BudgetResult
-	// Stage 1: rank by quality, cut zero-contribution ISNs.
-	cands := make([]ISNReport, 0, len(reports))
-	for _, r := range reports {
-		if !r.HasK {
-			res.Cut = append(res.Cut, r.ISN)
-			continue
-		}
-		cands = append(cands, r)
-	}
+	cands := stage1Cut(reports, &res)
 	if len(cands) == 0 {
 		res.BudgetMS = math.Inf(1)
 		return res
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].ExpQK > cands[j].ExpQK })
-
 	// Stage 2: descending boosted latency; budget = first K/2 contributor.
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].LBoosted > cands[j].LBoosted })
 	T := cands[0].LBoosted
 	if !opts.StrictTopK {
 		for _, c := range cands {
@@ -114,8 +103,32 @@ func DetermineBudget(reports []ISNReport, ladder cluster.Ladder, opts BudgetOpti
 			}
 		}
 	}
-	res.BudgetMS = T
+	assignFrequencies(&res, cands, T, ladder, opts)
+	return res
+}
 
+// stage1Cut is Algorithm 1's lines 3–11: rank candidates by expected
+// quality, cut ISNs with zero predicted top-K contribution, and return
+// the survivors sorted by descending boosted latency (stage 2's order).
+func stage1Cut(reports []ISNReport, res *BudgetResult) []ISNReport {
+	cands := make([]ISNReport, 0, len(reports))
+	for _, r := range reports {
+		if !r.HasK {
+			res.Cut = append(res.Cut, r.ISN)
+			continue
+		}
+		cands = append(cands, r)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ExpQK > cands[j].ExpQK })
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].LBoosted > cands[j].LBoosted })
+	return cands
+}
+
+// assignFrequencies is Algorithm 1's assignment stage for a chosen
+// budget T: cut candidates that cannot meet T even boosted, and give the
+// rest the smallest ladder frequency that does.
+func assignFrequencies(res *BudgetResult, cands []ISNReport, T float64, ladder cluster.Ladder, opts BudgetOptions) {
+	res.BudgetMS = T
 	const eps = 1e-9
 	for _, c := range cands {
 		if c.LBoosted > T+eps {
@@ -151,7 +164,6 @@ func DetermineBudget(reports []ISNReport, ladder cluster.Ladder, opts BudgetOpti
 	}
 	sort.Slice(res.Selected, func(i, j int) bool { return res.Selected[i].ISN < res.Selected[j].ISN })
 	sort.Ints(res.Cut)
-	return res
 }
 
 // Cottage is the full coordinated policy (Fig. 5's seven steps).
@@ -183,6 +195,10 @@ type Cottage struct {
 	// contribution, so under-prediction is far costlier than the small
 	// budget slack over-prediction adds).
 	LatencyMargin float64
+	// Degraded selects how Algorithm 1 reacts when ISNs fail to deliver
+	// predictions (dead nodes in the simulated cluster): exclude them,
+	// or fall back to a conservative budget. See DegradedMode.
+	Degraded DegradedMode
 }
 
 // NewCottage returns the paper's configuration.
@@ -212,6 +228,12 @@ func reportsFromPredictions(e *engine.Engine, preds []predict.Prediction, nowMS 
 	reports := make([]ISNReport, 0, len(preds))
 	fdef, fmax := e.Cluster.Ladder.Default(), e.Cluster.Ladder.Max()
 	for isn, p := range preds {
+		// A dead ISN never answers the prediction round: its report is
+		// missing, and degraded-mode Algorithm 1 (Cottage.Degraded)
+		// decides how to optimize without it.
+		if e.Cluster.IsFailed(isn) {
+			continue
+		}
 		if !p.Matched {
 			continue
 		}
@@ -248,10 +270,10 @@ func (c *Cottage) decideFromReports(e *engine.Engine, reports []ISNReport) engin
 		CoordMS:        coordOverheadMS(e),
 		UsedPredictors: true,
 	}
-	res := DetermineBudget(reports, e.Cluster.Ladder, BudgetOptions{
+	res := DetermineBudgetDegraded(reports, e.Cluster.FailedCount(), e.Cluster.Ladder, BudgetOptions{
 		StrictTopK: c.StrictTopK,
 		Downclock:  c.Downclock,
-	})
+	}, c.Degraded)
 	if len(res.Selected) == 0 {
 		// Every candidate was cut (or nothing matched). Fall back to the
 		// highest-expected-quality ISN so the client never gets an empty

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cottage/internal/cluster"
+	"cottage/internal/xrand"
+)
+
+// randomReports draws a random but internally-consistent prediction
+// vector: each ISN gets a queue backlog and a cycle cost, from which the
+// current/boosted equivalent latencies follow (they share the queue
+// term, service scales as 1/f) — the same construction the real
+// reporting path uses.
+func randomReports(rng *xrand.RNG, ladder cluster.Ladder) []ISNReport {
+	n := 1 + rng.Intn(20)
+	reports := make([]ISNReport, n)
+	for i := range reports {
+		qk := 0
+		if rng.Float64() < 0.7 {
+			qk = 1 + rng.Intn(10)
+		}
+		qk2 := 0
+		if qk > 0 && rng.Float64() < 0.6 {
+			qk2 = 1 + rng.Intn(qk)
+		}
+		queue := 0.0
+		if rng.Float64() < 0.3 {
+			queue = rng.Float64() * 20
+		}
+		cycles := (0.5 + rng.Float64()*60) * ladder.Default() * 1e6
+		reports[i] = ISNReport{
+			ISN:        i,
+			QK:         qk,
+			QK2:        qk2,
+			HasK:       qk > 0,
+			HasK2:      qk2 > 0,
+			ExpQK:      float64(qk) * (0.5 + rng.Float64()),
+			LCurrent:   queue + cluster.ServiceMS(cycles, ladder.Default()),
+			LBoosted:   queue + cluster.ServiceMS(cycles, ladder.Max()),
+			PredCycles: cycles,
+		}
+	}
+	return reports
+}
+
+// TestDetermineBudgetProperties checks Algorithm 1's invariants over
+// randomized instances (400 instances x 4 option sets):
+//
+//  1. The budget T equals the boosted latency of some surviving
+//     candidate (it is never invented out of thin air).
+//  2. Selected and Cut partition the input exactly.
+//  3. Every cut ISN either has zero predicted top-K contribution
+//     (stage-1 cut) or cannot meet T even at max frequency (stage-2
+//     cut). Dropped ISNs never take quality with them silently.
+//  4. Every selected ISN's equivalent latency at its assigned frequency
+//     meets the budget, and assigned frequencies are on the ladder.
+func TestDetermineBudgetProperties(t *testing.T) {
+	ladder := cluster.DefaultLadder()
+	rng := xrand.New(20240817)
+	const eps = 1e-6
+	optSets := []BudgetOptions{
+		{},
+		{StrictTopK: true},
+		{Downclock: true},
+		{StrictTopK: true, Downclock: true},
+	}
+	for trial := 0; trial < 400; trial++ {
+		reports := randomReports(rng, ladder)
+		for _, opts := range optSets {
+			res := DetermineBudget(reports, ladder, opts)
+
+			byISN := make(map[int]ISNReport, len(reports))
+			for _, r := range reports {
+				byISN[r.ISN] = r
+			}
+
+			// (2) exact partition.
+			seen := make(map[int]bool)
+			for _, a := range res.Selected {
+				if seen[a.ISN] {
+					t.Fatalf("trial %d: ISN %d appears twice", trial, a.ISN)
+				}
+				seen[a.ISN] = true
+			}
+			for _, isn := range res.Cut {
+				if seen[isn] {
+					t.Fatalf("trial %d: ISN %d both selected and cut", trial, isn)
+				}
+				seen[isn] = true
+			}
+			if len(seen) != len(reports) {
+				t.Fatalf("trial %d: %d ISNs accounted for, want %d", trial, len(seen), len(reports))
+			}
+
+			if len(res.Selected) == 0 {
+				if !math.IsInf(res.BudgetMS, 1) {
+					t.Fatalf("trial %d: empty selection with finite budget %.2f", trial, res.BudgetMS)
+				}
+				continue
+			}
+
+			// (1) T is a surviving candidate's boosted latency.
+			anchored := false
+			for _, r := range reports {
+				if r.HasK && math.Abs(r.LBoosted-res.BudgetMS) < eps {
+					anchored = true
+					break
+				}
+			}
+			if !anchored {
+				t.Fatalf("trial %d: budget %.4f is no candidate's boosted latency", trial, res.BudgetMS)
+			}
+
+			// (3) cuts are justified.
+			for _, isn := range res.Cut {
+				r := byISN[isn]
+				if r.HasK && r.LBoosted <= res.BudgetMS+eps {
+					t.Fatalf("trial %d: ISN %d cut despite top-K contribution and meetable latency", trial, isn)
+				}
+			}
+
+			// (4) assignments meet the budget on a ladder frequency.
+			for _, a := range res.Selected {
+				r := byISN[a.ISN]
+				onLadder := false
+				for _, f := range ladder.Levels {
+					if f == a.Freq {
+						onLadder = true
+						break
+					}
+				}
+				if !onLadder {
+					t.Fatalf("trial %d: ISN %d assigned off-ladder frequency %.2f", trial, a.ISN, a.Freq)
+				}
+				if !opts.Downclock && a.Freq < ladder.Default() {
+					t.Fatalf("trial %d: ISN %d downclocked without Downclock", trial, a.ISN)
+				}
+				queue := r.LCurrent - cluster.ServiceMS(r.PredCycles, ladder.Default())
+				if queue < 0 {
+					queue = 0
+				}
+				if got := queue + cluster.ServiceMS(r.PredCycles, a.Freq); got > res.BudgetMS+eps {
+					t.Fatalf("trial %d: ISN %d misses budget at assigned freq: %.4f > %.4f",
+						trial, a.ISN, got, res.BudgetMS)
+				}
+			}
+		}
+	}
+}
+
+// TestDegradedBudgetMonotone checks the degraded-mode contract over
+// randomized instances: with missing predictions, the conservative
+// budget is always >= what full information over the same responders
+// would pick, it cuts nobody for speed (only stage-1 zero-quality
+// cuts remain), and DegradedExclude is exactly DetermineBudget.
+func TestDegradedBudgetMonotone(t *testing.T) {
+	ladder := cluster.DefaultLadder()
+	rng := xrand.New(77)
+	const eps = 1e-9
+	for trial := 0; trial < 300; trial++ {
+		reports := randomReports(rng, ladder)
+		missing := 1 + rng.Intn(4)
+		opts := BudgetOptions{Downclock: rng.Float64() < 0.5}
+
+		full := DetermineBudget(reports, ladder, opts)
+		cons := DetermineBudgetDegraded(reports, missing, ladder, opts, DegradedConservative)
+		excl := DetermineBudgetDegraded(reports, missing, ladder, opts, DegradedExclude)
+
+		if cons.BudgetMS < full.BudgetMS-eps {
+			t.Fatalf("trial %d: conservative budget %.4f below full-information %.4f",
+				trial, cons.BudgetMS, full.BudgetMS)
+		}
+		if len(excl.Selected) != len(full.Selected) || excl.BudgetMS != full.BudgetMS {
+			t.Fatalf("trial %d: DegradedExclude diverged from DetermineBudget", trial)
+		}
+		// Conservative keeps every top-K contributor: its cuts are all
+		// stage-1 (zero quality).
+		byISN := make(map[int]ISNReport, len(reports))
+		for _, r := range reports {
+			byISN[r.ISN] = r
+		}
+		for _, isn := range cons.Cut {
+			if byISN[isn].HasK {
+				t.Fatalf("trial %d: conservative mode cut contributor %d", trial, isn)
+			}
+		}
+		// With nothing missing, conservative degenerates to the normal
+		// algorithm.
+		same := DetermineBudgetDegraded(reports, 0, ladder, opts, DegradedConservative)
+		if same.BudgetMS != full.BudgetMS {
+			t.Fatalf("trial %d: zero-missing conservative diverged", trial)
+		}
+	}
+}

@@ -257,7 +257,10 @@ type Outcome struct {
 	DocsSearched int
 	// DroppedISNs counts participants whose responses missed the budget.
 	DroppedISNs int
-	BudgetMS    float64
+	// FailedISNs counts participants that were dead when dispatched to
+	// (injected failures): no work done, no response, contribution lost.
+	FailedISNs int
+	BudgetMS   float64
 }
 
 // RunResult aggregates a full trace replay under one policy.
@@ -337,16 +340,23 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 	var lists [][]search.Hit
 	aggDone := dispatch
 	anyDropped := false
+	anyFailed := false
 	for si := range e.Shards {
 		if !d.Participate[si] {
 			continue
 		}
-		out.ActiveISNs++
 		f := e.Cluster.Ladder.Default()
 		if d.Freq != nil && d.Freq[si] > 0 {
 			f = d.Freq[si]
 		}
 		exec := e.Cluster.Execute(si, dispatch, ev.Cycles[si], f, deadline)
+		if exec.Failed {
+			// Dead node: the request is lost, nothing was searched.
+			anyFailed = true
+			out.FailedISNs++
+			continue
+		}
+		out.ActiveISNs++
 		out.DocsSearched += ev.PerShard[si].Stats.DocsScored
 		if exec.Completed {
 			lists = append(lists, ev.PerShard[si].Hits)
@@ -362,6 +372,18 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 		// The aggregator waited for the full budget before giving up on
 		// the stragglers.
 		if t := deadline + e.Cluster.Net.AggToISNMS; t > aggDone {
+			aggDone = t
+		}
+	}
+	if anyFailed {
+		// A dead participant never answers: the aggregator gives up at
+		// the budget, or — with no budget — at its failure-detection
+		// timeout.
+		giveup := deadline
+		if math.IsInf(giveup, 1) {
+			giveup = dispatch + e.Cluster.FailTimeoutMS
+		}
+		if t := giveup + e.Cluster.Net.AggToISNMS; t > aggDone {
 			aggDone = t
 		}
 	}
@@ -409,6 +431,9 @@ type Summary struct {
 	Utilization float64
 	Queries     int
 	DroppedFrac float64
+	// FailedFrac is the share of queries that dispatched to at least one
+	// dead ISN (injected failures).
+	FailedFrac float64
 }
 
 // Summarize computes a Summary from a RunResult.
@@ -419,7 +444,7 @@ func Summarize(r RunResult) Summary {
 		return s
 	}
 	lats := make([]float64, len(r.Outcomes))
-	dropped := 0
+	dropped, failed := 0, 0
 	for i, o := range r.Outcomes {
 		lats[i] = o.LatencyMS
 		s.MeanPAtK += o.PAtK
@@ -427,6 +452,9 @@ func Summarize(r RunResult) Summary {
 		s.MeanCRES += float64(o.DocsSearched)
 		if o.DroppedISNs > 0 {
 			dropped++
+		}
+		if o.FailedISNs > 0 {
+			failed++
 		}
 	}
 	n := float64(len(r.Outcomes))
@@ -438,5 +466,6 @@ func Summarize(r RunResult) Summary {
 	s.MeanISNs /= n
 	s.MeanCRES /= n
 	s.DroppedFrac = float64(dropped) / n
+	s.FailedFrac = float64(failed) / n
 	return s
 }

@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"testing"
+)
+
+// TestDeterminism: two injectors with the same seed and plans deal the
+// same decision sequence; a different seed deals a different one.
+func TestDeterminism(t *testing.T) {
+	mk := func(seed uint64) []Decision {
+		in := NewInjector(seed)
+		in.SetPlan(3, Plan{DropProb: 0.3, CorruptProb: 0.2, SlowMS: 1, SlowJitterMS: 2})
+		out := make([]Decision, 50)
+		for i := range out {
+			out[i] = in.OnRequest(3)
+		}
+		return out
+	}
+	a, b := mk(7), mk(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged under the same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := mk(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds dealt identical schedules")
+	}
+}
+
+// TestStreamIsolation: traffic on one ISN must not shift another ISN's
+// schedule (per-ISN streams are split by name, not interleaved).
+func TestStreamIsolation(t *testing.T) {
+	plan := Plan{DropProb: 0.5, SlowMS: 1}
+	solo := NewInjector(11)
+	solo.SetPlan(1, plan)
+	want := make([]Decision, 20)
+	for i := range want {
+		want[i] = solo.OnRequest(1)
+	}
+
+	mixed := NewInjector(11)
+	mixed.SetPlan(1, plan)
+	mixed.SetPlan(2, Plan{DropProb: 0.9})
+	for i := range want {
+		mixed.OnRequest(2) // interleaved traffic on another ISN
+		if got := mixed.OnRequest(1); got != want[i] {
+			t.Fatalf("ISN 1 decision %d perturbed by ISN 2 traffic: %+v vs %+v", i, got, want[i])
+		}
+	}
+}
+
+func TestCrashAndRevive(t *testing.T) {
+	in := NewInjector(1)
+	in.Crash(4)
+	if !in.Crashed(4) {
+		t.Fatal("Crash did not mark the ISN dead")
+	}
+	if d := in.OnRequest(4); d.Kind != Crash {
+		t.Fatalf("crashed ISN dealt %v", d.Kind)
+	}
+	if d := in.OnPredict(4); d.Kind != Crash {
+		t.Fatalf("crashed ISN dealt %v for predict", d.Kind)
+	}
+	in.Revive(4)
+	if in.Crashed(4) {
+		t.Fatal("Revive did not clear the crash")
+	}
+	if d := in.OnRequest(4); d.Kind != None {
+		t.Fatalf("revived ISN with empty plan dealt %v", d.Kind)
+	}
+}
+
+// TestRates: over many draws the dealt fault mix tracks the plan's
+// probabilities (loose bounds; the stream is deterministic, not lucky).
+func TestRates(t *testing.T) {
+	in := NewInjector(42)
+	in.SetPlan(0, Plan{DropProb: 0.25})
+	const n = 4000
+	for i := 0; i < n; i++ {
+		in.OnRequest(0)
+	}
+	drops := in.Counts()[Drop]
+	if f := float64(drops) / n; f < 0.2 || f > 0.3 {
+		t.Fatalf("drop rate %.3f far from plan's 0.25", f)
+	}
+}
+
+func TestPredictTimeoutOnlyHitsPredictions(t *testing.T) {
+	in := NewInjector(5)
+	in.SetPlan(2, Plan{PredictDropProb: 1})
+	if d := in.OnPredict(2); d.Kind != PredictTimeout {
+		t.Fatalf("predict dealt %v, want PredictTimeout", d.Kind)
+	}
+	if d := in.OnRequest(2); d.Kind != None {
+		t.Fatalf("search request dealt %v, want None", d.Kind)
+	}
+}
+
+func TestSlowdownDraws(t *testing.T) {
+	in := NewInjector(9)
+	in.SetPlan(6, Plan{SlowMS: 5, SlowJitterMS: 10})
+	for i := 0; i < 100; i++ {
+		d := in.OnRequest(6)
+		if d.Kind != Slow {
+			t.Fatalf("slow plan dealt %v", d.Kind)
+		}
+		if d.DelayMS < 5 || d.DelayMS >= 15 {
+			t.Fatalf("delay %.2f outside [5, 15)", d.DelayMS)
+		}
+	}
+}
+
+func TestPickVictims(t *testing.T) {
+	a := PickVictims(3, 4, 16)
+	b := PickVictims(3, 4, 16)
+	if len(a) != 4 {
+		t.Fatalf("want 4 victims, got %v", a)
+	}
+	seen := map[int]bool{}
+	for i, v := range a {
+		if v < 0 || v >= 16 || seen[v] {
+			t.Fatalf("invalid or duplicate victim %d in %v", v, a)
+		}
+		seen[v] = true
+		if b[i] != v {
+			t.Fatalf("PickVictims not deterministic: %v vs %v", a, b)
+		}
+	}
+	if got := PickVictims(3, 0, 16); len(got) != 0 {
+		t.Fatalf("zero victims should be empty, got %v", got)
+	}
+}

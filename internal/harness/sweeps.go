@@ -7,6 +7,7 @@ import (
 	"cottage/internal/baselines"
 	"cottage/internal/core"
 	"cottage/internal/engine"
+	"cottage/internal/faults"
 	"cottage/internal/qcache"
 	"cottage/internal/trace"
 )
@@ -25,7 +26,51 @@ func Extras() []Experiment {
 		{"caching", "Extra: aggregator result cache composed with each policy", Caching},
 		{"heterogeneity", "Extra: a 2.5x straggler ISN (per-ISN predictors absorb it)", Heterogeneity},
 		{"allocation", "Extra: topical vs round-robin document allocation", AllocationStudy},
+		{"availability", "Extra: latency/quality/power with 0-4 of the ISNs failed", Availability},
 	}
+}
+
+// Availability sweeps node failures across the fleet (0 to 4 of the
+// paper's 16 ISNs down, victims picked deterministically and nested so
+// each row adds one failure to the last) and reports what each policy
+// salvages. Two effects compose: dead shards take their top-K documents
+// with them (a quality floor no aggregator can recover), and waiting on
+// them costs latency — bounded by the budget when there is one, by the
+// failure-detection timeout when there is not. Cottage's degraded
+// conservative mode (budget = slowest responder's boosted latency) keeps
+// every responding contributor in play when predictions go missing.
+func Availability(s *Setup, w io.Writer) error {
+	defer s.Engine.Cluster.ClearFaults()
+	n := len(s.Engine.Shards)
+	maxFailed := 4
+	if maxFailed >= n {
+		maxFailed = n - 1
+	}
+	cons := core.NewCottage()
+	cons.Degraded = core.DegradedConservative
+	policies := []struct {
+		label string
+		p     engine.Policy
+	}{
+		{"exhaustive", baselines.Exhaustive{}},
+		{"cottage-excl", core.NewCottage()},
+		{"cottage-cons", cons},
+	}
+	fmt.Fprintf(w, "%-8s %-14s %10s %10s %8s %10s %10s\n",
+		"failed", "policy", "avg ms", "p95 ms", "P@10", "power W", "failfrac")
+	for failed := 0; failed <= maxFailed; failed++ {
+		s.Engine.Cluster.ClearFaults()
+		for _, isn := range faults.PickVictims(2022, failed, n) {
+			s.Engine.Cluster.FailISN(isn)
+		}
+		for _, pol := range policies {
+			sm := engine.Summarize(s.Engine.Run(pol.p, s.WikiEval))
+			fmt.Fprintf(w, "%-8d %-14s %10.2f %10.2f %8.3f %10.2f %10.3f\n",
+				failed, pol.label, sm.MeanLatency, sm.P95Latency, sm.MeanPAtK,
+				sm.AvgPowerW, sm.FailedFrac)
+		}
+	}
+	return nil
 }
 
 // CutoffFrontier sweeps Cottage's zero-probability cutoff and reports the

@@ -1,8 +1,11 @@
 package rpc
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cottage/internal/cluster"
@@ -25,6 +28,20 @@ type Aggregator struct {
 	// DropZeroProb / K2ZeroProb mirror core.Cottage's calibrated cutoffs.
 	DropZeroProb float64
 	K2ZeroProb   float64
+	// Degraded picks the budget policy when some ISNs fail to deliver a
+	// prediction: exclude them from the optimization (default) or fall
+	// back to the conservative max-boosted-latency budget so stragglers
+	// that recover mid-query can still land their hits.
+	Degraded core.DegradedMode
+	// HedgeAfter, when positive, issues a second copy of a search request
+	// on a fresh connection if the first has not answered within this
+	// window; the first reply wins and the loser is cancelled. Zero
+	// disables hedging.
+	HedgeAfter time.Duration
+
+	hedges          atomic.Uint64
+	hedgeWins       atomic.Uint64
+	hedgesCancelled atomic.Uint64
 }
 
 // NewAggregator wires an aggregator over dialed clients.
@@ -36,6 +53,29 @@ func NewAggregator(clients []*Client, k int) *Aggregator {
 		DropZeroProb: 0.8,
 		K2ZeroProb:   0.95,
 	}
+}
+
+// Stats is the aggregator's operational ledger.
+type Stats struct {
+	// Hedges counts second requests issued; HedgeWins how many answered
+	// before the primary; HedgesCancelled how many were torn down because
+	// the primary answered first.
+	Hedges, HedgeWins, HedgesCancelled uint64
+	// Retries sums transport-level retries across all clients.
+	Retries uint64
+}
+
+// Stats snapshots the hedge/retry counters.
+func (a *Aggregator) Stats() Stats {
+	s := Stats{
+		Hedges:          a.hedges.Load(),
+		HedgeWins:       a.hedgeWins.Load(),
+		HedgesCancelled: a.hedgesCancelled.Load(),
+	}
+	for _, c := range a.Clients {
+		s.Retries += c.Retries()
+	}
+	return s
 }
 
 // Result is a distributed query's outcome.
@@ -51,6 +91,78 @@ type Result struct {
 	Failed []int
 }
 
+// searchHedged runs one ISN's search leg, optionally hedging it with a
+// duplicate request on a fresh connection after HedgeAfter. The fresh
+// connection matters: a request queued behind a stuck stream on the
+// shared client would inherit exactly the delay the hedge is trying to
+// escape.
+func (a *Aggregator) searchHedged(isn int, terms []string, deadline time.Duration) (search.Result, error) {
+	primary := a.Clients[isn]
+	if a.HedgeAfter <= 0 || primary.Addr() == "" {
+		return primary.Search(terms, a.K, deadline)
+	}
+	type outcome struct {
+		r     search.Result
+		err   error
+		hedge bool
+	}
+	ch := make(chan outcome, 2) // buffered: abandoned legs must not leak
+	go func() {
+		r, err := primary.Search(terms, a.K, deadline)
+		ch <- outcome{r, err, false}
+	}()
+
+	timer := time.NewTimer(a.HedgeAfter)
+	defer timer.Stop()
+	var hedge *Client
+	inflight := 1
+	hedgeDone := false
+
+	var first outcome
+	select {
+	case first = <-ch:
+		inflight--
+	case <-timer.C:
+		if hc, err := Dial(primary.Addr()); err == nil {
+			hedge = hc
+			hc.SetTimeout(primary.timeout)
+			a.hedges.Add(1)
+			inflight++
+			go func() {
+				r, err := hc.Search(terms, a.K, deadline)
+				ch <- outcome{r, err, true}
+			}()
+		}
+		first = <-ch
+		inflight--
+	}
+	hedgeDone = hedgeDone || first.hedge
+
+	if first.err != nil && inflight > 0 {
+		// The fast leg failed; the slow one may still deliver.
+		second := <-ch
+		inflight--
+		hedgeDone = hedgeDone || second.hedge
+		if second.err == nil {
+			first = second
+		}
+	}
+	if hedge != nil {
+		if !hedgeDone {
+			// Primary won while the hedge is still in flight: closing the
+			// hedge's private connection cancels it server-side. (When the
+			// hedge wins, the primary's late reply is consumed and
+			// discarded by its own still-blocked call.)
+			a.hedgesCancelled.Add(1)
+		}
+		hedge.Close()
+	}
+	if first.err == nil && first.hedge {
+		a.hedgeWins.Add(1)
+	}
+	return first.r, first.err
+}
+
 // SearchExhaustive queries every ISN with no budget and merges. Failed
 // ISNs degrade the result (reported in Result.Failed) rather than failing
 // the query; an error is returned only when every ISN fails.
@@ -59,17 +171,17 @@ func (a *Aggregator) SearchExhaustive(terms []string) (Result, error) {
 	lists := make([][]search.Hit, len(a.Clients))
 	errs := make([]error, len(a.Clients))
 	var wg sync.WaitGroup
-	for i, c := range a.Clients {
+	for i := range a.Clients {
 		wg.Add(1)
-		go func(i int, c *Client) {
+		go func(i int) {
 			defer wg.Done()
-			r, err := c.Search(terms, a.K, 0)
+			r, err := a.searchHedged(i, terms, 0)
 			if err != nil {
-				errs[i] = err
+				errs[i] = fmt.Errorf("isn %d: %w", i, err)
 				return
 			}
 			lists[i] = r.Hits
-		}(i, c)
+		}(i)
 	}
 	wg.Wait()
 	res := Result{Elapsed: time.Since(start)}
@@ -83,29 +195,26 @@ func (a *Aggregator) SearchExhaustive(terms []string) (Result, error) {
 		res.Selected = append(res.Selected, i)
 	}
 	if failures == len(a.Clients) {
-		return Result{}, fmt.Errorf("rpc: all %d ISNs failed; first error: %w", failures, firstErr(errs))
+		return Result{}, fmt.Errorf("rpc: all %d ISNs failed: %w", failures, errors.Join(errs...))
 	}
 	res.Hits = search.Merge(a.K, lists...)
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
-func firstErr(errs []error) error {
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // SearchCottage runs the full coordinated protocol: predict everywhere,
 // determine the budget, search the selected ISNs with the budget as a
-// deadline, and merge what returns.
+// deadline, and merge what returns. ISNs that fail either leg degrade
+// the result (Result.Failed) instead of failing the query; prediction
+// failures additionally feed Algorithm 1's degraded mode (a.Degraded).
 func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 	start := time.Now()
-	// Steps 2-3: gather predictions in parallel.
+	// Steps 2-3: gather predictions in parallel. A failed prediction
+	// (crash, timeout) is not the same as a clean "no match": the former
+	// leaves the aggregator blind about a live shard and must flow into
+	// the degraded-mode budget, the latter is an answered question.
 	preds := make([]core.ISNReport, 0, len(a.Clients))
+	predErrs := make([]error, len(a.Clients))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for i, c := range a.Clients {
@@ -113,7 +222,11 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 		go func(i int, c *Client) {
 			defer wg.Done()
 			p, err := c.Predict(terms)
-			if err != nil || !p.Matched {
+			if err != nil {
+				predErrs[i] = fmt.Errorf("isn %d predict: %w", i, err)
+				return
+			}
+			if !p.Matched {
 				return
 			}
 			fdef, fmax := a.Ladder.Default(), a.Ladder.Max()
@@ -135,9 +248,24 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 	}
 	wg.Wait()
 
-	// Step 4: time budget determination.
-	budget := core.DetermineBudget(preds, a.Ladder, core.BudgetOptions{})
-	res := Result{BudgetMS: budget.BudgetMS, Cut: budget.Cut}
+	res := Result{}
+	missing := 0
+	for i, err := range predErrs {
+		if err != nil {
+			missing++
+			res.Failed = append(res.Failed, i)
+		}
+	}
+	if missing == len(a.Clients) {
+		return Result{}, fmt.Errorf("rpc: all %d ISNs failed prediction: %w",
+			missing, errors.Join(predErrs...))
+	}
+
+	// Step 4: time budget determination, degraded if predictions are
+	// missing.
+	budget := core.DetermineBudgetDegraded(preds, missing, a.Ladder, core.BudgetOptions{}, a.Degraded)
+	res.BudgetMS = budget.BudgetMS
+	res.Cut = budget.Cut
 	if len(budget.Selected) == 0 {
 		res.Elapsed = time.Since(start)
 		return res, nil
@@ -151,14 +279,20 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 		wg.Add(1)
 		go func(li int, isn int) {
 			defer wg.Done()
-			r, err := a.Clients[isn].Search(terms, a.K, deadline)
+			r, err := a.searchHedged(isn, terms, deadline)
 			if err != nil {
-				return // straggler or failure: dropped at merge
+				// Straggler or failure: its hits are lost but the query
+				// survives; record the gap so callers can see it.
+				mu.Lock()
+				res.Failed = append(res.Failed, isn)
+				mu.Unlock()
+				return
 			}
 			lists[li] = r.Hits
 		}(li, asg.ISN)
 	}
 	wg.Wait()
+	sort.Ints(res.Failed)
 	res.Hits = search.Merge(a.K, lists...)
 	res.Elapsed = time.Since(start)
 	return res, nil

@@ -1,0 +1,82 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"cottage/internal/predict"
+	"cottage/internal/search"
+)
+
+// The fuzz targets pin the wire contract of DecodeRequest/DecodeResponse:
+// arbitrary bytes — truncated frames, bit-flipped type descriptors,
+// adversarial length prefixes — must come back as an error, never a
+// panic. A panic here is a remote crash of a server (request path) or of
+// the aggregator (response path). The seed corpus under
+// testdata/fuzz/Fuzz* holds valid frames, truncations, and mutations so
+// the fuzzer starts from structurally interesting inputs.
+
+func encodeFrames(tb interface{ Fatal(...any) }, vals ...any) []byte {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for _, v := range vals {
+		if err := enc.Encode(v); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func FuzzDecodeRequest(f *testing.F) {
+	valid := encodeFrames(f,
+		&Request{Kind: KindSearch, ID: 1, Terms: []string{"ga", "gb"}, K: 10, DeadlineUS: 5000},
+		&Request{Kind: KindPredict, ID: 2, Terms: []string{"tail", "latency"}},
+		&Request{Kind: KindPing, ID: 3})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:7])
+	f.Add([]byte{})
+	mangled := bytes.Clone(valid)
+	for i := 0; i < len(mangled); i += 7 {
+		mangled[i] ^= 0x55 // the injector's corruption pattern
+	}
+	f.Add(mangled)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := gob.NewDecoder(bytes.NewReader(data))
+		// Drain the stream like Server.handle does: repeated decodes off
+		// one codec, stopping at the first error. Any panic fails the run.
+		for i := 0; i < 8; i++ {
+			if _, err := DecodeRequest(dec); err != nil {
+				return
+			}
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	valid := encodeFrames(f,
+		&Response{ID: 1, Hits: []search.Hit{{Doc: 4, Score: 2.5}, {Doc: 9, Score: 1.1}},
+			Stats: search.ExecStats{DocsScored: 40}},
+		&Response{ID: 2, Pred: predict.Prediction{Matched: true, QK: 3, Cycles: 1e7}},
+		&Response{ID: 3, Err: "deadline exceeded"})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte{})
+	mangled := bytes.Clone(valid)
+	for i := 0; i < len(mangled); i += 7 {
+		mangled[i] ^= 0x55
+	}
+	f.Add(mangled)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := gob.NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 8; i++ {
+			if _, err := DecodeResponse(dec); err != nil {
+				return
+			}
+		}
+	})
+}

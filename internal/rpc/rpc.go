@@ -20,8 +20,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"cottage/internal/faults"
 	"cottage/internal/index"
 	"cottage/internal/predict"
 	"cottage/internal/search"
@@ -65,11 +67,45 @@ type Response struct {
 	Err   string
 }
 
+// DecodeRequest reads one Request from a gob stream. A corrupted or
+// truncated frame yields an error, never a panic: gob's decoder can
+// panic on adversarial type descriptors, and a server must not be
+// killable by one bad frame, so the recover here is a load-bearing part
+// of the wire contract (fuzzed in fuzz_test.go).
+func DecodeRequest(dec *gob.Decoder) (req Request, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rpc: decode request: %v", r)
+		}
+	}()
+	err = dec.Decode(&req)
+	return req, err
+}
+
+// DecodeResponse reads one Response from a gob stream with the same
+// panic-to-error guarantee as DecodeRequest (the client side of the
+// contract: a corrupting ISN must not take the aggregator down).
+func DecodeResponse(dec *gob.Decoder) (resp Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rpc: decode response: %v", r)
+		}
+	}()
+	err = dec.Decode(&resp)
+	return resp, err
+}
+
 // Server serves one shard (one ISN) over a listener.
 type Server struct {
 	Shard    *index.Shard
 	Pred     *predict.ISNPredictor // optional; KindPredict fails without it
 	Strategy search.Strategy
+	// Faults, when set, injects prediction-level failures (timeouts,
+	// slowdowns) keyed by FaultISN — the application-layer complement of
+	// faults.WrapListener, which mangles the transport underneath. Both
+	// hang off the same injector so one seed replays a whole scenario.
+	Faults   *faults.Injector
+	FaultISN int
 	mu       sync.Mutex // serializes predictor scratch use
 }
 
@@ -93,11 +129,14 @@ func (s *Server) handle(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
+		req, err := DecodeRequest(dec)
+		if err != nil {
 			return // connection closed or corrupted; drop it
 		}
 		resp := s.dispatch(&req)
+		if resp == nil {
+			return // injected prediction timeout: go silent like a hung process
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -118,6 +157,15 @@ func (s *Server) dispatch(req *Request) *Response {
 		resp.Hits = r.Hits
 		resp.Stats = r.Stats
 	case KindPredict:
+		if s.Faults != nil {
+			d := s.Faults.OnPredict(s.FaultISN)
+			if d.DelayMS > 0 {
+				time.Sleep(time.Duration(d.DelayMS * float64(time.Millisecond)))
+			}
+			if d.Kind == faults.PredictTimeout || d.Kind == faults.Drop || d.Kind == faults.Crash {
+				return nil
+			}
+		}
 		if s.Pred == nil {
 			resp.Err = "no predictor loaded"
 			return resp
@@ -139,63 +187,207 @@ func (s *Server) dispatch(req *Request) *Response {
 	return resp
 }
 
+// RetryPolicy bounds the client's transport-level retries. Retries
+// reconnect (a broken gob stream cannot be resumed) and back off
+// exponentially from Backoff, doubling per attempt, capped at
+// MaxBackoff. Application-level errors from the server (bad request,
+// missing predictor) are never retried — only transport faults are.
+type RetryPolicy struct {
+	// Max is the number of additional attempts after the first (0
+	// disables retrying).
+	Max int
+	// Backoff is the first retry's delay. Zero means DefaultBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling. Zero means DefaultMaxBackoff.
+	MaxBackoff time.Duration
+}
+
+// Defaults for RetryPolicy's zero fields.
+const (
+	DefaultBackoff    = 2 * time.Millisecond
+	DefaultMaxBackoff = 250 * time.Millisecond
+)
+
 // Client is a synchronous connection to one ISN server. It is safe for
 // concurrent use; calls are serialized on the connection.
 type Client struct {
 	mu      sync.Mutex
+	addr    string // redial target; empty for adopted connections
 	conn    net.Conn
 	enc     *gob.Encoder
 	dec     *gob.Decoder
+	broken  bool // the stream desynced; reconnect before reuse
 	next    uint64
 	timeout time.Duration
+	retry   RetryPolicy
+	retries atomic.Uint64
 }
 
-// Dial connects to an ISN server.
+// Dial connects to an ISN server. The address is remembered so broken
+// connections can be re-established by the retry loop.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	c.addr = addr
+	return c, nil
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection. Without a dialed address
+// the client cannot reconnect, so transport faults are terminal even
+// under a retry policy.
 func NewClient(conn net.Conn) *Client {
 	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 }
 
+// Offline returns a client for an address that could not be dialed yet.
+// Every call goes through the normal reconnect/retry path first, so an
+// ISN that is down at startup degrades exactly like one that dies later
+// instead of being fatal to the whole aggregator.
+func Offline(addr string) *Client {
+	return &Client{addr: addr, broken: true}
+}
+
 // Close closes the underlying connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}
+
+// Addr returns the dialed address ("" for adopted connections).
+func (c *Client) Addr() string { return c.addr }
 
 // Timeout bounds each round trip; zero means no bound. Set it once,
 // before concurrent use.
 func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
 
-// call performs one synchronous round trip.
+// SetRetryPolicy configures transport-level retries. Set it once,
+// before concurrent use.
+func (c *Client) SetRetryPolicy(p RetryPolicy) { c.retry = p }
+
+// Retries reports how many transport retries this client has performed,
+// a cheap ledger for tests and operational stats.
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// errTransient wraps transport-level faults: the request may have never
+// reached the server, or the reply was lost or mangled. These — and only
+// these — are safe and useful to retry on a fresh connection.
+type errTransient struct{ err error }
+
+func (e errTransient) Error() string { return e.err.Error() }
+func (e errTransient) Unwrap() error { return e.err }
+
+// IsTransient reports whether err was a transport fault (connection
+// drop, timeout, corrupted frame) rather than a server-side application
+// error.
+func IsTransient(err error) bool {
+	var t errTransient
+	return errors.As(err, &t)
+}
+
+// reconnect re-establishes the connection after a transport fault. The
+// gob session restarts from scratch (fresh type table, fresh codec).
+func (c *Client) reconnect() error {
+	if c.addr == "" {
+		return fmt.Errorf("rpc: connection broken and no address to redial")
+	}
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("rpc: redial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	c.broken = false
+	return nil
+}
+
+// call performs one round trip, retrying transport faults per the
+// client's RetryPolicy with capped exponential backoff.
 func (c *Client) call(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	backoff := c.retry.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	cap := c.retry.MaxBackoff
+	if cap <= 0 {
+		cap = DefaultMaxBackoff
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if c.broken {
+			if rerr := c.reconnect(); rerr != nil {
+				err = errTransient{rerr}
+				// Redial failures burn an attempt and back off like any
+				// other transport fault (the server may be restarting).
+				if attempt >= c.retry.Max {
+					return nil, err
+				}
+				c.retries.Add(1)
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > cap {
+					backoff = cap
+				}
+				continue
+			}
+		}
+		var resp *Response
+		resp, err = c.callOnce(req)
+		if err == nil {
+			return resp, nil
+		}
+		if !IsTransient(err) || attempt >= c.retry.Max {
+			return nil, err
+		}
+		c.retries.Add(1)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > cap {
+			backoff = cap
+		}
+	}
+}
+
+// callOnce performs exactly one synchronous round trip on the current
+// connection. Transport faults mark the connection broken (the next
+// attempt reconnects) and come back wrapped as transient.
+func (c *Client) callOnce(req *Request) (*Response, error) {
 	c.next++
 	req.ID = c.next
 	if c.timeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return nil, fmt.Errorf("rpc: deadline: %w", err)
+			c.broken = true
+			return nil, errTransient{fmt.Errorf("rpc: deadline: %w", err)}
 		}
 	}
 	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("rpc: send: %w", err)
+		c.broken = true
+		return nil, errTransient{fmt.Errorf("rpc: send: %w", err)}
 	}
-	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
+	resp, err := DecodeResponse(c.dec)
+	if err != nil {
+		c.broken = true
 		if errors.Is(err, io.EOF) {
-			return nil, fmt.Errorf("rpc: server closed connection")
+			return nil, errTransient{fmt.Errorf("rpc: server closed connection")}
 		}
-		return nil, fmt.Errorf("rpc: receive: %w", err)
+		return nil, errTransient{fmt.Errorf("rpc: receive: %w", err)}
 	}
 	if resp.ID != req.ID {
-		return nil, fmt.Errorf("rpc: response ID %d for request %d", resp.ID, req.ID)
+		// A stale reply (e.g. to a request a previous timeout abandoned):
+		// the stream is out of step, resync by reconnecting.
+		c.broken = true
+		return nil, errTransient{fmt.Errorf("rpc: response ID %d for request %d", resp.ID, req.ID)}
 	}
 	if resp.Err != "" {
+		// Application-level error: the transport is fine, don't retry.
 		return nil, fmt.Errorf("rpc: server error: %s", resp.Err)
 	}
 	return &resp, nil

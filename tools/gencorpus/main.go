@@ -1,0 +1,81 @@
+// Command gencorpus regenerates the fuzz seed corpus under
+// internal/rpc/testdata/fuzz. The corpus mirrors the in-code f.Add
+// seeds — valid frames, truncations, and injector-style corruptions —
+// but lives on disk so the fuzzer picks it up without running the seed
+// round first, and so wire-format changes show up as corpus diffs.
+//
+// Usage: go run ./tools/gencorpus (from the repo root).
+package main
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"cottage/internal/predict"
+	"cottage/internal/rpc"
+	"cottage/internal/search"
+)
+
+func encode(vals ...any) []byte {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	for _, v := range vals {
+		if err := enc.Encode(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func corrupt(b []byte) []byte {
+	m := bytes.Clone(b)
+	for i := 0; i < len(m); i += 7 {
+		m[i] ^= 0x55
+	}
+	return m
+}
+
+func writeCorpus(dir string, entries map[string][]byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, data := range entries {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func main() {
+	reqValid := encode(
+		&rpc.Request{Kind: rpc.KindSearch, ID: 1, Terms: []string{"ga", "gb"}, K: 10, DeadlineUS: 5000},
+		&rpc.Request{Kind: rpc.KindPredict, ID: 2, Terms: []string{"tail", "latency"}},
+		&rpc.Request{Kind: rpc.KindPing, ID: 3},
+	)
+	writeCorpus("internal/rpc/testdata/fuzz/FuzzDecodeRequest", map[string][]byte{
+		"valid":     reqValid,
+		"truncated": reqValid[:len(reqValid)/2],
+		"header":    reqValid[:7],
+		"corrupted": corrupt(reqValid),
+	})
+
+	respValid := encode(
+		&rpc.Response{ID: 1, Hits: []search.Hit{{Doc: 4, Score: 2.5}, {Doc: 9, Score: 1.1}},
+			Stats: search.ExecStats{DocsScored: 40}},
+		&rpc.Response{ID: 2, Pred: predict.Prediction{Matched: true, QK: 3, Cycles: 1e7}},
+		&rpc.Response{ID: 3, Err: "deadline exceeded"},
+	)
+	writeCorpus("internal/rpc/testdata/fuzz/FuzzDecodeResponse", map[string][]byte{
+		"valid":     respValid,
+		"truncated": respValid[:len(respValid)/2],
+		"header":    respValid[:9],
+		"corrupted": corrupt(respValid),
+	})
+	fmt.Println("corpus written under internal/rpc/testdata/fuzz")
+}
