@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke corpus check clean
+.PHONY: all build vet test race fuzz-smoke overload-smoke corpus check clean
 
 all: build
 
@@ -28,12 +28,19 @@ race:
 fuzz-smoke:
 	$(GO) test ./internal/rpc/ -run '^$$' -fuzz FuzzDecodeRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/rpc/ -run '^$$' -fuzz FuzzDecodeResponse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/rpc/ -run '^$$' -fuzz FuzzValidateRequest -fuzztime $(FUZZTIME)
+
+# The overload sweep (bounded admission queues at 1x-4x load) on the
+# quick-scale setup: shed rates grow with load while the admitted p99
+# stays bounded and Cottage's budget inflates via Eq. 2 feedback.
+overload-smoke:
+	$(GO) test ./internal/harness -run Overload -count=1
 
 # Regenerate the checked-in fuzz seed corpus after wire-format changes.
 corpus:
 	$(GO) run ./tools/gencorpus
 
-check: vet build race fuzz-smoke
+check: vet build race fuzz-smoke overload-smoke
 
 clean:
 	$(GO) clean ./...

@@ -41,6 +41,9 @@ func main() {
 		hedgeMS   = flag.Float64("hedge-after-ms", 0, "issue a hedged duplicate request after this many ms (0 = off)")
 		timeoutMS = flag.Float64("timeout-ms", 2000, "per-round-trip timeout in ms (0 = none)")
 		degraded  = flag.String("degraded", "exclude", "budget policy for ISNs with missing predictions: exclude|conservative")
+		brkN      = flag.Int("breaker-threshold", 3, "open an ISN's circuit breaker after this many consecutive transport failures (0 = off)")
+		brkCoolMS = flag.Float64("breaker-cooldown-ms", 500, "circuit-breaker cooldown before a half-open probe, in ms")
+		probeMS   = flag.Float64("probe-interval-ms", 0, "background health-probe interval for broken/open ISNs, in ms (0 = off)")
 	)
 	flag.Parse()
 	if *servers == "" || (*queries == "" && *tracePath == "") {
@@ -73,6 +76,14 @@ func main() {
 	}
 	agg := rpc.NewAggregator(clients, *k)
 	agg.HedgeAfter = time.Duration(*hedgeMS * float64(time.Millisecond))
+	if *brkN > 0 {
+		agg.EnableBreakers(*brkN, time.Duration(*brkCoolMS*float64(time.Millisecond)))
+	}
+	var prober *rpc.Prober
+	if *probeMS > 0 {
+		prober = agg.StartProber(time.Duration(*probeMS * float64(time.Millisecond)))
+		defer agg.StopProber()
+	}
 	switch *degraded {
 	case "exclude":
 		agg.Degraded = core.DegradedExclude
@@ -173,5 +184,11 @@ func main() {
 	if st := agg.Stats(); st.Retries > 0 || st.Hedges > 0 {
 		fmt.Printf("transport: %d retries, %d hedges (%d won, %d cancelled)\n",
 			st.Retries, st.Hedges, st.HedgeWins, st.HedgesCancelled)
+	}
+	if prober != nil {
+		probes, revived := prober.Stats()
+		if probes > 0 {
+			fmt.Printf("health prober: %d probes, %d revivals\n", probes, revived)
+		}
 	}
 }

@@ -6,13 +6,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"cottage/internal/faults"
 	"cottage/internal/index"
+	"cottage/internal/overload"
 	"cottage/internal/predict"
 	"cottage/internal/rpc"
 	"cottage/internal/search"
@@ -29,6 +34,10 @@ func main() {
 		failRate  = flag.Float64("fail-rate", 0, "inject: probability each response write is dropped (connection cut)")
 		slowMS    = flag.Float64("slow-ms", 0, "inject: fixed extra delay per response write, in milliseconds")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for the injected fault schedule (replayable)")
+		inflight  = flag.Int("max-inflight", 0, "admission control: max concurrent searches (0 = unlimited)")
+		queueLen  = flag.Int("queue-depth", 64, "admission control: queued searches behind the in-flight cap")
+		aimd      = flag.Bool("aimd", false, "adapt -max-inflight AIMD-style (additive increase, halve on shed)")
+		drainTO   = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *shardPath == "" {
@@ -74,6 +83,16 @@ func main() {
 	}
 	log.Printf("serving on %s", l.Addr())
 	srv := &rpc.Server{Shard: shard, Pred: pred, Strategy: strat}
+	if *inflight > 0 {
+		lim := overload.NewLimiter(*inflight, *queueLen, nil)
+		if *aimd {
+			// The configured cap is the ceiling; AIMD probes downward from
+			// it under sheds and climbs back as completions succeed.
+			lim.EnableAIMD(1, *inflight)
+		}
+		srv.Limit = lim
+		log.Printf("admission control on: %d in-flight, queue %d, aimd=%v", *inflight, *queueLen, *aimd)
+	}
 	if *failRate > 0 || *slowMS > 0 {
 		// Chaos mode: the injector mangles this ISN's response stream so
 		// aggregator-side retries/hedging can be exercised against a real
@@ -84,7 +103,33 @@ func main() {
 		l = faults.WrapListener(l, in, 0)
 		log.Printf("fault injection on: drop prob %.2f, slow %.1f ms (seed %d)", *failRate, *slowMS, *faultSeed)
 	}
-	if err := srv.Serve(l); err != nil {
-		log.Fatal(err)
+
+	// Graceful lifecycle: first SIGINT/SIGTERM drains in-flight requests
+	// for up to -drain-timeout, a second signal (or an expired window)
+	// force-closes whatever remains.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case sig := <-sigCh:
+		log.Printf("%v: draining (up to %v, signal again to force)", sig, *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		go func() {
+			<-sigCh
+			cancel()
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain cut short: %v", err)
+		}
+		cancel()
+		if err := <-serveErr; err != nil {
+			log.Printf("serve: %v", err)
+		}
 	}
+	log.Printf("served %d search requests, shed %d", srv.Served(), srv.Shed())
 }

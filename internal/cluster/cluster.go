@@ -187,7 +187,13 @@ type Cluster struct {
 	// at the budget). Real aggregators detect dead peers with TCP
 	// resets/heartbeats in tens of milliseconds.
 	FailTimeoutMS float64
-	nowMS         float64 // latest event time observed, for horizon accounting
+	// MaxQueueMS, when positive, bounds each ISN's admission queue in
+	// time: a request arriving to find more than this much backlog is
+	// shed immediately (no work, no power) instead of queuing without
+	// bound — the simulated counterpart of the live transport's
+	// overload.Limiter. Zero keeps the queue unbounded.
+	MaxQueueMS float64
+	nowMS      float64 // latest event time observed, for horizon accounting
 }
 
 // Config assembles a Cluster.
@@ -206,6 +212,9 @@ type Config struct {
 	WorkersPerISN int
 	// FailTimeoutMS overrides the failure-detection timeout (default 100).
 	FailTimeoutMS float64
+	// MaxQueueMS bounds per-ISN queueing delay; arrivals beyond it are
+	// shed (0 = unbounded).
+	MaxQueueMS float64
 }
 
 // DefaultConfig returns a 16-ISN cluster matching the paper's deployment.
@@ -235,6 +244,7 @@ func New(cfg Config) *Cluster {
 		Meter:         power.NewMeter(cfg.Power),
 		InferMS:       cfg.InferMS,
 		FailTimeoutMS: cfg.FailTimeoutMS,
+		MaxQueueMS:    cfg.MaxQueueMS,
 	}
 	if c.FailTimeoutMS <= 0 {
 		c.FailTimeoutMS = 100
@@ -333,7 +343,12 @@ type Execution struct {
 	// Failed marks a request sent to a dead ISN: no work was done and no
 	// response will ever arrive (the aggregator waits out its
 	// failure-detection timeout instead of the response).
-	Failed  bool
+	Failed bool
+	// Shed marks a request rejected by admission control: the ISN's
+	// queue already exceeded MaxQueueMS on arrival, so it answered with
+	// an immediate rejection instead of queueing the work. Unlike
+	// Failed, the aggregator hears back right away.
+	Shed    bool
 	QueueMS float64
 }
 
@@ -356,6 +371,13 @@ func (c *Cluster) Execute(isn int, tMS, cycles, f, deadlineMS float64) Execution
 		// The request is lost; the node does no work and burns no power.
 		c.observe(arrive)
 		return Execution{ISN: isn, StartMS: arrive, FinishMS: arrive, Freq: f, Failed: true}
+	}
+	if c.MaxQueueMS > 0 && c.QueueDelayMS(isn, arrive) > c.MaxQueueMS {
+		// Admission control: the backlog already exceeds the queue bound,
+		// so the ISN sheds the request immediately — no work, no power,
+		// and the aggregator gets the rejection after one network hop.
+		c.observe(arrive)
+		return Execution{ISN: isn, StartMS: arrive, FinishMS: arrive, Freq: f, Shed: true}
 	}
 	worker := node.earliestWorker()
 	start := arrive

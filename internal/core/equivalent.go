@@ -1,0 +1,36 @@
+package core
+
+// Eq. 2 of the paper defines an ISN's *equivalent latency* as the time
+// to drain the requests already queued ahead of a query plus the query's
+// own service time. The simulated cluster computes this exactly
+// (cluster.EquivalentLatencyMS, from per-worker busy horizons); over the
+// live transport the aggregator cannot see worker schedules, but every
+// KindPredict response carries the ISN's admission-queue occupancy and
+// its EWMA service time, and their product is the same backlog term.
+// These helpers apply that correction to an ISNReport before Algorithm 1
+// runs, so budget determination sees queue-inflated latencies exactly as
+// the paper prescribes instead of bare service-time predictions.
+
+// QueueBacklogMS estimates the Eq. 2 backlog term from live queue
+// feedback: depth requests ahead, each costing ~avgServiceMS to drain.
+// Non-positive inputs (empty queue, no service history yet) yield zero.
+func QueueBacklogMS(depth int, avgServiceMS float64) float64 {
+	if depth <= 0 || avgServiceMS <= 0 {
+		return 0
+	}
+	return float64(depth) * avgServiceMS
+}
+
+// AddQueueBacklog folds a queue-backlog estimate into the report's
+// latencies, turning bare service-time predictions into Eq. 2
+// equivalent latencies. The backlog is added to both the current- and
+// boosted-frequency figures: queued work drains ahead of this query
+// regardless of the frequency it will run at, which is also what lets
+// assignFrequencies recover the shared queue term afterwards.
+func (r *ISNReport) AddQueueBacklog(backlogMS float64) {
+	if backlogMS <= 0 {
+		return
+	}
+	r.LCurrent += backlogMS
+	r.LBoosted += backlogMS
+}

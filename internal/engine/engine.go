@@ -260,7 +260,12 @@ type Outcome struct {
 	// FailedISNs counts participants that were dead when dispatched to
 	// (injected failures): no work done, no response, contribution lost.
 	FailedISNs int
-	BudgetMS   float64
+	// ShedISNs counts participants whose admission control rejected the
+	// request (queue over MaxQueueMS): the aggregator got an immediate
+	// rejection, so — unlike a failure — no timeout is burned, but the
+	// shard's contribution is lost.
+	ShedISNs int
+	BudgetMS float64
 }
 
 // RunResult aggregates a full trace replay under one policy.
@@ -356,6 +361,16 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 			out.FailedISNs++
 			continue
 		}
+		if exec.Shed {
+			// Overloaded node: an immediate rejection, not silence — the
+			// aggregator hears back after one hop and moves on without
+			// this shard's hits.
+			out.ShedISNs++
+			if resp := e.Cluster.ResponseAtAggregatorMS(exec); resp > aggDone {
+				aggDone = resp
+			}
+			continue
+		}
 		out.ActiveISNs++
 		out.DocsSearched += ev.PerShard[si].Stats.DocsScored
 		if exec.Completed {
@@ -434,6 +449,9 @@ type Summary struct {
 	// FailedFrac is the share of queries that dispatched to at least one
 	// dead ISN (injected failures).
 	FailedFrac float64
+	// ShedFrac is the share of queries that had at least one participant
+	// shed by admission control (bounded queues under overload).
+	ShedFrac float64
 }
 
 // Summarize computes a Summary from a RunResult.
@@ -444,7 +462,7 @@ func Summarize(r RunResult) Summary {
 		return s
 	}
 	lats := make([]float64, len(r.Outcomes))
-	dropped, failed := 0, 0
+	dropped, failed, shed := 0, 0, 0
 	for i, o := range r.Outcomes {
 		lats[i] = o.LatencyMS
 		s.MeanPAtK += o.PAtK
@@ -455,6 +473,9 @@ func Summarize(r RunResult) Summary {
 		}
 		if o.FailedISNs > 0 {
 			failed++
+		}
+		if o.ShedISNs > 0 {
+			shed++
 		}
 	}
 	n := float64(len(r.Outcomes))
@@ -467,5 +488,6 @@ func Summarize(r RunResult) Summary {
 	s.MeanCRES /= n
 	s.DroppedFrac = float64(dropped) / n
 	s.FailedFrac = float64(failed) / n
+	s.ShedFrac = float64(shed) / n
 	return s
 }

@@ -27,6 +27,7 @@ func Extras() []Experiment {
 		{"heterogeneity", "Extra: a 2.5x straggler ISN (per-ISN predictors absorb it)", Heterogeneity},
 		{"allocation", "Extra: topical vs round-robin document allocation", AllocationStudy},
 		{"availability", "Extra: latency/quality/power with 0-4 of the ISNs failed", Availability},
+		{"overload", "Extra: bounded ISN queues under 1x-4x load (shed rate, served p99, budget inflation)", Overload},
 	}
 }
 

@@ -1,0 +1,125 @@
+package overload
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	b := NewBreaker(3, 100*time.Millisecond, clk)
+	if b.State() != Closed {
+		t.Fatalf("initial state = %v, want closed", b.State())
+	}
+	b.OnFailure()
+	b.OnFailure()
+	if b.State() != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow traffic")
+	}
+	b.OnFailure()
+	if b.State() != Open {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must block traffic before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b := NewBreaker(3, time.Second, NewManualClock(time.Unix(0, 0)))
+	b.OnFailure()
+	b.OnFailure()
+	b.OnSuccess()
+	b.OnFailure()
+	b.OnFailure()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed (count reset by success)", b.State())
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	b := NewBreaker(1, 100*time.Millisecond, clk)
+	b.OnFailure()
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	clk.Advance(99 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("cooldown not elapsed; must still block")
+	}
+	clk.Advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed; must admit one probe")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe must be refused")
+	}
+	b.OnSuccess()
+	if b.State() != Closed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow traffic")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	b := NewBreaker(1, 100*time.Millisecond, clk)
+	b.OnFailure()
+	clk.Advance(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe must be admitted after cooldown")
+	}
+	b.OnFailure()
+	if b.State() != Open {
+		t.Fatalf("state after probe failure = %v, want open", b.State())
+	}
+	// The cooldown restarts from the failed probe.
+	if b.Allow() {
+		t.Fatal("must block during the fresh cooldown")
+	}
+	clk.Advance(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("must admit another probe after the second cooldown")
+	}
+	b.OnSuccess()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerConcurrentProbeRace(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	b := NewBreaker(1, time.Millisecond, clk)
+	b.OnFailure()
+	clk.Advance(time.Millisecond)
+
+	// Many goroutines race Allow(); exactly one may win the probe slot.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	allowed := 0
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				mu.Lock()
+				allowed++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if allowed != 1 {
+		t.Fatalf("%d probes admitted in half-open, want exactly 1", allowed)
+	}
+}

@@ -1,0 +1,220 @@
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// waiter is a queued admission request. ready receives exactly one
+// value: nil when a slot is granted, ErrOverloaded when the waiter is
+// shed (deadline exceeded at grant time, or the limiter closed).
+type waiter struct {
+	ready    chan error
+	enqueued time.Time
+	maxWait  time.Duration // 0 = no deadline
+}
+
+// Limiter is a bounded admission queue in front of a concurrency cap.
+// At most `limit` requests run concurrently; up to `queueCap` more wait
+// in FIFO order. Anything beyond that — and any queued request whose
+// wait has already exceeded its deadline by the time a slot frees — is
+// shed with ErrOverloaded.
+//
+// With EnableAIMD the cap adapts TCP-style: each full window of
+// successful completions adds one slot (additive increase); every shed
+// halves the cap (multiplicative decrease). The queue keeps latency
+// bounded either way; AIMD only tunes how much concurrency the server
+// believes it can sustain.
+type Limiter struct {
+	mu       sync.Mutex
+	clock    Clock
+	limit    int
+	queueCap int
+	inflight int
+	queue    []*waiter
+	closed   bool
+
+	// AIMD state. aimd=false keeps the cap fixed.
+	aimd      bool
+	minLimit  int
+	maxLimit  int
+	successes int
+
+	// Counters (guarded by mu).
+	admitted uint64
+	shed     uint64
+}
+
+// LimiterStats is a snapshot of a Limiter's counters and occupancy.
+type LimiterStats struct {
+	Limit    int    // current concurrency cap
+	Inflight int    // requests holding a slot
+	Queued   int    // requests waiting for a slot
+	Admitted uint64 // total requests granted a slot
+	Shed     uint64 // total requests rejected with ErrOverloaded
+}
+
+// NewLimiter builds a limiter admitting maxInflight concurrent requests
+// with a queue of queueDepth behind it. clock may be nil for the system
+// clock.
+func NewLimiter(maxInflight, queueDepth int, clock Clock) *Limiter {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if clock == nil {
+		clock = System
+	}
+	return &Limiter{clock: clock, limit: maxInflight, queueCap: queueDepth}
+}
+
+// EnableAIMD turns on adaptive sizing of the concurrency cap, clamped
+// to [min, max]. The current cap is clamped into range immediately.
+func (l *Limiter) EnableAIMD(min, max int) {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.aimd = true
+	l.minLimit, l.maxLimit = min, max
+	if l.limit < min {
+		l.limit = min
+	}
+	if l.limit > max {
+		l.limit = max
+	}
+}
+
+// Acquire blocks until a slot is granted or the request is shed.
+// maxWait bounds how long the request may sit queued before it is no
+// longer worth serving (deadline-aware shedding); 0 means no deadline.
+// Returns nil on admission — the caller must Release() — or
+// ErrOverloaded when shed.
+func (l *Limiter) Acquire(maxWait time.Duration) error {
+	l.mu.Lock()
+	if l.closed {
+		l.shed++
+		l.mu.Unlock()
+		return ErrOverloaded
+	}
+	if l.inflight < l.limit && len(l.queue) == 0 {
+		l.inflight++
+		l.admitted++
+		l.mu.Unlock()
+		return nil
+	}
+	if len(l.queue) >= l.queueCap {
+		l.shed++
+		l.decreaseLocked()
+		l.mu.Unlock()
+		return ErrOverloaded
+	}
+	w := &waiter{ready: make(chan error, 1), enqueued: l.clock.Now(), maxWait: maxWait}
+	l.queue = append(l.queue, w)
+	l.mu.Unlock()
+	return <-w.ready
+}
+
+// Release frees a slot acquired with Acquire and hands it to the next
+// viable waiter.
+func (l *Limiter) Release() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight > 0 {
+		l.inflight--
+	}
+	l.increaseLocked()
+	l.grantLocked()
+}
+
+// grantLocked pops queued waiters while slots are free, shedding any
+// whose queue wait already exceeds its deadline — by the time a slot
+// opened, serving them would blow their budget anyway (Eq. 2's point:
+// queue wait is latency). Called with mu held.
+func (l *Limiter) grantLocked() {
+	now := l.clock.Now()
+	for len(l.queue) > 0 && l.inflight < l.limit {
+		w := l.queue[0]
+		l.queue = l.queue[1:]
+		if w.maxWait > 0 && now.Sub(w.enqueued) > w.maxWait {
+			l.shed++
+			l.decreaseLocked()
+			w.ready <- ErrOverloaded
+			continue
+		}
+		l.inflight++
+		l.admitted++
+		w.ready <- nil
+	}
+}
+
+// increaseLocked is AIMD additive increase: one full cap's worth of
+// completions earns one extra slot.
+func (l *Limiter) increaseLocked() {
+	if !l.aimd {
+		return
+	}
+	l.successes++
+	if l.successes >= l.limit && l.limit < l.maxLimit {
+		l.limit++
+		l.successes = 0
+	}
+}
+
+// decreaseLocked is AIMD multiplicative decrease on a shed.
+func (l *Limiter) decreaseLocked() {
+	if !l.aimd {
+		return
+	}
+	l.limit /= 2
+	if l.limit < l.minLimit {
+		l.limit = l.minLimit
+	}
+	l.successes = 0
+}
+
+// Close sheds every queued waiter with ErrOverloaded and makes all
+// future Acquire calls fail immediately. In-flight requests are
+// unaffected; their Release calls still work. Used by Server.Shutdown
+// so drain only waits on work actually running, never on the queue.
+func (l *Limiter) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	for _, w := range l.queue {
+		l.shed++
+		w.ready <- ErrOverloaded
+	}
+	l.queue = nil
+}
+
+// Pending reports current occupancy — in-flight plus queued. This is
+// the queue-depth figure KindPredict responses report to the aggregator
+// for the Eq. 2 equivalent-latency correction.
+func (l *Limiter) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight + len(l.queue)
+}
+
+// Stats snapshots the limiter's counters.
+func (l *Limiter) Stats() LimiterStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LimiterStats{
+		Limit:    l.limit,
+		Inflight: l.inflight,
+		Queued:   len(l.queue),
+		Admitted: l.admitted,
+		Shed:     l.shed,
+	}
+}

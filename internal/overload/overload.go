@@ -1,0 +1,72 @@
+// Package overload implements the admission-control and
+// failure-containment primitives behind the live transport's overload
+// protection (internal/rpc): a bounded admission queue with a
+// concurrency limiter (fixed cap or AIMD-adaptive), deadline-aware
+// queue shedding, and a per-ISN circuit breaker with half-open probing.
+//
+// Cottage's own latency model makes queuing first-class — Eq. 2's
+// "equivalent latency" corrects every prediction for the requests
+// already queued at the ISN — so a live ISN needs a real queue with a
+// bounded depth and measurable occupancy, not an unbounded goroutine
+// pile. The Limiter provides that queue; its occupancy is what
+// KindPredict responses report back to the aggregator for the Eq. 2
+// correction (core.QueueBacklogMS). The Breaker is the aggregator-side
+// complement: stop sending to an ISN that keeps failing at the
+// transport level, probe it while it is down, and bring it back the
+// moment it recovers.
+//
+// Every state machine takes an injectable Clock so tests can drive the
+// transitions deterministically; all types are safe for concurrent use.
+package overload
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded is the typed rejection for requests shed by admission
+// control: the queue was full, the queue wait exceeded the request's
+// deadline, or the limiter shut down. It is a load signal, not a
+// failure signal — callers back off and retry instead of declaring the
+// server dead.
+var ErrOverloaded = errors.New("overload: request shed")
+
+// Clock abstracts time for the state machines. Production code passes
+// nil (the system clock); tests pass a ManualClock and advance it by
+// hand, making every transition deterministic.
+type Clock interface {
+	Now() time.Time
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// System is the wall clock.
+var System Clock = systemClock{}
+
+// ManualClock is a hand-advanced Clock for deterministic tests.
+type ManualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManualClock starts a manual clock at t.
+func NewManualClock(t time.Time) *ManualClock {
+	return &ManualClock{t: t}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}

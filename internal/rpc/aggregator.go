@@ -10,6 +10,7 @@ import (
 
 	"cottage/internal/cluster"
 	"cottage/internal/core"
+	"cottage/internal/overload"
 	"cottage/internal/search"
 )
 
@@ -38,10 +39,57 @@ type Aggregator struct {
 	// window; the first reply wins and the loser is cancelled. Zero
 	// disables hedging.
 	HedgeAfter time.Duration
+	// Breakers, when set (EnableBreakers), holds one circuit breaker per
+	// client. An ISN with an open breaker is skipped outright — counted
+	// as a missing prediction and handled by degraded-mode Algorithm 1 —
+	// instead of burning retry and hedge budget on a node that keeps
+	// failing. Overload rejections never trip a breaker: a shedding ISN
+	// is busy, not dead.
+	Breakers []*overload.Breaker
 
 	hedges          atomic.Uint64
 	hedgeWins       atomic.Uint64
 	hedgesCancelled atomic.Uint64
+	prober          *Prober
+}
+
+// EnableBreakers attaches a circuit breaker to every client: open after
+// threshold consecutive transport failures, half-open probe after
+// cooldown. Call before concurrent use.
+func (a *Aggregator) EnableBreakers(threshold int, cooldown time.Duration) {
+	a.Breakers = make([]*overload.Breaker, len(a.Clients))
+	for i := range a.Breakers {
+		a.Breakers[i] = overload.NewBreaker(threshold, cooldown, nil)
+	}
+}
+
+// breaker returns ISN i's breaker, or nil when breakers are disabled.
+func (a *Aggregator) breaker(i int) *overload.Breaker {
+	if i >= len(a.Breakers) {
+		return nil
+	}
+	return a.Breakers[i]
+}
+
+// observeBreaker feeds one call's outcome into ISN i's breaker.
+func (a *Aggregator) observeBreaker(i int, err error) {
+	b := a.breaker(i)
+	if b == nil {
+		return
+	}
+	switch {
+	case err == nil:
+		b.OnSuccess()
+	case IsOverloaded(err):
+		// Shed by admission control: the ISN answered, so the transport
+		// is healthy. Neither a success (the work didn't run) nor a
+		// failure (the node isn't sick) — the breaker doesn't move.
+	case IsTransient(err):
+		b.OnFailure()
+	default:
+		// Application-level error: the server is up and talking.
+		b.OnSuccess()
+	}
 }
 
 // NewAggregator wires an aggregator over dialed clients.
@@ -172,10 +220,15 @@ func (a *Aggregator) SearchExhaustive(terms []string) (Result, error) {
 	errs := make([]error, len(a.Clients))
 	var wg sync.WaitGroup
 	for i := range a.Clients {
+		if b := a.breaker(i); b != nil && !b.Allow() {
+			errs[i] = fmt.Errorf("isn %d: circuit open", i)
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			r, err := a.searchHedged(i, terms, 0)
+			a.observeBreaker(i, err)
 			if err != nil {
 				errs[i] = fmt.Errorf("isn %d: %w", i, err)
 				return
@@ -218,10 +271,18 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for i, c := range a.Clients {
+		if b := a.breaker(i); b != nil && !b.Allow() {
+			// Open breaker: skip the ISN entirely. It flows into the
+			// degraded-mode budget as a missing prediction instead of
+			// costing a timeout plus retries plus a hedge every query.
+			predErrs[i] = fmt.Errorf("isn %d predict: circuit open", i)
+			continue
+		}
 		wg.Add(1)
 		go func(i int, c *Client) {
 			defer wg.Done()
-			p, err := c.Predict(terms)
+			p, load, err := c.PredictLoad(terms)
+			a.observeBreaker(i, err)
 			if err != nil {
 				predErrs[i] = fmt.Errorf("isn %d predict: %w", i, err)
 				return
@@ -241,6 +302,12 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 				LBoosted:   cluster.ServiceMS(p.Cycles, fmax),
 				PredCycles: p.Cycles,
 			}
+			// Eq. 2: correct the bare service-time predictions for the
+			// work already queued at the ISN, measured live rather than
+			// simulated. Queue-heavy ISNs now look as slow to Algorithm 1
+			// as they actually are, so stage-1 cuts and the budget react
+			// to real load.
+			r.AddQueueBacklog(core.QueueBacklogMS(load.Depth, float64(load.AvgServiceUS)/1000))
 			mu.Lock()
 			preds = append(preds, r)
 			mu.Unlock()
@@ -280,6 +347,7 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 		go func(li int, isn int) {
 			defer wg.Done()
 			r, err := a.searchHedged(isn, terms, deadline)
+			a.observeBreaker(isn, err)
 			if err != nil {
 				// Straggler or failure: its hits are lost but the query
 				// survives; record the gap so callers can see it.

@@ -3,6 +3,7 @@ package rpc
 import (
 	"bytes"
 	"encoding/gob"
+	"strings"
 	"testing"
 
 	"cottage/internal/predict"
@@ -42,6 +43,10 @@ func FuzzDecodeRequest(f *testing.F) {
 		mangled[i] ^= 0x55 // the injector's corruption pattern
 	}
 	f.Add(mangled)
+	// Structurally valid but semantically absurd requests — the frames
+	// ValidateRequest exists to reject. Decoding them must stay boring;
+	// the interesting mutations start from real out-of-range payloads.
+	f.Add(encodeFrames(f, absurdRequests()...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := gob.NewDecoder(bytes.NewReader(data))
@@ -50,6 +55,60 @@ func FuzzDecodeRequest(f *testing.F) {
 		for i := 0; i < 8; i++ {
 			if _, err := DecodeRequest(dec); err != nil {
 				return
+			}
+		}
+	})
+}
+
+// absurdRequests are decodable requests that must fail validation:
+// out-of-range K, oversized term lists, giant terms, negative deadlines.
+// Shared between the fuzz seeds here and tools/gencorpus.
+func absurdRequests() []any {
+	return []any{
+		&Request{Kind: KindSearch, ID: 10, Terms: []string{"ga"}, K: 0},
+		&Request{Kind: KindSearch, ID: 11, Terms: []string{"ga"}, K: 2_000_000},
+		&Request{Kind: KindPredict, ID: 12, Terms: make([]string, MaxTerms+36)},
+		&Request{Kind: KindSearch, ID: 13, Terms: []string{strings.Repeat("z", 2048)}, K: 5},
+		&Request{Kind: KindSearch, ID: 14, Terms: []string{"ga"}, K: 5, DeadlineUS: -1},
+		&Request{Kind: Kind(99), ID: 15, K: 5},
+	}
+}
+
+// FuzzValidateRequest pins the server's pre-admission path: any frame
+// that decodes must flow through ValidateRequest without panicking, and
+// a request validation lets through must actually be in range — the
+// invariants the dispatch layer relies on so absurd inputs never reach
+// index evaluation.
+func FuzzValidateRequest(f *testing.F) {
+	f.Add(encodeFrames(f, &Request{Kind: KindSearch, ID: 1, Terms: []string{"ga"}, K: 10}))
+	f.Add(encodeFrames(f, absurdRequests()...))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := gob.NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 8; i++ {
+			req, err := DecodeRequest(dec)
+			if err != nil {
+				return
+			}
+			if ValidateRequest(&req) != nil {
+				continue
+			}
+			if req.Kind == KindSearch || req.Kind == KindPhrase {
+				if req.K <= 0 || req.K > MaxK {
+					t.Fatalf("validation admitted K=%d", req.K)
+				}
+			}
+			if len(req.Terms) > MaxTerms {
+				t.Fatalf("validation admitted %d terms", len(req.Terms))
+			}
+			for _, term := range req.Terms {
+				if len(term) > MaxTermLen {
+					t.Fatalf("validation admitted a %d-byte term", len(term))
+				}
+			}
+			if req.DeadlineUS < 0 {
+				t.Fatalf("validation admitted deadline %d", req.DeadlineUS)
 			}
 		}
 	})

@@ -1,0 +1,107 @@
+package rpc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cottage/internal/overload"
+)
+
+// Prober is the aggregator's background health checker: on every tick
+// it pings each unhealthy ISN — one whose client connection is broken
+// or whose circuit breaker is not closed — and a successful ping closes
+// the breaker on the spot. This is what turns the breaker from a
+// one-way fuse into a recovery loop: a crashed ISN that comes back is
+// revived within one probe interval, without waiting for live query
+// traffic to spend a half-open probe on it.
+//
+// Healthy ISNs are never probed, so the prober adds no steady-state
+// load; probes use the client's normal retry/timeout policy.
+type Prober struct {
+	agg      *Aggregator
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	probes   atomic.Uint64
+	revived  atomic.Uint64
+}
+
+// StartProber launches a background health prober ticking at interval.
+// It returns the prober for stats; stop it with StopProber (or
+// Prober.Stop). Starting a second prober stops the first.
+func (a *Aggregator) StartProber(interval time.Duration) *Prober {
+	a.StopProber()
+	p := &Prober{
+		agg:      a,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	a.prober = p
+	go p.run()
+	return p
+}
+
+// StopProber halts the background prober, if any, and waits for its
+// goroutine to exit.
+func (a *Aggregator) StopProber() {
+	if a.prober != nil {
+		a.prober.Stop()
+		a.prober = nil
+	}
+}
+
+func (p *Prober) run() {
+	defer close(p.done)
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.sweep()
+		}
+	}
+}
+
+// sweep probes every currently-unhealthy ISN concurrently and waits for
+// the results, so a sweep never overlaps the next tick's.
+func (p *Prober) sweep() {
+	var wg sync.WaitGroup
+	for i, c := range p.agg.Clients {
+		unhealthy := c.Broken()
+		if b := p.agg.breaker(i); b != nil && b.State() != overload.Closed {
+			unhealthy = true
+		}
+		if !unhealthy {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			p.probes.Add(1)
+			if err := c.Ping(); err == nil {
+				if b := p.agg.breaker(i); b != nil {
+					b.OnSuccess()
+				}
+				p.revived.Add(1)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+}
+
+// Stop halts the prober and waits for its goroutine to exit. Safe to
+// call once.
+func (p *Prober) Stop() {
+	close(p.stop)
+	<-p.done
+}
+
+// Stats reports how many probes the prober has sent and how many
+// revived an ISN.
+func (p *Prober) Stats() (probes, revived uint64) {
+	return p.probes.Load(), p.revived.Load()
+}

@@ -14,6 +14,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -25,6 +26,7 @@ import (
 
 	"cottage/internal/faults"
 	"cottage/internal/index"
+	"cottage/internal/overload"
 	"cottage/internal/predict"
 	"cottage/internal/search"
 )
@@ -58,6 +60,23 @@ type Request struct {
 	DeadlineUS int64
 }
 
+// Code classifies a Response beyond its payload, so clients can tell a
+// shed request (transient — back off and retry) from a rejected one
+// (permanent — fix the request) without parsing error strings.
+type Code int
+
+const (
+	// CodeOK is the zero value: the request was served.
+	CodeOK Code = iota
+	// CodeOverloaded: admission control shed the request. The ISN is
+	// healthy, just saturated; the client retries with backoff and must
+	// not count this against the circuit breaker.
+	CodeOverloaded
+	// CodeBadRequest: the request decoded but failed validation.
+	// Retrying the same bytes can never succeed.
+	CodeBadRequest
+)
+
 // Response is the wire response.
 type Response struct {
 	ID    uint64
@@ -65,6 +84,13 @@ type Response struct {
 	Stats search.ExecStats
 	Pred  predict.Prediction
 	Err   string
+	Code  Code
+	// QueueDepth and AvgServiceUS ride on KindPredict responses: the
+	// ISN's current admission-queue occupancy and its EWMA service time.
+	// The aggregator turns them into the Eq. 2 equivalent-latency
+	// correction (core.QueueBacklogMS) before running Algorithm 1.
+	QueueDepth   int
+	AvgServiceUS int64
 }
 
 // DecodeRequest reads one Request from a gob stream. A corrupted or
@@ -106,41 +132,219 @@ type Server struct {
 	// hang off the same injector so one seed replays a whole scenario.
 	Faults   *faults.Injector
 	FaultISN int
-	mu       sync.Mutex // serializes predictor scratch use
+	// Limit, when set, is the admission gate for search work: KindSearch
+	// and KindPhrase must acquire a slot (or queue) before any index
+	// evaluation; shed requests get a CodeOverloaded response. KindPing
+	// and KindPredict bypass it — the control plane must stay responsive
+	// under overload, and queue-depth feedback rides on KindPredict.
+	Limit *overload.Limiter
+	mu    sync.Mutex // serializes predictor scratch use
+
+	connMu     sync.Mutex
+	conns      map[net.Conn]struct{}
+	listeners  map[net.Listener]struct{}
+	handlers   sync.WaitGroup
+	inShutdown atomic.Bool
+
+	served       atomic.Uint64 // search/phrase requests fully served
+	shed         atomic.Uint64 // requests rejected with CodeOverloaded
+	avgServiceUS atomic.Int64  // EWMA of search service time (µs)
 }
 
+// Served reports how many search/phrase requests this server completed.
+func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Shed reports how many requests admission control rejected.
+func (s *Server) Shed() uint64 { return s.shed.Load() }
+
+func (s *Server) trackListener(l net.Listener, add bool) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if add {
+		if s.listeners == nil {
+			s.listeners = make(map[net.Listener]struct{})
+		}
+		s.listeners[l] = struct{}{}
+	} else {
+		delete(s.listeners, l)
+	}
+}
+
+func (s *Server) trackConn(c net.Conn, add bool) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if add {
+		if s.conns == nil {
+			s.conns = make(map[net.Conn]struct{})
+		}
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+}
+
+// Accept-loop backoff bounds for temporary errors (e.g. EMFILE under
+// connection floods): start small, double, cap — same shape as
+// net/http.Server.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 250 * time.Millisecond
+)
+
 // Serve accepts connections until the listener is closed. Each connection
-// gets its own goroutine and a gob codec.
+// gets its own goroutine and a gob codec. Temporary Accept errors are
+// retried with capped exponential backoff instead of killing the server;
+// after Shutdown (or closing the listener) Serve returns nil rather than
+// surfacing the listener teardown as an error.
 func (s *Server) Serve(l net.Listener) error {
+	s.trackListener(l, true)
+	defer s.trackListener(l, false)
+	backoff := acceptBackoffMin
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
+			if s.inShutdown.Load() || errors.Is(err, net.ErrClosed) {
 				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > acceptBackoffMax {
+					backoff = acceptBackoffMax
+				}
+				continue
 			}
 			return fmt.Errorf("rpc: accept: %w", err)
 		}
+		backoff = acceptBackoffMin
+		if s.inShutdown.Load() {
+			conn.Close()
+			continue
+		}
+		s.handlers.Add(1)
+		s.trackConn(conn, true)
 		go s.handle(conn)
 	}
 }
 
+// Shutdown gracefully stops the server: stop accepting, shed the
+// admission queue, let in-flight requests finish, then close. Handlers
+// idle in a blocking read are unblocked by expiring their read deadline
+// — writes are unaffected, so responses already being served still
+// drain. If ctx expires first, remaining connections are force-closed
+// and ctx's error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.inShutdown.Store(true)
+	s.connMu.Lock()
+	for l := range s.listeners {
+		l.Close()
+	}
+	open := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		open = append(open, c)
+	}
+	s.connMu.Unlock()
+	if s.Limit != nil {
+		s.Limit.Close()
+	}
+	now := time.Now()
+	for _, c := range open {
+		c.SetReadDeadline(now)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		return ctx.Err()
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		conn.Close()
+		s.trackConn(conn, false)
+		s.handlers.Done()
+	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
 		req, err := DecodeRequest(dec)
 		if err != nil {
-			return // connection closed or corrupted; drop it
+			return // connection closed, corrupted, or draining; drop it
 		}
-		resp := s.dispatch(&req)
+		resp := s.serve(&req)
 		if resp == nil {
 			return // injected prediction timeout: go silent like a hung process
 		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
+		if s.inShutdown.Load() {
+			return
+		}
 	}
+}
+
+// serve runs one request through validation and admission control, then
+// dispatches it.
+func (s *Server) serve(req *Request) *Response {
+	if err := ValidateRequest(req); err != nil {
+		return &Response{ID: req.ID, Code: CodeBadRequest, Err: err.Error()}
+	}
+	heavy := req.Kind == KindSearch || req.Kind == KindPhrase
+	if heavy && s.Limit != nil {
+		// The request's own budget bounds its queue wait: a query that
+		// queued past its deadline is shed, not served late (Eq. 2 —
+		// queue wait is latency).
+		if err := s.Limit.Acquire(time.Duration(req.DeadlineUS) * time.Microsecond); err != nil {
+			s.shed.Add(1)
+			return &Response{ID: req.ID, Code: CodeOverloaded, Err: err.Error()}
+		}
+		defer s.Limit.Release()
+	}
+	start := time.Now()
+	resp := s.dispatch(req)
+	if heavy {
+		s.observeService(time.Since(start))
+		if resp != nil && resp.Err == "" {
+			s.served.Add(1)
+		}
+	}
+	return resp
+}
+
+// observeService folds one search's service time into the EWMA
+// (alpha = 1/4) that KindPredict reports for Eq. 2.
+func (s *Server) observeService(d time.Duration) {
+	us := d.Microseconds()
+	for {
+		old := s.avgServiceUS.Load()
+		next := us
+		if old != 0 {
+			next = old + (us-old)/4
+		}
+		if s.avgServiceUS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// pendingDepth is the admission-queue occupancy KindPredict reports.
+func (s *Server) pendingDepth() int {
+	if s.Limit == nil {
+		return 0
+	}
+	return s.Limit.Pending()
 }
 
 func (s *Server) dispatch(req *Request) *Response {
@@ -173,6 +377,8 @@ func (s *Server) dispatch(req *Request) *Response {
 		s.mu.Lock()
 		resp.Pred = s.Pred.Predict(s.Shard, req.Terms)
 		s.mu.Unlock()
+		resp.QueueDepth = s.pendingDepth()
+		resp.AvgServiceUS = s.avgServiceUS.Load()
 	case KindPhrase:
 		r, err := search.Phrase(s.Shard, req.Terms, req.K)
 		if err != nil {
@@ -289,6 +495,25 @@ func IsTransient(err error) bool {
 	return errors.As(err, &t)
 }
 
+// ErrOverloaded is the client-visible form of a shed request. It is
+// transient (IsTransient returns true — the retry loop backs off and
+// tries again) but distinguishable, because callers must NOT treat a
+// shedding ISN as a dead one: it answers its control plane, its breaker
+// stays closed, and the right response is backoff, not failover.
+var ErrOverloaded = overload.ErrOverloaded
+
+// IsOverloaded reports whether err is a server-shed rejection.
+func IsOverloaded(err error) bool { return errors.Is(err, ErrOverloaded) }
+
+// Broken reports whether the client's connection is currently marked
+// broken (it will redial on the next call). The health prober uses this
+// to pick probe targets.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
 // reconnect re-establishes the connection after a transport fault. The
 // gob session restarts from scratch (fresh type table, fresh codec).
 func (c *Client) reconnect() error {
@@ -386,6 +611,12 @@ func (c *Client) callOnce(req *Request) (*Response, error) {
 		c.broken = true
 		return nil, errTransient{fmt.Errorf("rpc: response ID %d for request %d", resp.ID, req.ID)}
 	}
+	if resp.Code == CodeOverloaded {
+		// Shed by admission control: the transport and the stream are
+		// fine (do NOT mark broken), the server is just saturated.
+		// Transient, so the retry loop backs off and tries again.
+		return nil, errTransient{fmt.Errorf("rpc: %s: %w", c.addr, ErrOverloaded)}
+	}
 	if resp.Err != "" {
 		// Application-level error: the transport is fine, don't retry.
 		return nil, fmt.Errorf("rpc: server error: %s", resp.Err)
@@ -421,9 +652,24 @@ func (c *Client) Phrase(terms []string, k int) (search.Result, error) {
 
 // Predict fetches the remote ISN's quality/latency predictions.
 func (c *Client) Predict(terms []string) (predict.Prediction, error) {
+	pred, _, err := c.PredictLoad(terms)
+	return pred, err
+}
+
+// QueueInfo is the load feedback a KindPredict response carries: the
+// ISN's admission-queue occupancy and its EWMA service time. Together
+// they give the Eq. 2 queue-backlog term (depth × service time).
+type QueueInfo struct {
+	Depth        int
+	AvgServiceUS int64
+}
+
+// PredictLoad fetches predictions together with the ISN's current load
+// feedback for the Eq. 2 equivalent-latency correction.
+func (c *Client) PredictLoad(terms []string) (predict.Prediction, QueueInfo, error) {
 	resp, err := c.call(&Request{Kind: KindPredict, Terms: terms})
 	if err != nil {
-		return predict.Prediction{}, err
+		return predict.Prediction{}, QueueInfo{}, err
 	}
-	return resp.Pred, nil
+	return resp.Pred, QueueInfo{Depth: resp.QueueDepth, AvgServiceUS: resp.AvgServiceUS}, nil
 }

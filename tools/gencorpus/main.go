@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 
 	"cottage/internal/predict"
 	"cottage/internal/rpc"
@@ -58,11 +59,28 @@ func main() {
 		&rpc.Request{Kind: rpc.KindPredict, ID: 2, Terms: []string{"tail", "latency"}},
 		&rpc.Request{Kind: rpc.KindPing, ID: 3},
 	)
+	// Structurally valid, semantically absurd: the requests server-side
+	// validation exists to reject (out-of-range K, oversized term lists,
+	// giant terms, negative deadlines, unknown kinds). Mirrors
+	// absurdRequests in internal/rpc/fuzz_test.go.
+	reqAbsurd := encode(
+		&rpc.Request{Kind: rpc.KindSearch, ID: 10, Terms: []string{"ga"}, K: 0},
+		&rpc.Request{Kind: rpc.KindSearch, ID: 11, Terms: []string{"ga"}, K: 2_000_000},
+		&rpc.Request{Kind: rpc.KindPredict, ID: 12, Terms: make([]string, rpc.MaxTerms+36)},
+		&rpc.Request{Kind: rpc.KindSearch, ID: 13, Terms: []string{strings.Repeat("z", 2048)}, K: 5},
+		&rpc.Request{Kind: rpc.KindSearch, ID: 14, Terms: []string{"ga"}, K: 5, DeadlineUS: -1},
+		&rpc.Request{Kind: rpc.Kind(99), ID: 15, K: 5},
+	)
 	writeCorpus("internal/rpc/testdata/fuzz/FuzzDecodeRequest", map[string][]byte{
 		"valid":     reqValid,
 		"truncated": reqValid[:len(reqValid)/2],
 		"header":    reqValid[:7],
 		"corrupted": corrupt(reqValid),
+		"absurd":    reqAbsurd,
+	})
+	writeCorpus("internal/rpc/testdata/fuzz/FuzzValidateRequest", map[string][]byte{
+		"valid":  reqValid,
+		"absurd": reqAbsurd,
 	})
 
 	respValid := encode(
