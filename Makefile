@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke overload-smoke corpus check clean
+.PHONY: all build vet test race fuzz-smoke overload-smoke obs-smoke corpus check clean
 
 all: build
 
@@ -36,11 +36,19 @@ fuzz-smoke:
 overload-smoke:
 	$(GO) test ./internal/harness -run Overload -count=1
 
+# End-to-end observability gate: a live distributed fixture with a debug
+# listener — /metrics must parse and expose the latency/predictor
+# families, and a traced Cottage query must come back from /debug/traces
+# with a complete span tree (phases, legs, grafted ISN serve spans, and
+# the Algorithm 1 decision record).
+obs-smoke:
+	$(GO) test ./internal/rpc -run TestObsSmoke -count=1
+
 # Regenerate the checked-in fuzz seed corpus after wire-format changes.
 corpus:
 	$(GO) run ./tools/gencorpus
 
-check: vet build race fuzz-smoke overload-smoke
+check: vet build race fuzz-smoke overload-smoke obs-smoke
 
 clean:
 	$(GO) clean ./...

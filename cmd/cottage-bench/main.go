@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"cottage/internal/harness"
+	"cottage/internal/obs"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 		outPath    = flag.String("out", "", "write results to this file instead of stdout")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		csvDir     = flag.String("csv", "", "export raw per-query outcomes of the policy comparison to CSVs in this directory")
+		debugAddr  = flag.String("debug-addr", "", "HTTP debug listener for the simulated twin (/metrics, /debug/traces); empty = off")
 	)
 	flag.Parse()
 
@@ -73,6 +75,20 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("setup ready in %v", time.Since(start).Round(time.Millisecond))
+
+	if *debugAddr != "" {
+		// The simulated twin shares the live transport's observability
+		// surface: experiments that replay under an observer (predacc, and
+		// any Run while Obs is attached) land here. Mid-run scrapes see
+		// approximate snapshots; the printed tables stay authoritative.
+		s.Engine.Obs = obs.NewObserver(len(s.Engine.Shards), 512)
+		dbg, err := obs.StartDebug(*debugAddr, s.Engine.Obs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug listener on http://%s (/metrics, /debug/traces)", dbg.Addr())
+	}
 
 	run := func(e harness.Experiment) {
 		fmt.Fprintf(out, "\n=== %s — %s ===\n", e.ID, e.Title)

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"cottage/internal/core"
+	"cottage/internal/obs"
 	"cottage/internal/rpc"
 	"cottage/internal/search"
 	"cottage/internal/trace"
@@ -44,6 +45,8 @@ func main() {
 		brkN      = flag.Int("breaker-threshold", 3, "open an ISN's circuit breaker after this many consecutive transport failures (0 = off)")
 		brkCoolMS = flag.Float64("breaker-cooldown-ms", 500, "circuit-breaker cooldown before a half-open probe, in ms")
 		probeMS   = flag.Float64("probe-interval-ms", 0, "background health-probe interval for broken/open ISNs, in ms (0 = off)")
+		debugAddr = flag.String("debug-addr", "", "HTTP debug listener (/metrics, /healthz, /debug/traces, /debug/accuracy, /debug/pprof); empty = off")
+		traceOut  = flag.String("trace-out", "", "write the recorded query traces as JSONL to this file on exit")
 	)
 	flag.Parse()
 	if *servers == "" || (*queries == "" && *tracePath == "") {
@@ -76,6 +79,17 @@ func main() {
 	}
 	agg := rpc.NewAggregator(clients, *k)
 	agg.HedgeAfter = time.Duration(*hedgeMS * float64(time.Millisecond))
+	if *debugAddr != "" || *traceOut != "" {
+		agg.Obs = obs.NewObserver(len(clients), 512)
+	}
+	if *debugAddr != "" {
+		dbg, err := obs.StartDebug(*debugAddr, agg.Obs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug listener on http://%s (/metrics, /debug/traces, /debug/accuracy)", dbg.Addr())
+	}
 	if *brkN > 0 {
 		agg.EnableBreakers(*brkN, time.Duration(*brkCoolMS*float64(time.Millisecond)))
 	}
@@ -190,5 +204,19 @@ func main() {
 		if probes > 0 {
 			fmt.Printf("health prober: %d probes, %d revivals\n", probes, revived)
 		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := agg.Obs.Traces.WriteJSONL(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d traces to %s (ring keeps the last 512)", len(agg.Obs.Traces.Recent(0)), *traceOut)
 	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"cottage/internal/faults"
 	"cottage/internal/index"
+	"cottage/internal/obs"
 	"cottage/internal/overload"
 	"cottage/internal/predict"
 	"cottage/internal/rpc"
@@ -38,6 +39,7 @@ func main() {
 		queueLen  = flag.Int("queue-depth", 64, "admission control: queued searches behind the in-flight cap")
 		aimd      = flag.Bool("aimd", false, "adapt -max-inflight AIMD-style (additive increase, halve on shed)")
 		drainTO   = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
+		debugAddr = flag.String("debug-addr", "", "HTTP debug listener (/metrics, /healthz, /debug/traces, /debug/pprof); empty = off")
 	)
 	flag.Parse()
 	if *shardPath == "" {
@@ -83,6 +85,15 @@ func main() {
 	}
 	log.Printf("serving on %s", l.Addr())
 	srv := &rpc.Server{Shard: shard, Pred: pred, Strategy: strat}
+	if *debugAddr != "" {
+		srv.Obs = obs.NewObserver(1, 256)
+		dbg, err := obs.StartDebug(*debugAddr, srv.Obs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug listener on http://%s (/metrics, /healthz, /debug/traces)", dbg.Addr())
+	}
 	if *inflight > 0 {
 		lim := overload.NewLimiter(*inflight, *queueLen, nil)
 		if *aimd {

@@ -1,0 +1,43 @@
+package cluster
+
+import (
+	"strconv"
+
+	"cottage/internal/obs"
+)
+
+// Register exposes the simulated cluster on a metrics registry, so the
+// twin serves the same scrape surface as the live transport: virtual
+// clock, power, utilization, and per-ISN busy/served accounting.
+//
+// The simulator is single-threaded; gauge reads take no locks. A scrape
+// that races an in-progress Run (e.g. cottage-bench with a debug
+// listener) sees an approximate mid-run snapshot, which is fine for
+// monitoring — the authoritative numbers come from RunResult.
+func (c *Cluster) Register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("cottage_cluster_now_ms",
+		"Latest virtual time the simulated cluster has seen.",
+		func() float64 { return c.NowMS() })
+	reg.GaugeFunc("cottage_cluster_power_w",
+		"Mean package power over the simulated horizon.",
+		func() float64 { return c.AveragePowerWatts() })
+	reg.GaugeFunc("cottage_cluster_utilization",
+		"Mean busy fraction across ISNs over the horizon.",
+		func() float64 { return c.Utilization() })
+	reg.GaugeFunc("cottage_cluster_failed_isns",
+		"ISNs currently marked dead (injected failures).",
+		func() float64 { return float64(c.FailedCount()) })
+	for _, n := range c.ISNs {
+		node := n
+		isn := obs.L("isn", strconv.Itoa(node.ID))
+		reg.GaugeFunc("cottage_isn_busy_ms",
+			"Cumulative busy time per simulated ISN.",
+			func() float64 { return node.BusyMS }, isn)
+		reg.GaugeFunc("cottage_isn_queries_served",
+			"Queries served per simulated ISN.",
+			func() float64 { return float64(node.QueriesServed) }, isn)
+	}
+}

@@ -35,6 +35,11 @@ type ISNReport struct {
 	LCurrent    float64 // equivalent latency at the current frequency
 	LBoosted    float64 // equivalent latency at the maximum frequency
 	PredCycles  float64
+	// RawCycles is the predictor's cycle estimate before the latency
+	// margin inflates it — the honest prediction, kept so accuracy
+	// tracking measures the model rather than the safety margin. Zero
+	// means "same as PredCycles" (no margin applied).
+	RawCycles float64
 }
 
 // BudgetResult is the optimizer's output.
@@ -46,6 +51,9 @@ type BudgetResult struct {
 	Selected []Assignment
 	// Cut lists ISNs excluded (zero quality, or boosted latency above T).
 	Cut []int
+	// BudgetISN is the ISN whose boosted latency set the budget
+	// (Algorithm 1's "ISN j"), -1 when no candidate survived stage 1.
+	BudgetISN int
 }
 
 // Assignment is one selected ISN and its DVFS frequency.
@@ -91,14 +99,17 @@ func DetermineBudget(reports []ISNReport, ladder cluster.Ladder, opts BudgetOpti
 	cands := stage1Cut(reports, &res)
 	if len(cands) == 0 {
 		res.BudgetMS = math.Inf(1)
+		res.BudgetISN = -1
 		return res
 	}
 	// Stage 2: descending boosted latency; budget = first K/2 contributor.
 	T := cands[0].LBoosted
+	res.BudgetISN = cands[0].ISN
 	if !opts.StrictTopK {
 		for _, c := range cands {
 			if c.HasK2 {
 				T = c.LBoosted
+				res.BudgetISN = c.ISN
 				break
 			}
 		}
@@ -248,6 +259,7 @@ func reportsFromPredictions(e *engine.Engine, preds []predict.Prediction, nowMS 
 			LCurrent:   e.Cluster.EquivalentLatencyMS(isn, nowMS, cycles, fdef),
 			LBoosted:   e.Cluster.EquivalentLatencyMS(isn, nowMS, cycles, fmax),
 			PredCycles: cycles,
+			RawCycles:  p.Cycles,
 		})
 	}
 	return reports
@@ -274,6 +286,15 @@ func (c *Cottage) decideFromReports(e *engine.Engine, reports []ISNReport) engin
 		StrictTopK: c.StrictTopK,
 		Downclock:  c.Downclock,
 	}, c.Degraded)
+	if e.Obs != nil {
+		var missing []int
+		for si := range e.Shards {
+			if e.Cluster.IsFailed(si) {
+				missing = append(missing, si)
+			}
+		}
+		d.Record = NewDecisionRecord(res, reports, missing, c.Degraded, e.Cluster.Ladder)
+	}
 	if len(res.Selected) == 0 {
 		// Every candidate was cut (or nothing matched). Fall back to the
 		// highest-expected-quality ISN so the client never gets an empty

@@ -53,11 +53,13 @@ func DetermineBudgetDegraded(reports []ISNReport, missing int, ladder cluster.La
 	cands := stage1Cut(reports, &res)
 	if len(cands) == 0 {
 		res.BudgetMS = math.Inf(1)
+		res.BudgetISN = -1
 		return res
 	}
 	// cands is sorted by descending boosted latency, so the conservative
 	// budget is the head's. Every candidate meets it at max frequency,
 	// so the assignment stage cuts nobody.
+	res.BudgetISN = cands[0].ISN
 	assignFrequencies(&res, cands, cands[0].LBoosted, ladder, opts)
 	return res
 }

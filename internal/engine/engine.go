@@ -23,11 +23,13 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"cottage/internal/cluster"
 	"cottage/internal/index"
+	"cottage/internal/obs"
 	"cottage/internal/predict"
 	"cottage/internal/qcache"
 	"cottage/internal/search"
@@ -54,6 +56,23 @@ type Engine struct {
 	// round trip plus a lookup; misses follow the configured policy and
 	// populate the cache.
 	Cache *qcache.LRU
+	// Obs, when set, makes the simulated twin record the same
+	// observability surface as the live transport: one virtual-time trace
+	// per query (predict/budget/search/merge spans, per-ISN execution
+	// legs, the Algorithm 1 decision record), latency/budget histograms,
+	// and rolling predictor accuracy — so harness sweeps validate the
+	// instrumentation itself.
+	Obs *obs.Observer
+
+	// runObs caches the current Run's metric handles (resolved once per
+	// Run so the per-query hot path never touches the registry).
+	runObs *engineRunObs
+}
+
+// engineRunObs holds one Run's pre-resolved metric handles.
+type engineRunObs struct {
+	latency *obs.Histogram
+	budget  *obs.Histogram
 }
 
 // Config assembles an Engine.
@@ -232,6 +251,10 @@ type Decision struct {
 	// (energy + queue occupancy), whether or not it participates — the
 	// prediction step runs on all ISNs (step 2 of the protocol).
 	UsedPredictors bool
+	// Record, when the policy provides it (Cottage does, with an
+	// observer attached), is the Algorithm 1 audit trail for this query;
+	// the engine attaches it to the trace's budget span.
+	Record *obs.DecisionRecord
 }
 
 // Policy decides, per query, which ISNs run, at what frequency, and under
@@ -287,6 +310,19 @@ func (e *Engine) Run(p Policy, evs []*Evaluated) RunResult {
 	if e.Cache != nil {
 		e.Cache.Reset()
 	}
+	e.runObs = nil
+	if e.Obs != nil {
+		reg := e.Obs.Reg
+		e.runObs = &engineRunObs{
+			latency: reg.Histogram("cottage_agg_query_ms",
+				"End-to-end query latency at the aggregator (virtual time).",
+				obs.LatencyBucketsMS(), obs.L("mode", p.Name())),
+			budget: reg.Histogram("cottage_agg_budget_ms",
+				"Algorithm 1 time budget T per query (finite budgets only).",
+				obs.LatencyBucketsMS()),
+		}
+		e.Cluster.Register(reg) // idempotent: create-or-get
+	}
 	res := RunResult{Policy: p.Name(), Outcomes: make([]Outcome, 0, len(evs))}
 	for _, ev := range evs {
 		res.Outcomes = append(res.Outcomes, e.runOne(p, ev))
@@ -319,6 +355,7 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 			} else {
 				out.PAtK = 1
 			}
+			e.recordCacheHit(p, ev, out)
 			p.Observe(out.LatencyMS)
 			return out
 		}
@@ -343,6 +380,7 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 		BudgetMS:  d.BudgetMS,
 	}
 	var lists [][]search.Hit
+	var execs []cluster.Execution // recorded for the trace (observer only)
 	aggDone := dispatch
 	anyDropped := false
 	anyFailed := false
@@ -355,6 +393,9 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 			f = d.Freq[si]
 		}
 		exec := e.Cluster.Execute(si, dispatch, ev.Cycles[si], f, deadline)
+		if e.Obs != nil {
+			execs = append(execs, exec)
+		}
 		if exec.Failed {
 			// Dead node: the request is lost, nothing was searched.
 			anyFailed = true
@@ -413,8 +454,114 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 	if e.Cache != nil {
 		e.Cache.Put(qcache.Key(ev.Query.Terms), merged)
 	}
+	e.recordQuery(p, ev, d, arrive, dispatch, aggDone, execs, out)
 	p.Observe(out.LatencyMS)
 	return out
+}
+
+// vtUS converts a virtual-time millisecond stamp into the microsecond
+// units spans carry (the simulated twin's traces live on the virtual
+// clock, not the wall clock).
+func vtUS(ms float64) int64 { return int64(ms * 1000) }
+
+// recordCacheHit traces an aggregator cache hit: a single query root,
+// no fan-out.
+func (e *Engine) recordCacheHit(p Policy, ev *Evaluated, out Outcome) {
+	if e.Obs == nil {
+		return
+	}
+	e.runObs.latency.Observe(out.LatencyMS)
+	tb := obs.NewTraceBuilder(vtUS(ev.Query.ArrivalMS))
+	root := tb.StartSpan("query", 0, vtUS(ev.Query.ArrivalMS))
+	root.SetAttr("mode", p.Name())
+	root.SetAttr("cache", "hit")
+	root.SetAttr("query_id", strconv.Itoa(ev.Query.ID))
+	root.End(vtUS(ev.Query.ArrivalMS + out.LatencyMS))
+	e.Obs.Traces.Add(tb.Finish())
+}
+
+// recordQuery emits the simulated twin's observability for one replayed
+// query: the same span tree the live aggregator records (query root,
+// predict/budget/search/merge phases, per-ISN execution legs), the
+// latency/budget histograms, and — when the policy produced an
+// Algorithm 1 decision record — predictor-accuracy samples comparing
+// predicted equivalent latency and top-K contribution against what the
+// simulator actually did.
+func (e *Engine) recordQuery(p Policy, ev *Evaluated, d Decision,
+	arrive, dispatch, aggDone float64, execs []cluster.Execution, out Outcome) {
+
+	if e.Obs == nil {
+		return
+	}
+	e.runObs.latency.Observe(out.LatencyMS)
+	if !math.IsInf(d.BudgetMS, 1) && d.BudgetMS > 0 {
+		e.runObs.budget.Observe(d.BudgetMS)
+	}
+
+	tb := obs.NewTraceBuilder(vtUS(ev.Query.ArrivalMS))
+	root := tb.StartSpan("query", 0, vtUS(ev.Query.ArrivalMS))
+	root.SetAttr("mode", p.Name())
+	root.SetAttr("query_id", strconv.Itoa(ev.Query.ID))
+
+	if d.UsedPredictors {
+		ps := tb.StartSpan("predict", root.ID(), vtUS(arrive))
+		ps.End(vtUS(dispatch))
+	}
+	bs := tb.StartSpan("budget", root.ID(), vtUS(dispatch))
+	bs.SetDecision(d.Record)
+	bs.End(vtUS(dispatch))
+
+	ss := tb.StartSpan("search", root.ID(), vtUS(dispatch))
+	for _, exec := range execs {
+		leg := tb.StartSpan("search.isn", ss.ID(), vtUS(dispatch))
+		leg.SetISN(exec.ISN)
+		leg.SetAttr("freq_ghz", strconv.FormatFloat(exec.Freq, 'g', -1, 64))
+		switch {
+		case exec.Failed:
+			leg.SetAttr("failed", "true")
+		case exec.Shed:
+			leg.SetAttr("shed", "true")
+		default:
+			leg.SetAttr("queue_ms", strconv.FormatFloat(exec.QueueMS, 'g', -1, 64))
+			leg.SetAttr("service_ms", strconv.FormatFloat(exec.ServiceMS, 'g', -1, 64))
+			if !exec.Completed {
+				leg.SetAttr("dropped", "true")
+			}
+		}
+		leg.End(vtUS(e.Cluster.ResponseAtAggregatorMS(exec)))
+	}
+	ss.End(vtUS(aggDone))
+	ms := tb.StartSpan("merge", root.ID(), vtUS(aggDone))
+	ms.End(vtUS(aggDone))
+	root.End(vtUS(aggDone + e.Cluster.Net.ClientMS))
+	e.Obs.Traces.Add(tb.Finish())
+
+	// Predictor accuracy, when the policy exposed its reports: the
+	// unmargined service-time prediction at the assigned frequency
+	// against the simulator's actual service time (the paper's Fig. 8
+	// quantity — the deliberate LatencyMargin safety inflation is policy,
+	// not predictor error), and predicted top-K membership against the
+	// shard's true overlap with the exhaustive top-K. Truncated
+	// executions are skipped: their busy time is the budget, not the
+	// query's cost.
+	if d.Record == nil {
+		return
+	}
+	byISN := make(map[int]*obs.ReportRecord, len(d.Record.Reports))
+	for i := range d.Record.Reports {
+		byISN[d.Record.Reports[i].ISN] = &d.Record.Reports[i]
+	}
+	for _, exec := range execs {
+		rep := byISN[exec.ISN]
+		if rep == nil || exec.Failed || exec.Shed {
+			continue
+		}
+		if exec.Completed {
+			e.Obs.Acc.ObserveLatency(exec.ISN, rep.PredServiceMS, exec.ServiceMS)
+		}
+		actualHasK := search.Overlap(ev.PerShard[exec.ISN].Hits, ev.TopKSet) > 0
+		e.Obs.Acc.ObserveQuality(exec.ISN, rep.HasK, actualHasK)
+	}
 }
 
 // chargeInference accounts the per-ISN predictor inference cost on every

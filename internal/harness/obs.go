@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"cottage/internal/core"
+	"cottage/internal/engine"
+	"cottage/internal/obs"
+)
+
+// PredictorAccuracy replays the Wikipedia trace under Cottage with an
+// observer attached and reports the rolling predictor-accuracy tracker's
+// view: per-ISN mean absolute latency-prediction error (percent of the
+// simulator's actual queue + service time) and the quality predictor's
+// top-K hit rate. This is the same tracker the live aggregator serves on
+// /debug/accuracy and /metrics, fed here by the simulated twin — so the
+// numbers double as a check that the instrumentation path works end to
+// end (EXPERIMENTS.md records a run).
+func PredictorAccuracy(s *Setup, w io.Writer) error {
+	// Reuse an observer someone already attached (cottage-bench
+	// -debug-addr serves it over HTTP); otherwise attach a private one
+	// for the duration of the experiment.
+	o := s.Engine.Obs
+	if o == nil {
+		o = obs.NewObserver(len(s.Engine.Shards), 64)
+		s.Engine.Obs = o
+		defer func() { s.Engine.Obs = nil }()
+	}
+
+	sm := engine.Summarize(s.Engine.Run(core.NewCottage(), s.WikiEval))
+	fmt.Fprintf(w, "Rolling predictor accuracy under cottage (%d queries, wikipedia trace)\n", sm.Queries)
+	fmt.Fprintf(w, "%-5s %12s %14s %14s %12s %10s\n",
+		"ISN", "lat samples", "mean |err| %", "ewma |err| %", "qual samples", "hit rate")
+	var meanErr, meanHit float64
+	n := 0
+	for _, a := range o.Acc.Snapshot() {
+		fmt.Fprintf(w, "%-5d %12d %14.1f %14.1f %12d %10.3f\n",
+			a.ISN, a.LatSamples, a.MeanAbsErrPct, a.EWMAAbsErrPct, a.QualSamples, a.QualHitRate)
+		if a.LatSamples > 0 {
+			meanErr += a.MeanAbsErrPct
+			meanHit += a.QualHitRate
+			n++
+		}
+	}
+	if n > 0 {
+		fmt.Fprintf(w, "fleet mean: |latency err| %.1f%%, quality hit rate %.3f\n",
+			meanErr/float64(n), meanHit/float64(n))
+	}
+	fmt.Fprintf(w, "traces recorded: %d (ring holds the most recent %d)\n",
+		o.Traces.Total(), len(o.Traces.Recent(0)))
+	return nil
+}

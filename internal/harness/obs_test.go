@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"cottage/internal/core"
+	"cottage/internal/engine"
+	"cottage/internal/obs"
+)
+
+// TestSimulatedTwinTraces proves the engine records the same span tree as
+// the live aggregator: query root, predict/budget/search/merge phases,
+// per-ISN execution legs, and the Algorithm 1 decision record on the
+// budget span — all on the virtual clock — plus latency histograms and
+// predictor-accuracy samples on the shared registry.
+func TestSimulatedTwinTraces(t *testing.T) {
+	s := testSetup(t)
+	o := obs.NewObserver(len(s.Engine.Shards), 128)
+	s.Engine.Obs = o
+	defer func() { s.Engine.Obs = nil }()
+
+	n := 50
+	if n > len(s.WikiEval) {
+		n = len(s.WikiEval)
+	}
+	r := s.Engine.Run(core.NewCottage(), s.WikiEval[:n])
+	if int(o.Traces.Total()) != n {
+		t.Fatalf("recorded %d traces for %d queries", o.Traces.Total(), n)
+	}
+
+	// Find a trace whose decision selected several ISNs.
+	var tr *obs.Trace
+	for _, c := range o.Traces.Recent(0) {
+		if b := c.Find("budget"); b != nil && b.Decision != nil && len(b.Decision.Selected) > 1 {
+			tr = c
+			break
+		}
+	}
+	if tr == nil {
+		t.Fatal("no trace carries a multi-ISN decision record")
+	}
+	root := tr.Root()
+	if root == nil || root.Name != "query" {
+		t.Fatalf("trace root = %+v, want query", root)
+	}
+	if root.Attrs["mode"] != "cottage" {
+		t.Errorf("root mode attr = %q", root.Attrs["mode"])
+	}
+	legs := 0
+	for _, name := range []string{"predict", "budget", "search", "merge"} {
+		sp := tr.Find(name)
+		if sp == nil {
+			t.Fatalf("trace missing %s phase", name)
+		}
+		if sp.Parent != root.ID {
+			t.Errorf("%s span not parented to root", name)
+		}
+	}
+	search := tr.Find("search")
+	d := tr.Find("budget").Decision
+	for i := range tr.Spans {
+		sp := &tr.Spans[i]
+		if sp.Name != "search.isn" {
+			continue
+		}
+		legs++
+		if sp.Parent != search.ID {
+			t.Errorf("search.isn leg not under search phase")
+		}
+		if sp.ISN < 0 {
+			t.Errorf("execution leg has no ISN")
+		}
+	}
+	if legs != len(d.Selected) {
+		t.Errorf("%d execution legs for %d selected ISNs", legs, len(d.Selected))
+	}
+	if d.BudgetISN < 0 && len(d.Selected) > 0 && d.BudgetMS > 0 {
+		t.Errorf("decision has no budget-setting ISN: %+v", d)
+	}
+	if len(d.Reports) == 0 {
+		t.Error("decision record carries no reports")
+	}
+	// Virtual-time sanity: the root span's duration matches the outcome's
+	// latency for the traced query (µs = ms*1000).
+	qid := root.Attrs["query_id"]
+	for _, out := range r.Outcomes {
+		if qid == strconv.Itoa(out.QueryID) {
+			wantUS := int64(out.LatencyMS * 1000)
+			if diff := root.DurUS - wantUS; diff < -1 || diff > 1 {
+				t.Errorf("root span %d µs, outcome latency %d µs", root.DurUS, wantUS)
+			}
+		}
+	}
+
+	// Accuracy fed from the simulator.
+	lat, qual := uint64(0), uint64(0)
+	for _, a := range o.Acc.Snapshot() {
+		lat += a.LatSamples
+		qual += a.QualSamples
+	}
+	if lat == 0 || qual == 0 {
+		t.Fatalf("accuracy tracker empty: lat=%d qual=%d", lat, qual)
+	}
+
+	// Shared registry serves the twin's histograms and cluster gauges.
+	fams := promFamilies(t, o.Reg)
+	for _, want := range []string{
+		"cottage_agg_query_ms_bucket",
+		"cottage_agg_budget_ms_bucket",
+		"cottage_cluster_power_w",
+		"cottage_isn_busy_ms",
+		"cottage_predictor_quality_hit_rate",
+	} {
+		if !fams[want] {
+			t.Errorf("registry missing family %s", want)
+		}
+	}
+	_ = engine.Summarize(r)
+}
+
+// promFamilies scrapes a registry and returns the set of sample families.
+func promFamilies(tb testing.TB, reg *obs.Registry) map[string]bool {
+	tb.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		tb.Fatal(err)
+	}
+	fams := make(map[string]bool)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		fams[name] = true
+	}
+	return fams
+}

@@ -28,6 +28,7 @@ func Extras() []Experiment {
 		{"allocation", "Extra: topical vs round-robin document allocation", AllocationStudy},
 		{"availability", "Extra: latency/quality/power with 0-4 of the ISNs failed", Availability},
 		{"overload", "Extra: bounded ISN queues under 1x-4x load (shed rate, served p99, budget inflation)", Overload},
+		{"predacc", "Extra: rolling predictor-accuracy tracking (obs twin: latency error %, quality hit rate)", PredictorAccuracy},
 	}
 }
 

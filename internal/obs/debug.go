@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// NewDebugMux builds the debug HTTP surface for an Observer:
+//
+//	/metrics        Prometheus text exposition
+//	/healthz        liveness ("ok")
+//	/debug/traces   recent span trees as JSON (?n= limit, ?format=jsonl)
+//	/debug/pprof/*  net/http/pprof
+func NewDebugMux(o *Observer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if o != nil && o.Reg != nil {
+			_ = o.Reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		var rec *Recorder
+		if o != nil {
+			rec = o.Traces
+		}
+		if r.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = rec.WriteJSONL(w)
+			return
+		}
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		traces := rec.Recent(n)
+		if traces == nil {
+			traces = []*Trace{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(traces)
+	})
+	mux.HandleFunc("/debug/accuracy", func(w http.ResponseWriter, r *http.Request) {
+		var snap []ISNAccuracy
+		if o != nil {
+			snap = o.Acc.Snapshot()
+		}
+		if snap == nil {
+			snap = []ISNAccuracy{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Debug is a running debug listener.
+type Debug struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebug serves the debug mux on addr (e.g. "127.0.0.1:8080"; pass
+// ":0" for an ephemeral port) in a background goroutine.
+func StartDebug(addr string, o *Observer) (*Debug, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &Debug{ln: ln, srv: &http.Server{Handler: NewDebugMux(o)}}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the listener's bound address.
+func (d *Debug) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener.
+func (d *Debug) Close() error { return d.srv.Close() }

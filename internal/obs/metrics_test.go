@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("reqs_total", "requests"); again != c {
+		t.Fatal("Counter create-or-get returned a different instance")
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %g, want 2", got)
+	}
+}
+
+func TestRegisterAdoptsExisting(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(7)
+	got := r.Register("adopted_total", "adopted", &c).(*Counter)
+	if got != &c {
+		t.Fatal("Register did not adopt the provided collector")
+	}
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "adopted_total 7") {
+		t.Fatalf("scrape missing adopted counter:\n%s", out.String())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(LinearBuckets(0, 1, 100)) // 1..100
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) - 0.5) // 0.5, 1.5, ... 99.5
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	checks := []struct{ q, want, tol float64 }{
+		{0.50, 50, 1.5},
+		{0.95, 95, 1.5},
+		{0.99, 99, 1.5},
+	}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("p%g = %g, want %g±%g", c.q*100, got, c.want, c.tol)
+		}
+	}
+	if got := s.Mean(); math.Abs(got-50) > 0.5 {
+		t.Errorf("mean = %g, want ~50", got)
+	}
+	if s.Min != 0.5 || s.Max != 99.5 {
+		t.Errorf("min/max = %g/%g, want 0.5/99.5", s.Min, s.Max)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(LatencyBucketsMS())
+	s := h.Snapshot()
+	if q := s.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %g, want 0", q)
+	}
+	if m := s.Mean(); m != 0 {
+		t.Fatalf("empty mean = %g, want 0", m)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many writers while
+// a reader snapshots quantiles — the race detector is the real assertion,
+// plus the final totals must add up exactly.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(ExpBuckets(0.1, 2, 16))
+	const writers = 8
+	const perWriter = 5000
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() { // concurrent reader
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			if q := s.Quantile(0.95); q < 0 {
+				t.Errorf("negative quantile %g", q)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Observe(rng.Float64() * 100)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+
+	s := h.Snapshot()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perWriter)
+	}
+	bucketSum := uint64(0)
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	if q95 := s.Quantile(0.95); q95 < 50 || q95 > 100 {
+		t.Errorf("p95 = %g, want within (50, 100) for uniform [0,100)", q95)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cottage_requests_total", "Total requests.", L("kind", "search")).Add(3)
+	r.GaugeFunc("cottage_inflight", "In-flight requests.", func() float64 { return 2 })
+	h := r.Histogram("cottage_latency_ms", "Latency.", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(500)
+
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# TYPE cottage_requests_total counter",
+		`cottage_requests_total{kind="search"} 3`,
+		"# TYPE cottage_inflight gauge",
+		"cottage_inflight 2",
+		"# TYPE cottage_latency_ms histogram",
+		`cottage_latency_ms_bucket{le="1"} 1`,
+		`cottage_latency_ms_bucket{le="10"} 2`,
+		`cottage_latency_ms_bucket{le="100"} 2`,
+		`cottage_latency_ms_bucket{le="+Inf"} 3`,
+		"cottage_latency_ms_sum 505.5",
+		"cottage_latency_ms_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+	// Cumulative bucket counts must be monotone and families contiguous.
+	if strings.Count(text, "# TYPE cottage_latency_ms histogram") != 1 {
+		t.Error("histogram family emitted more than once")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird", "", L("q", `a"b\c`)).Inc()
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `weird{q="a\"b\\c"} 1`) {
+		t.Fatalf("bad label escaping:\n%s", out.String())
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import "strconv"
+
+// Accuracy tracks rolling predictor error per ISN — the live version of
+// the paper's Fig. 5–7 quantities: absolute latency-prediction error
+// (percent of actual) and the quality predictor's top-K hit rate
+// (predicted "contributes to top K" vs. whether the ISN actually placed
+// a document in the merged top K). Fixed per-ISN slots, atomic fields,
+// no locking.
+type Accuracy struct {
+	isns []accISN
+}
+
+type accISN struct {
+	latSamples    Counter
+	sumAbsErrPct  atomicFloat
+	ewmaAbsErrPct atomicFloat
+	qualSamples   Counter
+	qualHits      Counter
+}
+
+// ewmaAlpha weights recent queries ~8x a long-run mean; rolling enough
+// to show drift, stable enough to read off a gauge.
+const ewmaAlpha = 1.0 / 8
+
+// NewAccuracy returns a tracker with numISNs slots.
+func NewAccuracy(numISNs int) *Accuracy {
+	if numISNs < 0 {
+		numISNs = 0
+	}
+	return &Accuracy{isns: make([]accISN, numISNs)}
+}
+
+// ObserveLatency records one latency prediction vs. its measured
+// outcome, both in ms. Out-of-range ISNs and non-positive actuals are
+// ignored.
+func (a *Accuracy) ObserveLatency(isn int, predMS, actualMS float64) {
+	if a == nil || isn < 0 || isn >= len(a.isns) || actualMS <= 0 {
+		return
+	}
+	s := &a.isns[isn]
+	errPct := (predMS - actualMS) / actualMS * 100
+	if errPct < 0 {
+		errPct = -errPct
+	}
+	s.sumAbsErrPct.Add(errPct)
+	n := s.latSamples.Value()
+	s.latSamples.Inc()
+	if n == 0 {
+		s.ewmaAbsErrPct.Store(errPct)
+		return
+	}
+	// Racy read-modify-write is fine: the EWMA is a display quantity and
+	// a lost update shifts it by at most one sample's weight.
+	old := s.ewmaAbsErrPct.Load()
+	s.ewmaAbsErrPct.Store(old + ewmaAlpha*(errPct-old))
+}
+
+// ObserveQuality records one quality prediction (predicted HasK) vs.
+// whether the ISN actually contributed to the merged top K.
+func (a *Accuracy) ObserveQuality(isn int, predicted, actual bool) {
+	if a == nil || isn < 0 || isn >= len(a.isns) {
+		return
+	}
+	s := &a.isns[isn]
+	s.qualSamples.Inc()
+	if predicted == actual {
+		s.qualHits.Inc()
+	}
+}
+
+// ISNAccuracy is one ISN's rolling accuracy snapshot.
+type ISNAccuracy struct {
+	ISN           int     `json:"isn"`
+	LatSamples    uint64  `json:"lat_samples"`
+	MeanAbsErrPct float64 `json:"mean_abs_err_pct"`
+	EWMAAbsErrPct float64 `json:"ewma_abs_err_pct"`
+	QualSamples   uint64  `json:"qual_samples"`
+	QualHitRate   float64 `json:"qual_hit_rate"`
+}
+
+// Snapshot returns every ISN's current accuracy figures.
+func (a *Accuracy) Snapshot() []ISNAccuracy {
+	if a == nil {
+		return nil
+	}
+	out := make([]ISNAccuracy, len(a.isns))
+	for i := range a.isns {
+		s := &a.isns[i]
+		out[i] = ISNAccuracy{
+			ISN:           i,
+			LatSamples:    s.latSamples.Value(),
+			EWMAAbsErrPct: s.ewmaAbsErrPct.Load(),
+			QualSamples:   s.qualSamples.Value(),
+		}
+		if out[i].LatSamples > 0 {
+			out[i].MeanAbsErrPct = s.sumAbsErrPct.Load() / float64(out[i].LatSamples)
+		}
+		if out[i].QualSamples > 0 {
+			out[i].QualHitRate = float64(s.qualHits.Value()) / float64(out[i].QualSamples)
+		}
+	}
+	return out
+}
+
+// Register exposes the per-ISN accuracy figures as scrape-time gauges
+// under cottage_predictor_*.
+func (a *Accuracy) Register(reg *Registry) {
+	if a == nil || reg == nil {
+		return
+	}
+	for i := range a.isns {
+		s := &a.isns[i]
+		isn := L("isn", strconv.Itoa(i))
+		reg.GaugeFunc("cottage_predictor_latency_abs_err_pct",
+			"Rolling (EWMA) absolute latency-prediction error as percent of actual, per ISN.",
+			s.ewmaAbsErrPct.Load, isn)
+		reg.GaugeFunc("cottage_predictor_latency_mean_abs_err_pct",
+			"Lifetime mean absolute latency-prediction error as percent of actual, per ISN.",
+			func() float64 {
+				n := s.latSamples.Value()
+				if n == 0 {
+					return 0
+				}
+				return s.sumAbsErrPct.Load() / float64(n)
+			}, isn)
+		reg.GaugeFunc("cottage_predictor_quality_hit_rate",
+			"Fraction of queries where the quality predictor's top-K call matched the ISN's actual top-K contribution.",
+			func() float64 {
+				n := s.qualSamples.Value()
+				if n == 0 {
+					return 0
+				}
+				return float64(s.qualHits.Value()) / float64(n)
+			}, isn)
+		reg.Register("cottage_predictor_latency_samples",
+			"Latency-prediction samples observed per ISN.", &s.latSamples, isn)
+		reg.Register("cottage_predictor_quality_samples",
+			"Quality-prediction samples observed per ISN.", &s.qualSamples, isn)
+	}
+}

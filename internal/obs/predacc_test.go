@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAccuracyLatency(t *testing.T) {
+	a := NewAccuracy(2)
+	a.ObserveLatency(0, 12, 10) // +20%
+	a.ObserveLatency(0, 8, 10)  // -20%
+	a.ObserveLatency(1, 10, 10) // exact
+	a.ObserveLatency(5, 1, 1)   // out of range: ignored
+	a.ObserveLatency(0, 5, 0)   // non-positive actual: ignored
+
+	snap := a.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot len = %d, want 2", len(snap))
+	}
+	if snap[0].LatSamples != 2 || math.Abs(snap[0].MeanAbsErrPct-20) > 1e-9 {
+		t.Fatalf("isn0 = %+v, want 2 samples mean 20%%", snap[0])
+	}
+	if snap[1].MeanAbsErrPct != 0 {
+		t.Fatalf("isn1 mean err = %g, want 0", snap[1].MeanAbsErrPct)
+	}
+	// EWMA seeded with first sample then smoothed toward the second.
+	want := 20 + ewmaAlpha*(20-20) // both samples are 20% abs error
+	if math.Abs(snap[0].EWMAAbsErrPct-want) > 1e-9 {
+		t.Fatalf("isn0 ewma = %g, want %g", snap[0].EWMAAbsErrPct, want)
+	}
+}
+
+func TestAccuracyQuality(t *testing.T) {
+	a := NewAccuracy(1)
+	a.ObserveQuality(0, true, true)   // hit
+	a.ObserveQuality(0, false, false) // hit
+	a.ObserveQuality(0, true, false)  // miss
+	a.ObserveQuality(0, false, true)  // miss
+	snap := a.Snapshot()
+	if snap[0].QualSamples != 4 || snap[0].QualHitRate != 0.5 {
+		t.Fatalf("quality = %+v, want 4 samples hit rate 0.5", snap[0])
+	}
+}
+
+func TestAccuracyNilSafe(t *testing.T) {
+	var a *Accuracy
+	a.ObserveLatency(0, 1, 1)
+	a.ObserveQuality(0, true, true)
+	if s := a.Snapshot(); s != nil {
+		t.Fatal("nil Accuracy snapshot != nil")
+	}
+	a.Register(NewRegistry())
+}
+
+func TestAccuracyRegister(t *testing.T) {
+	a := NewAccuracy(2)
+	reg := NewRegistry()
+	a.Register(reg)
+	a.ObserveLatency(1, 15, 10) // 50% err
+	a.ObserveQuality(1, true, true)
+
+	var out strings.Builder
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		`cottage_predictor_latency_abs_err_pct{isn="1"} 50`,
+		`cottage_predictor_latency_mean_abs_err_pct{isn="1"} 50`,
+		`cottage_predictor_quality_hit_rate{isn="1"} 1`,
+		`cottage_predictor_latency_samples{isn="1"} 1`,
+		`cottage_predictor_quality_samples{isn="1"} 1`,
+		`cottage_predictor_latency_abs_err_pct{isn="0"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+}

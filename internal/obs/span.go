@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Span is one timed phase of a query: predict fan-out, Algorithm 1
+// budget determination, search fan-out, merge, or an ISN-side serve.
+// Times are int64 microseconds so the same type carries wall-clock
+// spans (UnixMicro) from the live transport and virtual-time spans
+// (ms*1000) from the simulated twin. ISN is -1 when the span is not
+// tied to a particular ISN.
+type Span struct {
+	Trace    uint64            `json:"trace"`
+	ID       uint64            `json:"id"`
+	Parent   uint64            `json:"parent,omitempty"`
+	Name     string            `json:"name"`
+	ISN      int               `json:"isn"`
+	StartUS  int64             `json:"start_us"`
+	DurUS    int64             `json:"dur_us"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Decision *DecisionRecord   `json:"decision,omitempty"`
+}
+
+// Trace is one completed query's span tree, flattened; the root span is
+// the one with Parent == 0.
+type Trace struct {
+	ID          uint64 `json:"id"`
+	StartUnixUS int64  `json:"start_unix_us"`
+	Spans       []Span `json:"spans"`
+}
+
+// Find returns the first span with the given name, or nil.
+func (t *Trace) Find(name string) *Span {
+	for i := range t.Spans {
+		if t.Spans[i].Name == name {
+			return &t.Spans[i]
+		}
+	}
+	return nil
+}
+
+// Span returns the span with the given ID, or nil.
+func (t *Trace) Span(id uint64) *Span {
+	for i := range t.Spans {
+		if t.Spans[i].ID == id {
+			return &t.Spans[i]
+		}
+	}
+	return nil
+}
+
+// Root returns the root span (Parent == 0), or nil.
+func (t *Trace) Root() *Span {
+	for i := range t.Spans {
+		if t.Spans[i].Parent == 0 {
+			return &t.Spans[i]
+		}
+	}
+	return nil
+}
+
+// DecisionRecord is the Algorithm 1 audit trail attached to a query's
+// budget span: what the predictors claimed, what budget T came out,
+// which ISN's boosted latency set it, and who got boosted, downclocked
+// or dropped. Everything needed to replay the decision by hand.
+type DecisionRecord struct {
+	BudgetMS       float64        `json:"budget_ms"`
+	BudgetISN      int            `json:"budget_isn"` // ISN whose L^boosted set T; -1 if none
+	Selected       []int          `json:"selected,omitempty"`
+	Boosted        []int          `json:"boosted,omitempty"`
+	Downclocked    []int          `json:"downclocked,omitempty"`
+	Dropped        []int          `json:"dropped,omitempty"`
+	Missing        []int          `json:"missing,omitempty"` // ISNs with no prediction (degraded)
+	DegradedMode   string         `json:"degraded_mode,omitempty"`
+	DegradedReason string         `json:"degraded_reason,omitempty"`
+	Reports        []ReportRecord `json:"reports,omitempty"`
+}
+
+// ReportRecord is one ISN's predictor inputs and Algorithm 1 outcome.
+type ReportRecord struct {
+	ISN           int     `json:"isn"`
+	QK            int     `json:"q_k"`
+	QK2           int     `json:"q_k2"`
+	HasK          bool    `json:"has_k"`
+	HasK2         bool    `json:"has_k2"`
+	LCurrentMS    float64 `json:"l_current_ms"`
+	LBoostedMS    float64 `json:"l_boosted_ms"`
+	PredLatencyMS float64 `json:"pred_latency_ms"` // operational: margined cycles + queue backlog
+	PredServiceMS float64 `json:"pred_service_ms"` // raw (unmargined) service time at assigned freq
+	FreqGHz       float64 `json:"freq_ghz"`
+	Boosted       bool    `json:"boosted"`
+	Downclocked   bool    `json:"downclocked"`
+	Cut           bool    `json:"cut"`
+}
+
+// TraceBuilder accumulates one query's spans. All methods are safe on a
+// nil receiver (no-ops), so call sites need no Obs-enabled branching.
+// Span appends take one short mutex acquisition — the builder is per
+// query, so contention is bounded by that query's own fan-out.
+type TraceBuilder struct {
+	mu    sync.Mutex
+	trace uint64
+	start int64
+	spans []Span
+}
+
+// NewTraceBuilder opens a trace. startUnixUS is informational (the ring
+// buffer's notion of when the query ran); span times are independent.
+func NewTraceBuilder(startUnixUS int64) *TraceBuilder {
+	return &TraceBuilder{trace: NewID(), start: startUnixUS}
+}
+
+// TraceID returns the trace's ID, or 0 on a nil builder.
+func (b *TraceBuilder) TraceID() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.trace
+}
+
+// StartSpan opens a span under the given parent span ID (0 = root) at
+// startUS. Returns nil on a nil builder.
+func (b *TraceBuilder) StartSpan(name string, parent uint64, startUS int64) *ActiveSpan {
+	if b == nil {
+		return nil
+	}
+	return &ActiveSpan{
+		b: b,
+		s: Span{Trace: b.trace, ID: NewID(), Parent: parent, Name: name, ISN: -1, StartUS: startUS},
+	}
+}
+
+// AddSpans grafts externally recorded spans (e.g. the server-side spans
+// an RPC response carried back) into the trace. Spans from a different
+// trace are re-homed: that happens when a hedged retry re-sent the
+// request and the server echoed stale IDs.
+func (b *TraceBuilder) AddSpans(spans []Span) {
+	if b == nil || len(spans) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, s := range spans {
+		s.Trace = b.trace
+		b.spans = append(b.spans, s)
+	}
+}
+
+// Finish seals the trace, sorting spans by start time (stable wrt
+// insertion for equal starts).
+func (b *TraceBuilder) Finish() *Trace {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	spans := append([]Span(nil), b.spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartUS < spans[j].StartUS })
+	return &Trace{ID: b.trace, StartUnixUS: b.start, Spans: spans}
+}
+
+// ActiveSpan is an open span. All methods are nil-safe no-ops.
+type ActiveSpan struct {
+	b *TraceBuilder
+	s Span
+}
+
+// ID returns the span's ID, or 0 on nil.
+func (a *ActiveSpan) ID() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.s.ID
+}
+
+// Context returns the propagation envelope for RPCs issued under this
+// span. The zero SpanContext (from a nil span) disables server-side
+// recording.
+func (a *ActiveSpan) Context() SpanContext {
+	if a == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: a.s.Trace, Parent: a.s.ID}
+}
+
+// SetAttr annotates the span.
+func (a *ActiveSpan) SetAttr(key, value string) {
+	if a == nil {
+		return
+	}
+	if a.s.Attrs == nil {
+		a.s.Attrs = make(map[string]string)
+	}
+	a.s.Attrs[key] = value
+}
+
+// SetISN ties the span to an ISN.
+func (a *ActiveSpan) SetISN(isn int) {
+	if a == nil {
+		return
+	}
+	a.s.ISN = isn
+}
+
+// SetDecision attaches the Algorithm 1 decision record.
+func (a *ActiveSpan) SetDecision(d *DecisionRecord) {
+	if a == nil {
+		return
+	}
+	a.s.Decision = d
+}
+
+// End closes the span at endUS and appends it to the trace.
+func (a *ActiveSpan) End(endUS int64) {
+	if a == nil {
+		return
+	}
+	a.s.DurUS = endUS - a.s.StartUS
+	if a.s.DurUS < 0 {
+		a.s.DurUS = 0
+	}
+	a.b.mu.Lock()
+	a.b.spans = append(a.b.spans, a.s)
+	a.b.mu.Unlock()
+}
+
+// Recorder is a fixed-size ring buffer of recently completed traces.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []*Trace
+	next  int
+	total uint64
+}
+
+// NewRecorder returns a ring holding the last size traces (min 1).
+func NewRecorder(size int) *Recorder {
+	if size < 1 {
+		size = 1
+	}
+	return &Recorder{ring: make([]*Trace, size)}
+}
+
+// Add records a completed trace (nil is ignored).
+func (r *Recorder) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ring[r.next] = t
+	r.next = (r.next + 1) % len(r.ring)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Recent returns up to n traces, newest first. n <= 0 means all held.
+func (r *Recorder) Recent(n int) []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > len(r.ring) {
+		n = len(r.ring)
+	}
+	out := make([]*Trace, 0, n)
+	for i := 0; i < len(r.ring) && len(out) < n; i++ {
+		idx := (r.next - 1 - i + 2*len(r.ring)) % len(r.ring)
+		if t := r.ring[idx]; t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Total returns how many traces have ever been added.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// WriteJSONL streams the held traces oldest-first, one JSON object per
+// line — the export format for offline analysis.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	recent := r.Recent(0)
+	enc := json.NewEncoder(w)
+	for i := len(recent) - 1; i >= 0; i-- {
+		if err := enc.Encode(recent[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

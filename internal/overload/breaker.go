@@ -3,6 +3,8 @@ package overload
 import (
 	"sync"
 	"time"
+
+	"cottage/internal/obs"
 )
 
 // State is a circuit breaker's position.
@@ -47,6 +49,11 @@ type Breaker struct {
 	consecutive int
 	openedAt    time.Time
 	probing     bool // a half-open probe is in flight
+
+	// transitions counts state changes (closed→open, open→half-open,
+	// half-open→closed, half-open→open, …) — the ledger a registry
+	// adopts via Register.
+	transitions obs.Counter
 }
 
 // NewBreaker builds a breaker that opens after threshold consecutive
@@ -76,6 +83,7 @@ func (b *Breaker) Allow() bool {
 		if b.clock.Now().Sub(b.openedAt) >= b.cooldown {
 			b.state = HalfOpen
 			b.probing = true
+			b.transitions.Inc()
 			return true
 		}
 		return false
@@ -94,6 +102,9 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) OnSuccess() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.state != Closed {
+		b.transitions.Inc()
+	}
 	b.state = Closed
 	b.consecutive = 0
 	b.probing = false
@@ -110,11 +121,13 @@ func (b *Breaker) OnFailure() {
 		b.state = Open
 		b.openedAt = b.clock.Now()
 		b.probing = false
+		b.transitions.Inc()
 	case Closed:
 		b.consecutive++
 		if b.consecutive >= b.threshold {
 			b.state = Open
 			b.openedAt = b.clock.Now()
+			b.transitions.Inc()
 		}
 	case Open:
 		// Already open; refresh nothing — cooldown runs from openedAt.
@@ -126,4 +139,30 @@ func (b *Breaker) State() State {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state
+}
+
+// Transitions reports how many state changes the breaker has made.
+func (b *Breaker) Transitions() uint64 { return b.transitions.Value() }
+
+// LastOpened returns when the breaker last entered the open state (zero
+// if it never opened). The health prober uses it as the start of the
+// outage when computing revival latency.
+func (b *Breaker) LastOpened() time.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.openedAt
+}
+
+// Register exposes the breaker on a metrics registry: the transition
+// counter is adopted in place and the state becomes a scrape-time gauge
+// (0 closed, 1 open, 2 half-open).
+func (b *Breaker) Register(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	reg.Register("cottage_breaker_transitions_total",
+		"Circuit-breaker state transitions.", &b.transitions, labels...)
+	reg.GaugeFunc("cottage_breaker_state",
+		"Circuit-breaker state: 0 closed, 1 open, 2 half-open.",
+		func() float64 { return float64(b.State()) }, labels...)
 }

@@ -3,6 +3,8 @@ package overload
 import (
 	"sync"
 	"time"
+
+	"cottage/internal/obs"
 )
 
 // waiter is a queued admission request. ready receives exactly one
@@ -40,9 +42,11 @@ type Limiter struct {
 	maxLimit  int
 	successes int
 
-	// Counters (guarded by mu).
-	admitted uint64
-	shed     uint64
+	// Counters. Atomic so a metrics scrape never takes mu; still only
+	// incremented under mu, so they stay consistent with the occupancy
+	// fields they describe.
+	admitted obs.Counter
+	shed     obs.Counter
 }
 
 // LimiterStats is a snapshot of a Limiter's counters and occupancy.
@@ -99,18 +103,18 @@ func (l *Limiter) EnableAIMD(min, max int) {
 func (l *Limiter) Acquire(maxWait time.Duration) error {
 	l.mu.Lock()
 	if l.closed {
-		l.shed++
+		l.shed.Inc()
 		l.mu.Unlock()
 		return ErrOverloaded
 	}
 	if l.inflight < l.limit && len(l.queue) == 0 {
 		l.inflight++
-		l.admitted++
+		l.admitted.Inc()
 		l.mu.Unlock()
 		return nil
 	}
 	if len(l.queue) >= l.queueCap {
-		l.shed++
+		l.shed.Inc()
 		l.decreaseLocked()
 		l.mu.Unlock()
 		return ErrOverloaded
@@ -143,13 +147,13 @@ func (l *Limiter) grantLocked() {
 		w := l.queue[0]
 		l.queue = l.queue[1:]
 		if w.maxWait > 0 && now.Sub(w.enqueued) > w.maxWait {
-			l.shed++
+			l.shed.Inc()
 			l.decreaseLocked()
 			w.ready <- ErrOverloaded
 			continue
 		}
 		l.inflight++
-		l.admitted++
+		l.admitted.Inc()
 		w.ready <- nil
 	}
 }
@@ -191,7 +195,7 @@ func (l *Limiter) Close() {
 	}
 	l.closed = true
 	for _, w := range l.queue {
-		l.shed++
+		l.shed.Inc()
 		w.ready <- ErrOverloaded
 	}
 	l.queue = nil
@@ -214,7 +218,39 @@ func (l *Limiter) Stats() LimiterStats {
 		Limit:    l.limit,
 		Inflight: l.inflight,
 		Queued:   len(l.queue),
-		Admitted: l.admitted,
-		Shed:     l.shed,
+		Admitted: l.admitted.Value(),
+		Shed:     l.shed.Value(),
 	}
+}
+
+// Register exposes the limiter on a metrics registry: the admitted/shed
+// counters are adopted in place (Stats and the registry read the same
+// atomics) and the occupancy figures become scrape-time gauges. The
+// gauges take mu once per scrape; updates never touch the registry.
+func (l *Limiter) Register(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	reg.Register("cottage_limiter_admitted_total",
+		"Requests granted an admission slot.", &l.admitted, labels...)
+	reg.Register("cottage_limiter_shed_total",
+		"Requests rejected with ErrOverloaded.", &l.shed, labels...)
+	reg.GaugeFunc("cottage_limiter_inflight",
+		"Requests currently holding a slot.", func() float64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return float64(l.inflight)
+		}, labels...)
+	reg.GaugeFunc("cottage_limiter_queued",
+		"Requests waiting for a slot.", func() float64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return float64(len(l.queue))
+		}, labels...)
+	reg.GaugeFunc("cottage_limiter_limit",
+		"Current concurrency cap (adaptive under AIMD).", func() float64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return float64(l.limit)
+		}, labels...)
 }

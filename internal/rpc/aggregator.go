@@ -3,13 +3,16 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"cottage/internal/cluster"
 	"cottage/internal/core"
+	"cottage/internal/obs"
 	"cottage/internal/overload"
 	"cottage/internal/search"
 )
@@ -46,11 +49,62 @@ type Aggregator struct {
 	// failing. Overload rejections never trip a breaker: a shedding ISN
 	// is busy, not dead.
 	Breakers []*overload.Breaker
+	// Obs, when set, records one trace per query (predict → budget →
+	// search → merge, with the Algorithm 1 decision record and the
+	// ISN-side spans grafted in), latency/budget histograms, and rolling
+	// predictor accuracy. Set before concurrent use.
+	Obs *obs.Observer
 
-	hedges          atomic.Uint64
-	hedgeWins       atomic.Uint64
-	hedgesCancelled atomic.Uint64
+	hedges          obs.Counter
+	hedgeWins       obs.Counter
+	hedgesCancelled obs.Counter
 	prober          *Prober
+
+	obsOnce    sync.Once
+	latCottage *obs.Histogram
+	latExhaust *obs.Histogram
+	budgetHist *obs.Histogram
+}
+
+// initObs registers the aggregator's metrics (idempotent, no-op without
+// an observer). Hedge counters are adopted in place so Stats() and the
+// registry read the same atomics.
+func (a *Aggregator) initObs() {
+	a.obsOnce.Do(func() {
+		if a.Obs == nil {
+			return
+		}
+		reg := a.Obs.Reg
+		reg.Register("cottage_agg_hedges_total",
+			"Hedged duplicate search requests issued.", &a.hedges)
+		reg.Register("cottage_agg_hedge_wins_total",
+			"Hedged requests that answered before the primary.", &a.hedgeWins)
+		reg.Register("cottage_agg_hedges_cancelled_total",
+			"Hedged requests torn down because the primary answered first.", &a.hedgesCancelled)
+		reg.GaugeFunc("cottage_agg_client_retries",
+			"Transport-level retries summed across all ISN clients.",
+			func() float64 {
+				var sum uint64
+				for _, c := range a.Clients {
+					sum += c.Retries()
+				}
+				return float64(sum)
+			})
+		a.latCottage = reg.Histogram("cottage_agg_query_ms",
+			"End-to-end query latency at the aggregator.",
+			obs.LatencyBucketsMS(), obs.L("mode", "cottage"))
+		a.latExhaust = reg.Histogram("cottage_agg_query_ms",
+			"End-to-end query latency at the aggregator.",
+			obs.LatencyBucketsMS(), obs.L("mode", "exhaustive"))
+		a.budgetHist = reg.Histogram("cottage_agg_budget_ms",
+			"Algorithm 1 time budget T per query (finite budgets only).",
+			obs.LatencyBucketsMS())
+		for i, b := range a.Breakers {
+			if b != nil {
+				b.Register(reg, obs.L("isn", strconv.Itoa(i)))
+			}
+		}
+	})
 }
 
 // EnableBreakers attaches a circuit breaker to every client: open after
@@ -116,9 +170,9 @@ type Stats struct {
 // Stats snapshots the hedge/retry counters.
 func (a *Aggregator) Stats() Stats {
 	s := Stats{
-		Hedges:          a.hedges.Load(),
-		HedgeWins:       a.hedgeWins.Load(),
-		HedgesCancelled: a.hedgesCancelled.Load(),
+		Hedges:          a.hedges.Value(),
+		HedgeWins:       a.hedgeWins.Value(),
+		HedgesCancelled: a.hedgesCancelled.Value(),
 	}
 	for _, c := range a.Clients {
 		s.Retries += c.Retries()
@@ -137,27 +191,35 @@ type Result struct {
 	// are missing from Hits (degraded but non-empty results, the
 	// behaviour a production aggregator prefers over failing the query).
 	Failed []int
+	// TraceID identifies the query's recorded trace (0 when the
+	// aggregator has no observer); look it up in /debug/traces.
+	TraceID uint64
 }
+
+// nowUS is the span clock for the live path.
+func nowUS() int64 { return time.Now().UnixMicro() }
 
 // searchHedged runs one ISN's search leg, optionally hedging it with a
 // duplicate request on a fresh connection after HedgeAfter. The fresh
 // connection matters: a request queued behind a stuck stream on the
 // shared client would inherit exactly the delay the hedge is trying to
-// escape.
-func (a *Aggregator) searchHedged(isn int, terms []string, deadline time.Duration) (search.Result, error) {
+// escape. Server-side spans from whichever leg won come back for
+// grafting.
+func (a *Aggregator) searchHedged(isn int, sc obs.SpanContext, terms []string, deadline time.Duration) (search.Result, []obs.Span, error) {
 	primary := a.Clients[isn]
 	if a.HedgeAfter <= 0 || primary.Addr() == "" {
-		return primary.Search(terms, a.K, deadline)
+		return primary.SearchSpan(sc, terms, a.K, deadline)
 	}
 	type outcome struct {
 		r     search.Result
+		spans []obs.Span
 		err   error
 		hedge bool
 	}
 	ch := make(chan outcome, 2) // buffered: abandoned legs must not leak
 	go func() {
-		r, err := primary.Search(terms, a.K, deadline)
-		ch <- outcome{r, err, false}
+		r, spans, err := primary.SearchSpan(sc, terms, a.K, deadline)
+		ch <- outcome{r, spans, err, false}
 	}()
 
 	timer := time.NewTimer(a.HedgeAfter)
@@ -174,11 +236,11 @@ func (a *Aggregator) searchHedged(isn int, terms []string, deadline time.Duratio
 		if hc, err := Dial(primary.Addr()); err == nil {
 			hedge = hc
 			hc.SetTimeout(primary.timeout)
-			a.hedges.Add(1)
+			a.hedges.Inc()
 			inflight++
 			go func() {
-				r, err := hc.Search(terms, a.K, deadline)
-				ch <- outcome{r, err, true}
+				r, spans, err := hc.SearchSpan(sc, terms, a.K, deadline)
+				ch <- outcome{r, spans, err, true}
 			}()
 		}
 		first = <-ch
@@ -201,21 +263,43 @@ func (a *Aggregator) searchHedged(isn int, terms []string, deadline time.Duratio
 			// hedge's private connection cancels it server-side. (When the
 			// hedge wins, the primary's late reply is consumed and
 			// discarded by its own still-blocked call.)
-			a.hedgesCancelled.Add(1)
+			a.hedgesCancelled.Inc()
 		}
 		hedge.Close()
 	}
 	if first.err == nil && first.hedge {
-		a.hedgeWins.Add(1)
+		a.hedgeWins.Inc()
 	}
-	return first.r, first.err
+	return first.r, first.spans, first.err
+}
+
+// finishTrace seals and records a query's trace, stamping its ID into
+// the result. No-op without an observer (nil builder).
+func (a *Aggregator) finishTrace(tb *obs.TraceBuilder, root *obs.ActiveSpan, res *Result) {
+	if tb == nil {
+		return
+	}
+	root.End(nowUS())
+	tr := tb.Finish()
+	a.Obs.Traces.Add(tr)
+	res.TraceID = tr.ID
 }
 
 // SearchExhaustive queries every ISN with no budget and merges. Failed
 // ISNs degrade the result (reported in Result.Failed) rather than failing
 // the query; an error is returned only when every ISN fails.
 func (a *Aggregator) SearchExhaustive(terms []string) (Result, error) {
+	a.initObs()
 	start := time.Now()
+	var tb *obs.TraceBuilder
+	if a.Obs != nil {
+		tb = obs.NewTraceBuilder(start.UnixMicro())
+	}
+	root := tb.StartSpan("query", 0, start.UnixMicro())
+	root.SetAttr("mode", "exhaustive")
+	root.SetAttr("terms", strings.Join(terms, " "))
+
+	searchSpan := tb.StartSpan("search", root.ID(), nowUS())
 	lists := make([][]search.Hit, len(a.Clients))
 	errs := make([]error, len(a.Clients))
 	var wg sync.WaitGroup
@@ -227,17 +311,27 @@ func (a *Aggregator) SearchExhaustive(terms []string) (Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, err := a.searchHedged(i, terms, 0)
+			leg := tb.StartSpan("search.isn", searchSpan.ID(), nowUS())
+			leg.SetISN(i)
+			r, spans, err := a.searchHedged(i, leg.Context(), terms, 0)
 			a.observeBreaker(i, err)
 			if err != nil {
+				leg.SetAttr("error", err.Error())
+				leg.End(nowUS())
 				errs[i] = fmt.Errorf("isn %d: %w", i, err)
 				return
 			}
+			for si := range spans {
+				spans[si].ISN = i
+			}
+			tb.AddSpans(spans)
+			leg.End(nowUS())
 			lists[i] = r.Hits
 		}(i)
 	}
 	wg.Wait()
-	res := Result{Elapsed: time.Since(start)}
+	searchSpan.End(nowUS())
+	res := Result{}
 	failures := 0
 	for i, err := range errs {
 		if err != nil {
@@ -250,8 +344,14 @@ func (a *Aggregator) SearchExhaustive(terms []string) (Result, error) {
 	if failures == len(a.Clients) {
 		return Result{}, fmt.Errorf("rpc: all %d ISNs failed: %w", failures, errors.Join(errs...))
 	}
+	mergeSpan := tb.StartSpan("merge", root.ID(), nowUS())
 	res.Hits = search.Merge(a.K, lists...)
+	mergeSpan.End(nowUS())
 	res.Elapsed = time.Since(start)
+	if h := a.latExhaust; h != nil {
+		h.Observe(float64(res.Elapsed.Microseconds()) / 1000)
+	}
+	a.finishTrace(tb, root, &res)
 	return res, nil
 }
 
@@ -260,12 +360,28 @@ func (a *Aggregator) SearchExhaustive(terms []string) (Result, error) {
 // deadline, and merge what returns. ISNs that fail either leg degrade
 // the result (Result.Failed) instead of failing the query; prediction
 // failures additionally feed Algorithm 1's degraded mode (a.Degraded).
+//
+// With an observer attached, every query records a trace — root span
+// with predict/budget/search/merge children, per-ISN legs, the grafted
+// ISN-side serve spans, and the Algorithm 1 decision record on the
+// budget span — and feeds the predictor-accuracy tracker with each
+// selected ISN's predicted vs. measured latency and top-K contribution.
 func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
+	a.initObs()
 	start := time.Now()
+	var tb *obs.TraceBuilder
+	if a.Obs != nil {
+		tb = obs.NewTraceBuilder(start.UnixMicro())
+	}
+	root := tb.StartSpan("query", 0, start.UnixMicro())
+	root.SetAttr("mode", "cottage")
+	root.SetAttr("terms", strings.Join(terms, " "))
+
 	// Steps 2-3: gather predictions in parallel. A failed prediction
 	// (crash, timeout) is not the same as a clean "no match": the former
 	// leaves the aggregator blind about a live shard and must flow into
 	// the degraded-mode budget, the latter is an answered question.
+	predictSpan := tb.StartSpan("predict", root.ID(), nowUS())
 	preds := make([]core.ISNReport, 0, len(a.Clients))
 	predErrs := make([]error, len(a.Clients))
 	var mu sync.Mutex
@@ -281,12 +397,21 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 		wg.Add(1)
 		go func(i int, c *Client) {
 			defer wg.Done()
-			p, load, err := c.PredictLoad(terms)
+			leg := tb.StartSpan("predict.isn", predictSpan.ID(), nowUS())
+			leg.SetISN(i)
+			p, load, spans, err := c.PredictLoadSpan(leg.Context(), terms)
 			a.observeBreaker(i, err)
 			if err != nil {
+				leg.SetAttr("error", err.Error())
+				leg.End(nowUS())
 				predErrs[i] = fmt.Errorf("isn %d predict: %w", i, err)
 				return
 			}
+			for si := range spans {
+				spans[si].ISN = i
+			}
+			tb.AddSpans(spans)
+			leg.End(nowUS())
 			if !p.Matched {
 				return
 			}
@@ -301,6 +426,7 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 				LCurrent:   cluster.ServiceMS(p.Cycles, fdef),
 				LBoosted:   cluster.ServiceMS(p.Cycles, fmax),
 				PredCycles: p.Cycles,
+				RawCycles:  p.Cycles,
 			}
 			// Eq. 2: correct the bare service-time predictions for the
 			// work already queued at the ISN, measured live rather than
@@ -314,54 +440,112 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 		}(i, c)
 	}
 	wg.Wait()
+	predictSpan.End(nowUS())
 
 	res := Result{}
-	missing := 0
+	var missing []int
 	for i, err := range predErrs {
 		if err != nil {
-			missing++
+			missing = append(missing, i)
 			res.Failed = append(res.Failed, i)
 		}
 	}
-	if missing == len(a.Clients) {
+	if len(missing) == len(a.Clients) {
+		root.SetAttr("error", "all predictions failed")
+		a.finishTrace(tb, root, &res)
 		return Result{}, fmt.Errorf("rpc: all %d ISNs failed prediction: %w",
-			missing, errors.Join(predErrs...))
+			len(missing), errors.Join(predErrs...))
 	}
 
 	// Step 4: time budget determination, degraded if predictions are
 	// missing.
-	budget := core.DetermineBudgetDegraded(preds, missing, a.Ladder, core.BudgetOptions{}, a.Degraded)
+	budgetSpan := tb.StartSpan("budget", root.ID(), nowUS())
+	budget := core.DetermineBudgetDegraded(preds, len(missing), a.Ladder, core.BudgetOptions{}, a.Degraded)
+	if a.Obs != nil {
+		budgetSpan.SetDecision(core.NewDecisionRecord(budget, preds, missing, a.Degraded, a.Ladder))
+	}
+	budgetSpan.End(nowUS())
 	res.BudgetMS = budget.BudgetMS
 	res.Cut = budget.Cut
 	if len(budget.Selected) == 0 {
 		res.Elapsed = time.Since(start)
+		a.finishTrace(tb, root, &res)
 		return res, nil
 	}
 
 	// Steps 5-7: budget-bounded search on the selected ISNs.
+	searchSpan := tb.StartSpan("search", root.ID(), nowUS())
 	deadline := time.Duration(budget.BudgetMS * float64(time.Millisecond))
 	lists := make([][]search.Hit, len(budget.Selected))
+	legMS := make([]float64, len(budget.Selected))
+	legOK := make([]bool, len(budget.Selected))
 	for li, asg := range budget.Selected {
 		res.Selected = append(res.Selected, asg.ISN)
 		wg.Add(1)
 		go func(li int, isn int) {
 			defer wg.Done()
-			r, err := a.searchHedged(isn, terms, deadline)
+			leg := tb.StartSpan("search.isn", searchSpan.ID(), nowUS())
+			leg.SetISN(isn)
+			legStart := time.Now()
+			r, spans, err := a.searchHedged(isn, leg.Context(), terms, deadline)
 			a.observeBreaker(isn, err)
 			if err != nil {
 				// Straggler or failure: its hits are lost but the query
 				// survives; record the gap so callers can see it.
+				leg.SetAttr("error", err.Error())
+				leg.End(nowUS())
 				mu.Lock()
 				res.Failed = append(res.Failed, isn)
 				mu.Unlock()
 				return
 			}
+			for si := range spans {
+				spans[si].ISN = isn
+			}
+			tb.AddSpans(spans)
+			leg.End(nowUS())
 			lists[li] = r.Hits
+			legMS[li] = float64(time.Since(legStart).Microseconds()) / 1000
+			legOK[li] = true
 		}(li, asg.ISN)
 	}
 	wg.Wait()
+	searchSpan.End(nowUS())
 	sort.Ints(res.Failed)
+
+	mergeSpan := tb.StartSpan("merge", root.ID(), nowUS())
 	res.Hits = search.Merge(a.K, lists...)
+	mergeSpan.End(nowUS())
 	res.Elapsed = time.Since(start)
+
+	if a.Obs != nil {
+		// Predictor accuracy (Fig. 5–7, live): each surviving leg scores
+		// its ISN's latency prediction (equivalent latency vs. measured
+		// leg wall time, both queue-inclusive) and its quality call
+		// (predicted top-K contribution vs. whether the ISN actually
+		// placed a hit in the merged top K).
+		top := search.DocSet(res.Hits)
+		byISN := make(map[int]core.ISNReport, len(preds))
+		for _, r := range preds {
+			byISN[r.ISN] = r
+		}
+		for li, asg := range budget.Selected {
+			if !legOK[li] {
+				continue
+			}
+			r, haveReport := byISN[asg.ISN]
+			if !haveReport {
+				continue
+			}
+			a.Obs.Acc.ObserveLatency(asg.ISN, r.LCurrent, legMS[li])
+			contributed := search.Overlap(lists[li], top) > 0
+			a.Obs.Acc.ObserveQuality(asg.ISN, r.HasK, contributed)
+		}
+		a.latCottage.Observe(float64(res.Elapsed.Microseconds()) / 1000)
+		if !math.IsInf(budget.BudgetMS, 1) {
+			a.budgetHist.Observe(budget.BudgetMS)
+		}
+	}
+	a.finishTrace(tb, root, &res)
 	return res, nil
 }

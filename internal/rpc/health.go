@@ -2,9 +2,9 @@ package rpc
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"cottage/internal/obs"
 	"cottage/internal/overload"
 )
 
@@ -17,14 +17,25 @@ import (
 // traffic to spend a half-open probe on it.
 //
 // Healthy ISNs are never probed, so the prober adds no steady-state
-// load; probes use the client's normal retry/timeout policy.
+// load; probes use the client's normal retry/timeout policy. Each probe
+// emits an outcome metric, and each revival records how long the ISN
+// was down — from the breaker opening (or the prober first seeing it
+// unhealthy) to the successful probe — instead of flipping state
+// silently.
 type Prober struct {
 	agg      *Aggregator
 	interval time.Duration
 	stop     chan struct{}
 	done     chan struct{}
-	probes   atomic.Uint64
-	revived  atomic.Uint64
+
+	probesOK   obs.Counter
+	probesFail obs.Counter
+	revived    obs.Counter
+	revivalMS  *obs.Histogram // nil without an observer
+	// unhealthySince[i] is when the prober first saw ISN i unhealthy
+	// (zero = currently healthy). Only touched from sweep goroutines at
+	// disjoint indices, with the sweep barrier between generations.
+	unhealthySince []time.Time
 }
 
 // StartProber launches a background health prober ticking at interval.
@@ -33,10 +44,23 @@ type Prober struct {
 func (a *Aggregator) StartProber(interval time.Duration) *Prober {
 	a.StopProber()
 	p := &Prober{
-		agg:      a,
-		interval: interval,
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		agg:            a,
+		interval:       interval,
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+		unhealthySince: make([]time.Time, len(a.Clients)),
+	}
+	if a.Obs != nil {
+		reg := a.Obs.Reg
+		reg.Register("cottage_prober_probes_total",
+			"Health probes sent, by outcome.", &p.probesOK, obs.L("outcome", "ok"))
+		reg.Register("cottage_prober_probes_total",
+			"Health probes sent, by outcome.", &p.probesFail, obs.L("outcome", "fail"))
+		reg.Register("cottage_prober_revivals_total",
+			"ISNs revived by a successful probe.", &p.revived)
+		p.revivalMS = reg.Histogram("cottage_prober_revival_ms",
+			"Outage duration per revival: breaker-open (or first unhealthy sighting) to successful probe.",
+			obs.LatencyBucketsMS())
 	}
 	a.prober = p
 	go p.run()
@@ -70,24 +94,45 @@ func (p *Prober) run() {
 // the results, so a sweep never overlaps the next tick's.
 func (p *Prober) sweep() {
 	var wg sync.WaitGroup
+	now := time.Now()
 	for i, c := range p.agg.Clients {
 		unhealthy := c.Broken()
 		if b := p.agg.breaker(i); b != nil && b.State() != overload.Closed {
 			unhealthy = true
 		}
 		if !unhealthy {
+			p.unhealthySince[i] = time.Time{}
 			continue
+		}
+		if p.unhealthySince[i].IsZero() {
+			p.unhealthySince[i] = now
 		}
 		wg.Add(1)
 		go func(i int, c *Client) {
 			defer wg.Done()
-			p.probes.Add(1)
-			if err := c.Ping(); err == nil {
-				if b := p.agg.breaker(i); b != nil {
-					b.OnSuccess()
-				}
-				p.revived.Add(1)
+			if err := c.Ping(); err != nil {
+				p.probesFail.Inc()
+				return
 			}
+			p.probesOK.Inc()
+			if b := p.agg.breaker(i); b != nil {
+				b.OnSuccess()
+			}
+			p.revived.Inc()
+			// Revival latency: the outage started when the breaker opened
+			// (traffic actually stopped); if the breaker never opened — or
+			// there is none — fall back to the prober's first unhealthy
+			// sighting.
+			down := p.unhealthySince[i]
+			if b := p.agg.breaker(i); b != nil {
+				if t := b.LastOpened(); !t.IsZero() && (down.IsZero() || t.Before(down)) {
+					down = t
+				}
+			}
+			if p.revivalMS != nil && !down.IsZero() {
+				p.revivalMS.Observe(float64(time.Since(down).Microseconds()) / 1000)
+			}
+			p.unhealthySince[i] = time.Time{}
 		}(i, c)
 	}
 	wg.Wait()
@@ -103,5 +148,5 @@ func (p *Prober) Stop() {
 // Stats reports how many probes the prober has sent and how many
 // revived an ISN.
 func (p *Prober) Stats() (probes, revived uint64) {
-	return p.probes.Load(), p.revived.Load()
+	return p.probesOK.Value() + p.probesFail.Value(), p.revived.Value()
 }

@@ -26,6 +26,7 @@ import (
 
 	"cottage/internal/faults"
 	"cottage/internal/index"
+	"cottage/internal/obs"
 	"cottage/internal/overload"
 	"cottage/internal/predict"
 	"cottage/internal/search"
@@ -48,6 +49,22 @@ const (
 	KindPhrase
 )
 
+// String implements fmt.Stringer (span names, metrics labels).
+func (k Kind) String() string {
+	switch k {
+	case KindSearch:
+		return "search"
+	case KindPredict:
+		return "predict"
+	case KindPing:
+		return "ping"
+	case KindPhrase:
+		return "phrase"
+	default:
+		return fmt.Sprintf("kind%d", int(k))
+	}
+}
+
 // Request is the wire request.
 type Request struct {
 	Kind  Kind
@@ -58,6 +75,13 @@ type Request struct {
 	// server abandons result delivery past the deadline, mimicking
 	// budget-bounded ISN processing.
 	DeadlineUS int64
+	// Trace and Span propagate the aggregator's trace across the wire:
+	// Trace is the query's trace ID, Span the client-side span that
+	// parents whatever the server records. Zero means untraced — the
+	// server skips span recording entirely, so tracing costs nothing on
+	// the wire or the server unless the caller asks for it.
+	Trace uint64
+	Span  uint64
 }
 
 // Code classifies a Response beyond its payload, so clients can tell a
@@ -91,6 +115,11 @@ type Response struct {
 	// correction (core.QueueBacklogMS) before running Algorithm 1.
 	QueueDepth   int
 	AvgServiceUS int64
+	// Spans carries the server-side spans recorded for this request
+	// (admission wait, service time) back to the aggregator, which grafts
+	// them into the query's trace so ISN-side timing lands in the same
+	// tree as the fan-out that caused it.
+	Spans []obs.Span
 }
 
 // DecodeRequest reads one Request from a gob stream. A corrupted or
@@ -138,7 +167,11 @@ type Server struct {
 	// and KindPredict bypass it — the control plane must stay responsive
 	// under overload, and queue-depth feedback rides on KindPredict.
 	Limit *overload.Limiter
-	mu    sync.Mutex // serializes predictor scratch use
+	// Obs, when set, receives the server's metrics (served/shed counters,
+	// service-time histogram, queue depth) and enables server-side span
+	// recording for traced requests. Set before Serve.
+	Obs *obs.Observer
+	mu  sync.Mutex // serializes predictor scratch use
 
 	connMu     sync.Mutex
 	conns      map[net.Conn]struct{}
@@ -146,16 +179,47 @@ type Server struct {
 	handlers   sync.WaitGroup
 	inShutdown atomic.Bool
 
-	served       atomic.Uint64 // search/phrase requests fully served
-	shed         atomic.Uint64 // requests rejected with CodeOverloaded
-	avgServiceUS atomic.Int64  // EWMA of search service time (µs)
+	served       obs.Counter  // search/phrase requests fully served
+	shed         obs.Counter  // requests rejected with CodeOverloaded
+	avgServiceUS atomic.Int64 // EWMA of search service time (µs)
+
+	obsOnce     sync.Once
+	serviceHist *obs.Histogram // nil when Obs is unset
 }
 
 // Served reports how many search/phrase requests this server completed.
-func (s *Server) Served() uint64 { return s.served.Load() }
+func (s *Server) Served() uint64 { return s.served.Value() }
 
 // Shed reports how many requests admission control rejected.
-func (s *Server) Shed() uint64 { return s.shed.Load() }
+func (s *Server) Shed() uint64 { return s.shed.Value() }
+
+// initObs registers the server's metrics with its observer's registry
+// (idempotent; a no-op without an observer). The served/shed counters
+// predate the registry and are adopted in place, so the accessor methods
+// above and the registry read the same atomics.
+func (s *Server) initObs() {
+	s.obsOnce.Do(func() {
+		if s.Obs == nil {
+			return
+		}
+		reg := s.Obs.Reg
+		reg.Register("cottage_server_served_total",
+			"Search/phrase requests fully served.", &s.served)
+		reg.Register("cottage_server_shed_total",
+			"Requests rejected by admission control (CodeOverloaded).", &s.shed)
+		s.serviceHist = reg.Histogram("cottage_server_service_ms",
+			"Search/phrase service time (admission grant to response ready).",
+			obs.LatencyBucketsMS())
+		reg.GaugeFunc("cottage_server_queue_depth",
+			"Admission-queue occupancy.", func() float64 { return float64(s.pendingDepth()) })
+		reg.GaugeFunc("cottage_server_avg_service_us",
+			"EWMA search service time reported to KindPredict (Eq. 2 feedback).",
+			func() float64 { return float64(s.avgServiceUS.Load()) })
+		if s.Limit != nil {
+			s.Limit.Register(reg)
+		}
+	})
+}
 
 func (s *Server) trackListener(l net.Listener, add bool) {
 	s.connMu.Lock()
@@ -197,6 +261,7 @@ const (
 // after Shutdown (or closing the listener) Serve returns nil rather than
 // surfacing the listener teardown as an error.
 func (s *Server) Serve(l net.Listener) error {
+	s.initObs()
 	s.trackListener(l, true)
 	defer s.trackListener(l, false)
 	backoff := acceptBackoffMin
@@ -302,23 +367,49 @@ func (s *Server) serve(req *Request) *Response {
 		return &Response{ID: req.ID, Code: CodeBadRequest, Err: err.Error()}
 	}
 	heavy := req.Kind == KindSearch || req.Kind == KindPhrase
+	arrived := time.Now()
+	var queueWait time.Duration
 	if heavy && s.Limit != nil {
 		// The request's own budget bounds its queue wait: a query that
 		// queued past its deadline is shed, not served late (Eq. 2 —
 		// queue wait is latency).
 		if err := s.Limit.Acquire(time.Duration(req.DeadlineUS) * time.Microsecond); err != nil {
-			s.shed.Add(1)
+			s.shed.Inc()
 			return &Response{ID: req.ID, Code: CodeOverloaded, Err: err.Error()}
 		}
+		queueWait = time.Since(arrived)
 		defer s.Limit.Release()
 	}
 	start := time.Now()
 	resp := s.dispatch(req)
+	service := time.Since(start)
 	if heavy {
-		s.observeService(time.Since(start))
-		if resp != nil && resp.Err == "" {
-			s.served.Add(1)
+		s.observeService(service)
+		if h := s.serviceHist; h != nil {
+			h.Observe(float64(service.Microseconds()) / 1000)
 		}
+		if resp != nil && resp.Err == "" {
+			s.served.Inc()
+		}
+	}
+	if req.Trace != 0 && s.Obs != nil && resp != nil {
+		// Traced request: record the ISN-side span under the client's span
+		// and ship it back on the response, so queue wait and service time
+		// land in the aggregator's tree.
+		sp := obs.Span{
+			Trace:   req.Trace,
+			ID:      obs.NewID(),
+			Parent:  req.Span,
+			Name:    "serve." + req.Kind.String(),
+			ISN:     -1, // the aggregator knows which leg this was
+			StartUS: arrived.UnixMicro(),
+			DurUS:   time.Since(arrived).Microseconds(),
+			Attrs: map[string]string{
+				"queue_wait_us": fmt.Sprintf("%d", queueWait.Microseconds()),
+				"service_us":    fmt.Sprintf("%d", service.Microseconds()),
+			},
+		}
+		resp.Spans = append(resp.Spans, sp)
 	}
 	return resp
 }
@@ -632,12 +723,21 @@ func (c *Client) Ping() error {
 
 // Search evaluates a query on the remote shard.
 func (c *Client) Search(terms []string, k int, deadline time.Duration) (search.Result, error) {
+	r, _, err := c.SearchSpan(obs.SpanContext{}, terms, k, deadline)
+	return r, err
+}
+
+// SearchSpan is Search with trace propagation: sc's IDs ride on the
+// request, and the server's spans (if it recorded any) come back for
+// grafting into the caller's trace. A zero sc disables both.
+func (c *Client) SearchSpan(sc obs.SpanContext, terms []string, k int, deadline time.Duration) (search.Result, []obs.Span, error) {
 	resp, err := c.call(&Request{
-		Kind: KindSearch, Terms: terms, K: k, DeadlineUS: deadline.Microseconds()})
+		Kind: KindSearch, Terms: terms, K: k, DeadlineUS: deadline.Microseconds(),
+		Trace: sc.Trace, Span: sc.Parent})
 	if err != nil {
-		return search.Result{}, err
+		return search.Result{}, nil, err
 	}
-	return search.Result{Hits: resp.Hits, Stats: resp.Stats}, nil
+	return search.Result{Hits: resp.Hits, Stats: resp.Stats}, resp.Spans, nil
 }
 
 // Phrase evaluates an exact-phrase query on the remote (positional)
@@ -667,9 +767,16 @@ type QueueInfo struct {
 // PredictLoad fetches predictions together with the ISN's current load
 // feedback for the Eq. 2 equivalent-latency correction.
 func (c *Client) PredictLoad(terms []string) (predict.Prediction, QueueInfo, error) {
-	resp, err := c.call(&Request{Kind: KindPredict, Terms: terms})
+	pred, load, _, err := c.PredictLoadSpan(obs.SpanContext{}, terms)
+	return pred, load, err
+}
+
+// PredictLoadSpan is PredictLoad with trace propagation (see
+// SearchSpan).
+func (c *Client) PredictLoadSpan(sc obs.SpanContext, terms []string) (predict.Prediction, QueueInfo, []obs.Span, error) {
+	resp, err := c.call(&Request{Kind: KindPredict, Terms: terms, Trace: sc.Trace, Span: sc.Parent})
 	if err != nil {
-		return predict.Prediction{}, QueueInfo{}, err
+		return predict.Prediction{}, QueueInfo{}, nil, err
 	}
-	return resp.Pred, QueueInfo{Depth: resp.QueueDepth, AvgServiceUS: resp.AvgServiceUS}, nil
+	return resp.Pred, QueueInfo{Depth: resp.QueueDepth, AvgServiceUS: resp.AvgServiceUS}, resp.Spans, nil
 }
