@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke overload-smoke obs-smoke corpus check clean
+.PHONY: all build vet test race fuzz-smoke overload-smoke obs-smoke chaos-smoke corpus check clean
 
 all: build
 
@@ -29,6 +29,7 @@ fuzz-smoke:
 	$(GO) test ./internal/rpc/ -run '^$$' -fuzz FuzzDecodeRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/rpc/ -run '^$$' -fuzz FuzzDecodeResponse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/rpc/ -run '^$$' -fuzz FuzzValidateRequest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/replica/ -run '^$$' -fuzz FuzzReplicaSelect -fuzztime $(FUZZTIME)
 
 # The overload sweep (bounded admission queues at 1x-4x load) on the
 # quick-scale setup: shed rates grow with load while the admitted p99
@@ -44,11 +45,19 @@ overload-smoke:
 obs-smoke:
 	$(GO) test ./internal/rpc -run TestObsSmoke -count=1
 
+# Deterministic chaos gate on the replicated twin: a seeded fault
+# schedule (crashes, dropped streams, corrupted replies, slowdowns)
+# must cost failovers and latency — never a lost query — and every
+# Algorithm 1 budget must dominate its selected shards' boosted
+# latencies. Runs under the race detector.
+chaos-smoke:
+	$(GO) test -race ./internal/harness -run TestChaosSmoke -count=1 -timeout 10m
+
 # Regenerate the checked-in fuzz seed corpus after wire-format changes.
 corpus:
 	$(GO) run ./tools/gencorpus
 
-check: vet build race fuzz-smoke overload-smoke obs-smoke
+check: vet build race fuzz-smoke overload-smoke obs-smoke chaos-smoke
 
 clean:
 	$(GO) clean ./...

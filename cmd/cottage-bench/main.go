@@ -34,6 +34,7 @@ func main() {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		csvDir     = flag.String("csv", "", "export raw per-query outcomes of the policy comparison to CSVs in this directory")
 		debugAddr  = flag.String("debug-addr", "", "HTTP debug listener for the simulated twin (/metrics, /debug/traces); empty = off")
+		replicas   = flag.Int("replicas", 1, "replicas per shard in the simulated twin (the replication extra sweeps its own factors)")
 	)
 	flag.Parse()
 
@@ -56,6 +57,10 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q (want quick or full)", *scale)
 	}
+	if *replicas < 1 {
+		log.Fatalf("-replicas %d < 1", *replicas)
+	}
+	cfg.EngineCfg.Cluster.Replicas = *replicas
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {

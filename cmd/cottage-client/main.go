@@ -9,6 +9,19 @@
 // queries.txt holds one query per line (whitespace-separated terms). With
 // -compare, every query runs under both protocols and the client reports
 // Cottage's overlap with the exhaustive top-K.
+//
+// Replicated fleets group the addresses into replica groups — one group
+// per logical shard, every per-query leg routed to the group's best live
+// replica with mid-query failover. Either list groups explicitly (';'
+// between shards, ',' between a shard's replicas):
+//
+//	cottage-client -servers '127.0.0.1:7001,127.0.0.1:8001;127.0.0.1:7002,127.0.0.1:8002'
+//
+// or give a flat list plus -replicas R (row-major: the first half is
+// replica row 0, the second half row 1 — the layout from starting the
+// whole server fleet once per row):
+//
+//	cottage-client -servers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:8001,127.0.0.1:8002 -replicas 2
 package main
 
 import (
@@ -22,6 +35,7 @@ import (
 
 	"cottage/internal/core"
 	"cottage/internal/obs"
+	"cottage/internal/replica"
 	"cottage/internal/rpc"
 	"cottage/internal/search"
 	"cottage/internal/trace"
@@ -31,7 +45,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cottage-client: ")
 	var (
-		servers   = flag.String("servers", "", "comma-separated ISN addresses (required)")
+		servers   = flag.String("servers", "", "ISN addresses: ',' between replicas/shards, ';' between shard groups (required)")
+		replicas  = flag.Int("replicas", 1, "replicas per shard for a flat -servers list (row-major); ignored when -servers uses ';' groups")
 		mode      = flag.String("mode", "cottage", "protocol: exhaustive|cottage")
 		queries   = flag.String("queries", "", "file with one query per line")
 		tracePath = flag.String("trace", "", "timed trace (gob, from cottage-indexer -traceout) for paced replay")
@@ -54,30 +69,58 @@ func main() {
 		os.Exit(2)
 	}
 
+	addrGroups, err := replica.ParseGroups(*servers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !strings.Contains(*servers, ";") && *replicas > 1 {
+		flat := make([]string, len(addrGroups))
+		for i, g := range addrGroups {
+			flat[i] = g[0]
+		}
+		if addrGroups, err = replica.GroupFlat(flat, *replicas); err != nil {
+			log.Fatal(err)
+		}
+	}
 	var clients []*rpc.Client
-	for _, addr := range strings.Split(*servers, ",") {
-		addr = strings.TrimSpace(addr)
-		c, err := rpc.Dial(addr)
-		if err != nil {
-			// Not fatal: treat an ISN that is down at startup like one
-			// that dies later — every call redials through the retry
-			// path, and the aggregator degrades around it meanwhile.
-			log.Printf("warning: %s unreachable: %v (will redial per request)", addr, err)
-			c = rpc.Offline(addr)
+	var groups [][]int
+	replicated := false
+	for _, g := range addrGroups {
+		idx := make([]int, 0, len(g))
+		if len(g) > 1 {
+			replicated = true
 		}
-		defer c.Close()
-		if *timeoutMS > 0 {
-			c.SetTimeout(time.Duration(*timeoutMS * float64(time.Millisecond)))
+		for _, addr := range g {
+			c, err := rpc.Dial(addr)
+			if err != nil {
+				// Not fatal: treat an ISN that is down at startup like one
+				// that dies later — every call redials through the retry
+				// path, and the aggregator degrades around it meanwhile.
+				log.Printf("warning: %s unreachable: %v (will redial per request)", addr, err)
+				c = rpc.Offline(addr)
+			}
+			defer c.Close()
+			if *timeoutMS > 0 {
+				c.SetTimeout(time.Duration(*timeoutMS * float64(time.Millisecond)))
+			}
+			c.SetRetryPolicy(rpc.RetryPolicy{Max: *retries})
+			if err := c.Ping(); err != nil {
+				// Not fatal: the aggregator degrades around unhealthy ISNs
+				// per query, and retries may yet bring this one back.
+				log.Printf("warning: %s unhealthy: %v", addr, err)
+			}
+			idx = append(idx, len(clients))
+			clients = append(clients, c)
 		}
-		c.SetRetryPolicy(rpc.RetryPolicy{Max: *retries})
-		if err := c.Ping(); err != nil {
-			// Not fatal: the aggregator degrades around unhealthy ISNs
-			// per query, and retries may yet bring this one back.
-			log.Printf("warning: %s unhealthy: %v", addr, err)
-		}
-		clients = append(clients, c)
+		groups = append(groups, idx)
 	}
 	agg := rpc.NewAggregator(clients, *k)
+	if replicated {
+		if err := agg.EnableReplicaGroups(groups); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%d shards x replica groups over %d servers", len(groups), len(clients))
+	}
 	agg.HedgeAfter = time.Duration(*hedgeMS * float64(time.Millisecond))
 	if *debugAddr != "" || *traceOut != "" {
 		agg.Obs = obs.NewObserver(len(clients), 512)
@@ -195,9 +238,10 @@ func main() {
 		fmt.Printf(", mean overlap %.3f", overlapSum/float64(n))
 	}
 	fmt.Println()
-	if st := agg.Stats(); st.Retries > 0 || st.Hedges > 0 {
-		fmt.Printf("transport: %d retries, %d hedges (%d won, %d cancelled)\n",
-			st.Retries, st.Hedges, st.HedgeWins, st.HedgesCancelled)
+	if st := agg.Stats(); st.Retries > 0 || st.Hedges > 0 || st.FailoversPredict+st.FailoversSearch > 0 {
+		fmt.Printf("transport: %d retries, %d hedges (%d won, %d cancelled), %d failovers (%d predict, %d search)\n",
+			st.Retries, st.Hedges, st.HedgeWins, st.HedgesCancelled,
+			st.FailoversPredict+st.FailoversSearch, st.FailoversPredict, st.FailoversSearch)
 	}
 	if prober != nil {
 		probes, revived := prober.Stats()

@@ -3,6 +3,13 @@
 // search/predict requests for an aggregator (cottage-client).
 //
 //	cottage-server -shard idx/isn-00.shard -model idx/isn-00.model -listen :7001
+//
+// -listen accepts a comma-separated list, serving the same shard from
+// several independent replica endpoints (each with its own admission
+// limiter and fault schedule, as if started as separate processes) —
+// handy for exercising cottage-client's replica groups on one machine:
+//
+//	cottage-server -shard idx/isn-00.shard -listen :7001,:8001
 package main
 
 import (
@@ -12,6 +19,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -30,7 +39,7 @@ func main() {
 	var (
 		shardPath = flag.String("shard", "", "path to a .shard file (required)")
 		modelPath = flag.String("model", "", "path to a .model file (optional)")
-		listen    = flag.String("listen", ":7001", "listen address")
+		listen    = flag.String("listen", ":7001", "listen address(es); a comma-separated list serves the shard as that many replica endpoints")
 		strategy  = flag.String("strategy", "maxscore", "evaluation strategy: exhaustive|maxscore|wand")
 		failRate  = flag.Float64("fail-rate", 0, "inject: probability each response write is dropped (connection cut)")
 		slowMS    = flag.Float64("slow-ms", 0, "inject: fixed extra delay per response write, in milliseconds")
@@ -79,40 +88,53 @@ func main() {
 		log.Fatalf("unknown strategy %q", *strategy)
 	}
 
-	l, err := net.Listen("tcp", *listen)
-	if err != nil {
-		log.Fatal(err)
+	// One server per listen address: the shard and predictor are shared
+	// (read-only), but each replica endpoint gets its own admission
+	// limiter and fault schedule, just like separately started processes.
+	addrs := strings.Split(*listen, ",")
+	srvs := make([]*rpc.Server, len(addrs))
+	listeners := make([]net.Listener, len(addrs))
+	for i, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving on %s", l.Addr())
+		srv := &rpc.Server{Shard: shard, Pred: pred, Strategy: strat}
+		if *inflight > 0 {
+			lim := overload.NewLimiter(*inflight, *queueLen, nil)
+			if *aimd {
+				// The configured cap is the ceiling; AIMD probes downward from
+				// it under sheds and climbs back as completions succeed.
+				lim.EnableAIMD(1, *inflight)
+			}
+			srv.Limit = lim
+			log.Printf("admission control on: %d in-flight, queue %d, aimd=%v", *inflight, *queueLen, *aimd)
+		}
+		if *failRate > 0 || *slowMS > 0 {
+			// Chaos mode: the injector mangles this ISN's response stream so
+			// aggregator-side retries/hedging can be exercised against a real
+			// process. The seed makes a fault schedule replayable; each
+			// replica endpoint draws its own schedule from seed+row.
+			in := faults.NewInjector(*faultSeed + uint64(i))
+			in.SetPlan(0, faults.Plan{DropProb: *failRate, SlowMS: *slowMS})
+			srv.Faults = in
+			l = faults.WrapListener(l, in, 0)
+			log.Printf("fault injection on: drop prob %.2f, slow %.1f ms (seed %d)", *failRate, *slowMS, *faultSeed+uint64(i))
+		}
+		srvs[i], listeners[i] = srv, l
 	}
-	log.Printf("serving on %s", l.Addr())
-	srv := &rpc.Server{Shard: shard, Pred: pred, Strategy: strat}
 	if *debugAddr != "" {
-		srv.Obs = obs.NewObserver(1, 256)
-		dbg, err := obs.StartDebug(*debugAddr, srv.Obs)
+		// The debug surface reflects the first replica endpoint; siblings
+		// are separate servers and would need their own listeners.
+		srvs[0].Obs = obs.NewObserver(1, 256)
+		dbg, err := obs.StartDebug(*debugAddr, srvs[0].Obs)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer dbg.Close()
 		log.Printf("debug listener on http://%s (/metrics, /healthz, /debug/traces)", dbg.Addr())
-	}
-	if *inflight > 0 {
-		lim := overload.NewLimiter(*inflight, *queueLen, nil)
-		if *aimd {
-			// The configured cap is the ceiling; AIMD probes downward from
-			// it under sheds and climbs back as completions succeed.
-			lim.EnableAIMD(1, *inflight)
-		}
-		srv.Limit = lim
-		log.Printf("admission control on: %d in-flight, queue %d, aimd=%v", *inflight, *queueLen, *aimd)
-	}
-	if *failRate > 0 || *slowMS > 0 {
-		// Chaos mode: the injector mangles this ISN's response stream so
-		// aggregator-side retries/hedging can be exercised against a real
-		// process. The seed makes a fault schedule replayable.
-		in := faults.NewInjector(*faultSeed)
-		in.SetPlan(0, faults.Plan{DropProb: *failRate, SlowMS: *slowMS})
-		srv.Faults = in
-		l = faults.WrapListener(l, in, 0)
-		log.Printf("fault injection on: drop prob %.2f, slow %.1f ms (seed %d)", *failRate, *slowMS, *faultSeed)
 	}
 
 	// Graceful lifecycle: first SIGINT/SIGTERM drains in-flight requests
@@ -120,8 +142,11 @@ func main() {
 	// force-closes whatever remains.
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(l) }()
+	serveErr := make(chan error, len(srvs))
+	for i := range srvs {
+		i := i
+		go func() { serveErr <- srvs[i].Serve(listeners[i]) }()
+	}
 	select {
 	case err := <-serveErr:
 		if err != nil {
@@ -134,13 +159,28 @@ func main() {
 			<-sigCh
 			cancel()
 		}()
-		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("drain cut short: %v", err)
+		var wg sync.WaitGroup
+		for _, srv := range srvs {
+			wg.Add(1)
+			go func(srv *rpc.Server) {
+				defer wg.Done()
+				if err := srv.Shutdown(ctx); err != nil {
+					log.Printf("drain cut short: %v", err)
+				}
+			}(srv)
 		}
+		wg.Wait()
 		cancel()
-		if err := <-serveErr; err != nil {
-			log.Printf("serve: %v", err)
+		for range srvs {
+			if err := <-serveErr; err != nil {
+				log.Printf("serve: %v", err)
+			}
 		}
 	}
-	log.Printf("served %d search requests, shed %d", srv.Served(), srv.Shed())
+	var served, shed uint64
+	for _, srv := range srvs {
+		served += srv.Served()
+		shed += srv.Shed()
+	}
+	log.Printf("served %d search requests, shed %d", served, shed)
 }

@@ -12,8 +12,11 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
+	"cottage/internal/faults"
 	"cottage/internal/power"
+	"cottage/internal/replica"
 	"cottage/internal/search"
 )
 
@@ -173,7 +176,14 @@ func (n *ISN) earliestWorker() int {
 	return best
 }
 
-// Cluster simulates a fleet of ISNs sharing one CPU package.
+// Cluster simulates a fleet of ISNs sharing one CPU package. With
+// replication (Config.Replicas > 1) the fleet holds Shards × R nodes in
+// replica.Topology's row-major layout: node r*Shards+shard is shard's
+// r-th copy, so replica row 0 is the familiar unreplicated fleet and
+// every node-level method (Execute, FailISN, EquivalentLatencyMS, ...)
+// keeps its meaning unchanged. Shard-level methods (ExecuteShard,
+// ShardFailed, ...) layer replica selection and virtual-time failover on
+// top.
 type Cluster struct {
 	ISNs    []*ISN
 	Ladder  Ladder
@@ -181,6 +191,15 @@ type Cluster struct {
 	Net     Network
 	Meter   *power.Meter
 	InferMS float64 // per-query predictor inference time charged at the ISN
+	// Faults, when set, deals per-request chaos (crash/drop/slow) into
+	// Execute from a deterministic seeded schedule. Crashed plans also
+	// count as dead for shard-level availability — the twin's stand-in
+	// for the live path's prober, which discovers crashed replicas within
+	// a probe interval — while drop and slow stay per-request surprises
+	// that only mid-query failover can absorb.
+	Faults *faults.Injector
+	// topo is the shard × replica layout (R=1 when unconfigured).
+	topo replica.Topology
 	// FailTimeoutMS is the aggregator's failure-detection timeout: how
 	// long it waits for an ISN that will never answer before giving up,
 	// when no tighter per-query budget applies (budgeted queries give up
@@ -198,14 +217,24 @@ type Cluster struct {
 
 // Config assembles a Cluster.
 type Config struct {
+	// NumISNs is the number of logical shards; with Replicas > 1 the
+	// cluster holds NumISNs × Replicas nodes.
 	NumISNs int
-	Ladder  Ladder
+	// Replicas is the replication factor R (default 1). Each shard gets R
+	// interchangeable copies; the package idle floor scales ×R because
+	// replicated shards are extra hardware, not extra cores on the same
+	// box.
+	Replicas int
+	Ladder   Ladder
 	Cost    CostModel
 	Net     Network
 	Power   power.Model
 	InferMS float64
-	// SpeedFactors optionally sets per-ISN service-time multipliers
+	// SpeedFactors optionally sets per-shard service-time multipliers
 	// (heterogeneous fleet). Missing or non-positive entries default to 1.
+	// Replicas of one shard share its factor — they index the same
+	// documents on the same hardware class — so per-shard latency
+	// predictors stay valid across failover.
 	SpeedFactors []float64
 	// WorkersPerISN is each ISN's concurrency (default 1). Each busy
 	// worker is charged as one active core.
@@ -237,14 +266,21 @@ func New(cfg Config) *Cluster {
 	if err := cfg.Ladder.Validate(); err != nil {
 		panic(err)
 	}
+	r := cfg.Replicas
+	if r < 1 {
+		r = 1
+	}
+	pw := cfg.Power
+	pw.IdleWatts *= float64(r) // R replica rows = R× the idle hardware
 	c := &Cluster{
 		Ladder:        cfg.Ladder,
 		Cost:          cfg.Cost,
 		Net:           cfg.Net,
-		Meter:         power.NewMeter(cfg.Power),
+		Meter:         power.NewMeter(pw),
 		InferMS:       cfg.InferMS,
 		FailTimeoutMS: cfg.FailTimeoutMS,
 		MaxQueueMS:    cfg.MaxQueueMS,
+		topo:          replica.Topology{Shards: cfg.NumISNs, R: r},
 	}
 	if c.FailTimeoutMS <= 0 {
 		c.FailTimeoutMS = 100
@@ -253,15 +289,30 @@ func New(cfg Config) *Cluster {
 	if workers <= 0 {
 		workers = 1
 	}
-	for i := 0; i < cfg.NumISNs; i++ {
+	for i := 0; i < c.topo.Nodes(); i++ {
+		shard := c.topo.ShardOf(i)
 		speed := 1.0
-		if i < len(cfg.SpeedFactors) && cfg.SpeedFactors[i] > 0 {
-			speed = cfg.SpeedFactors[i]
+		if shard < len(cfg.SpeedFactors) && cfg.SpeedFactors[shard] > 0 {
+			speed = cfg.SpeedFactors[shard]
 		}
 		c.ISNs = append(c.ISNs, &ISN{ID: i, SpeedFactor: speed, freeAtMS: make([]float64, workers)})
 	}
 	return c
 }
+
+// Shards returns the logical shard count (nodes / replicas).
+func (c *Cluster) Shards() int { return c.topo.Shards }
+
+// Replicas returns the replication factor R.
+func (c *Cluster) Replicas() int {
+	if c.topo.R < 1 {
+		return 1
+	}
+	return c.topo.R
+}
+
+// Topo returns the shard × replica layout.
+func (c *Cluster) Topo() replica.Topology { return c.topo }
 
 // FailISN marks an ISN dead (see ISN.Failed).
 func (c *Cluster) FailISN(isn int) { c.ISNs[isn].Failed = true }
@@ -281,6 +332,104 @@ func (c *Cluster) FailedCount() int {
 		}
 	}
 	return n
+}
+
+// nodeDead reports whether a node can serve at all: configured dead
+// (FailISN) or crashed in the fault injector's standing plan. The latter
+// mirrors what the live path's prober would know; probabilistic drops
+// and slowdowns are per-request and stay invisible here.
+func (c *Cluster) nodeDead(node int) bool {
+	if c.ISNs[node].Failed {
+		return true
+	}
+	return c.Faults != nil && c.Faults.Crashed(node)
+}
+
+// ShardFailed reports whether a shard has lost every replica — only then
+// does the aggregator have to fall back to degraded Algorithm 1.
+func (c *Cluster) ShardFailed(shard int) bool {
+	for _, n := range c.topo.Group(shard) {
+		if !c.nodeDead(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// FailedShardCount returns how many shards have no live replica left —
+// the "missing ISNs" count degraded-mode budget assignment sees.
+func (c *Cluster) FailedShardCount() int {
+	n := 0
+	for s := 0; s < c.topo.Shards; s++ {
+		if c.ShardFailed(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveReplicas returns the shard's live replica node ids, replica row 0
+// first (empty when the whole group is down).
+func (c *Cluster) LiveReplicas(shard int) []int {
+	var live []int
+	for _, n := range c.topo.Group(shard) {
+		if !c.nodeDead(n) {
+			live = append(live, n)
+		}
+	}
+	return live
+}
+
+// rankShard orders the shard's replicas best-first by the shared
+// selector rule. In the twin every transport signal is perfect, so the
+// ranking reduces to: live replicas by current queue delay, ties by id —
+// the same join-the-shortest-queue choice a live aggregator converges to
+// once its EWMA warms up.
+func (c *Cluster) rankShard(shard int, tMS float64) []int {
+	group := c.topo.Group(shard)
+	cands := make([]replica.Candidate, len(group))
+	for i, n := range group {
+		cands[i] = replica.Candidate{
+			ID:        n,
+			Failed:    c.nodeDead(n),
+			Healthy:   true,
+			ServiceMS: c.QueueDelayMS(n, tMS),
+		}
+	}
+	return replica.Rank(cands)
+}
+
+// SelectReplica returns the best live replica for a request to shard
+// arriving at tMS, or -1 when every replica is down.
+func (c *Cluster) SelectReplica(shard int, tMS float64) int {
+	order := c.rankShard(shard, tMS)
+	if len(order) == 0 {
+		return -1
+	}
+	return order[0]
+}
+
+// ShardQueueDelayMS returns the queueing delay the selected replica
+// would impose on a request to shard at tMS (+Inf when the shard is
+// down).
+func (c *Cluster) ShardQueueDelayMS(shard int, tMS float64) float64 {
+	n := c.SelectReplica(shard, tMS)
+	if n < 0 {
+		return math.Inf(1)
+	}
+	return c.QueueDelayMS(n, tMS)
+}
+
+// ShardEquivalentLatencyMS is Eq. 2 at shard granularity: the equivalent
+// latency of predictedCycles of work on the shard's best live replica at
+// frequency f (+Inf when the shard is down). Replicas of a shard share
+// its speed factor, so the cycle cost needs no per-replica adjustment.
+func (c *Cluster) ShardEquivalentLatencyMS(shard int, tMS, predictedCycles, f float64) float64 {
+	n := c.SelectReplica(shard, tMS)
+	if n < 0 {
+		return math.Inf(1)
+	}
+	return c.EquivalentLatencyMS(n, tMS, predictedCycles, f)
 }
 
 // SetExtraDelayMS injects a per-request virtual-time slowdown on an ISN.
@@ -350,6 +499,18 @@ type Execution struct {
 	// Failed, the aggregator hears back right away.
 	Shed    bool
 	QueueMS float64
+	// Dropped marks an injected connection drop (or corrupted reply): the
+	// node did the work and burned the power, but the response never
+	// reached the aggregator, which notices the severed stream after one
+	// network round trip and can fail over.
+	Dropped bool
+	// Shard and Replica locate the execution in the replica topology
+	// (Shard == ISN and Replica == 0 on the unreplicated node-level path).
+	Shard   int
+	Replica int
+	// Failovers counts how many sibling replicas ExecuteShard burned
+	// through before this attempt (0 = first choice answered).
+	Failovers int
 }
 
 // Execute schedules a request on ISN isn: it arrives at tMS (aggregator
@@ -366,25 +527,43 @@ func (c *Cluster) Execute(isn int, tMS, cycles, f, deadlineMS float64) Execution
 		panic("cluster: non-positive frequency")
 	}
 	node := c.ISNs[isn]
+	shard, rep := c.topo.ShardOf(isn), c.topo.ReplicaOf(isn)
 	arrive := tMS + c.Net.AggToISNMS
 	if node.Failed {
 		// The request is lost; the node does no work and burns no power.
 		c.observe(arrive)
-		return Execution{ISN: isn, StartMS: arrive, FinishMS: arrive, Freq: f, Failed: true}
+		return Execution{ISN: isn, Shard: shard, Replica: rep, StartMS: arrive, FinishMS: arrive, Freq: f, Failed: true}
+	}
+	// Per-request chaos from the seeded schedule: a crashed plan loses
+	// the request like a dead node; a drop or corrupt verdict lets the
+	// work proceed (the server keeps serving a severed connection) but
+	// the reply never lands; a slow verdict stretches service time.
+	injDelayMS, dropped := 0.0, false
+	if c.Faults != nil {
+		switch d := c.Faults.OnRequest(isn); d.Kind {
+		case faults.Crash:
+			c.observe(arrive)
+			return Execution{ISN: isn, Shard: shard, Replica: rep, StartMS: arrive, FinishMS: arrive, Freq: f, Failed: true}
+		case faults.Drop, faults.Corrupt:
+			dropped = true
+			injDelayMS = d.DelayMS
+		default:
+			injDelayMS = d.DelayMS
+		}
 	}
 	if c.MaxQueueMS > 0 && c.QueueDelayMS(isn, arrive) > c.MaxQueueMS {
 		// Admission control: the backlog already exceeds the queue bound,
 		// so the ISN sheds the request immediately — no work, no power,
 		// and the aggregator gets the rejection after one network hop.
 		c.observe(arrive)
-		return Execution{ISN: isn, StartMS: arrive, FinishMS: arrive, Freq: f, Shed: true}
+		return Execution{ISN: isn, Shard: shard, Replica: rep, StartMS: arrive, FinishMS: arrive, Freq: f, Shed: true}
 	}
 	worker := node.earliestWorker()
 	start := arrive
 	if node.freeAtMS[worker] > start {
 		start = node.freeAtMS[worker]
 	}
-	full := ServiceMS(cycles, f) + node.ExtraDelayMS
+	full := ServiceMS(cycles, f) + node.ExtraDelayMS + injDelayMS
 	finish := start + full
 	busy := full
 	completed := true
@@ -409,13 +588,58 @@ func (c *Cluster) Execute(isn int, tMS, cycles, f, deadlineMS float64) Execution
 	c.observe(finish)
 	return Execution{
 		ISN:       isn,
+		Shard:     shard,
+		Replica:   rep,
 		StartMS:   start,
 		FinishMS:  finish,
 		ServiceMS: busy,
 		Freq:      f,
 		Completed: completed,
 		QueueMS:   start - arrive,
+		Dropped:   dropped,
 	}
+}
+
+// ExecuteShard schedules a request on a shard's best live replica and
+// fails over to siblings in virtual time: when an attempt is lost (dead
+// node, injected crash or drop — detected as a connection reset one
+// network round trip after send) or shed by admission control (rejected
+// after one round trip), the next-ranked replica gets the retry with
+// whatever deadline remains. Degraded Algorithm 1 is the caller's last
+// resort for when the loop exhausts the whole group. The returned
+// Execution carries the serving replica and the failover count; for a
+// shard with no live replica it reports Failed after one detection
+// round trip, like a node-level send to a dead ISN.
+func (c *Cluster) ExecuteShard(shard int, tMS, cycles, f, deadlineMS float64) Execution {
+	order := c.rankShard(shard, tMS)
+	if len(order) == 0 {
+		arrive := tMS + c.Net.AggToISNMS
+		c.observe(arrive)
+		return Execution{
+			ISN: c.topo.Node(shard, 0), Shard: shard, Replica: 0,
+			StartMS: arrive, FinishMS: arrive, Freq: f, Failed: true,
+		}
+	}
+	sendMS := tMS
+	var last Execution
+	for attempt, node := range order {
+		e := c.Execute(node, sendMS, cycles, f, deadlineMS)
+		e.Failovers = attempt
+		if !e.Failed && !e.Shed && !e.Dropped {
+			return e
+		}
+		last = e
+		// Detection: a reset (failed/dropped) or rejection (shed) reaches
+		// the aggregator one hop after the attempt's send arrived. A
+		// dropped request keeps its node busy, but the client's reset
+		// fires at arrival, not service completion.
+		arriveMS := e.StartMS - e.QueueMS
+		sendMS = arriveMS + c.Net.AggToISNMS
+		if sendMS >= deadlineMS {
+			break // no budget left to retry a sibling
+		}
+	}
+	return last
 }
 
 // ResponseAtAggregatorMS is when the aggregator holds the ISN's response.

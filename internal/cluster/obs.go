@@ -30,14 +30,31 @@ func (c *Cluster) Register(reg *obs.Registry) {
 	reg.GaugeFunc("cottage_cluster_failed_isns",
 		"ISNs currently marked dead (injected failures).",
 		func() float64 { return float64(c.FailedCount()) })
+	reg.GaugeFunc("cottage_cluster_replicas",
+		"Configured replication factor R.",
+		func() float64 { return float64(c.Replicas()) })
+	reg.GaugeFunc("cottage_cluster_failed_shards",
+		"Shards with no live replica left (degraded-mode territory).",
+		func() float64 { return float64(c.FailedShardCount()) })
+	for s := 0; s < c.Shards(); s++ {
+		shard := s
+		reg.GaugeFunc("cottage_shard_live_replicas",
+			"Live replicas per shard.",
+			func() float64 { return float64(len(c.LiveReplicas(shard))) },
+			obs.L("shard", strconv.Itoa(shard)))
+	}
 	for _, n := range c.ISNs {
 		node := n
-		isn := obs.L("isn", strconv.Itoa(node.ID))
+		labels := []obs.Label{
+			obs.L("isn", strconv.Itoa(node.ID)),
+			obs.L("shard", strconv.Itoa(c.topo.ShardOf(node.ID))),
+			obs.L("replica", strconv.Itoa(c.topo.ReplicaOf(node.ID))),
+		}
 		reg.GaugeFunc("cottage_isn_busy_ms",
 			"Cumulative busy time per simulated ISN.",
-			func() float64 { return node.BusyMS }, isn)
+			func() float64 { return node.BusyMS }, labels...)
 		reg.GaugeFunc("cottage_isn_queries_served",
 			"Queries served per simulated ISN.",
-			func() float64 { return float64(node.QueriesServed) }, isn)
+			func() float64 { return float64(node.QueriesServed) }, labels...)
 	}
 }

@@ -40,6 +40,11 @@ type ISNReport struct {
 	// tracking measures the model rather than the safety margin. Zero
 	// means "same as PredCycles" (no margin applied).
 	RawCycles float64
+	// Replica is which copy of the shard answered the prediction round
+	// (replica row index, 0 on unreplicated fleets). Replicas of a shard
+	// are interchangeable for Q^K/Q^{K/2}, so Algorithm 1 ignores it; it
+	// flows into the DecisionRecord for the audit trail.
+	Replica int
 }
 
 // BudgetResult is the optimizer's output.
@@ -233,22 +238,40 @@ func (c *Cottage) Reports(e *engine.Engine, q trace.Query, nowMS float64) []ISNR
 	return reportsFromPredictions(e, preds, nowMS, c.DropZeroProb, c.K2ZeroProb, c.LatencyMargin)
 }
 
+// shardLeg picks the shard's serving replica for the upcoming leg and
+// returns its replica row plus Eq. 2 equivalent latencies at the default
+// and max frequencies. A fully-dead shard falls back to replica row 0's
+// queue view so policies that do not filter availability (the ablations,
+// the oracle) keep their pre-replication behaviour; availability-aware
+// callers filter with ShardFailed first.
+func shardLeg(e *engine.Engine, shard int, nowMS, cycles float64) (rep int, lcur, lboost float64) {
+	node := e.Cluster.SelectReplica(shard, nowMS)
+	if node < 0 {
+		node = shard
+	}
+	fdef, fmax := e.Cluster.Ladder.Default(), e.Cluster.Ladder.Max()
+	return e.Cluster.Topo().ReplicaOf(node),
+		e.Cluster.EquivalentLatencyMS(node, nowMS, cycles, fdef),
+		e.Cluster.EquivalentLatencyMS(node, nowMS, cycles, fmax)
+}
+
 func reportsFromPredictions(e *engine.Engine, preds []predict.Prediction, nowMS float64,
 	dropZeroProb, k2ZeroProb, latencyMargin float64) []ISNReport {
 
 	reports := make([]ISNReport, 0, len(preds))
-	fdef, fmax := e.Cluster.Ladder.Default(), e.Cluster.Ladder.Max()
 	for isn, p := range preds {
-		// A dead ISN never answers the prediction round: its report is
-		// missing, and degraded-mode Algorithm 1 (Cottage.Degraded)
-		// decides how to optimize without it.
-		if e.Cluster.IsFailed(isn) {
+		// A dead shard — every replica down — never answers the prediction
+		// round: its report is missing, and degraded-mode Algorithm 1
+		// (Cottage.Degraded) decides how to optimize without it. While any
+		// replica lives, the shard's predictions survive node loss.
+		if e.Cluster.ShardFailed(isn) {
 			continue
 		}
 		if !p.Matched {
 			continue
 		}
 		cycles := p.Cycles * (1 + latencyMargin)
+		rep, lcur, lboost := shardLeg(e, isn, nowMS, cycles)
 		reports = append(reports, ISNReport{
 			ISN:        isn,
 			QK:         p.QK,
@@ -256,10 +279,11 @@ func reportsFromPredictions(e *engine.Engine, preds []predict.Prediction, nowMS 
 			HasK:       p.PZeroK < dropZeroProb,
 			HasK2:      p.PZeroK2 < k2ZeroProb,
 			ExpQK:      p.ExpQK,
-			LCurrent:   e.Cluster.EquivalentLatencyMS(isn, nowMS, cycles, fdef),
-			LBoosted:   e.Cluster.EquivalentLatencyMS(isn, nowMS, cycles, fmax),
+			LCurrent:   lcur,
+			LBoosted:   lboost,
 			PredCycles: cycles,
 			RawCycles:  p.Cycles,
+			Replica:    rep,
 		})
 	}
 	return reports
@@ -282,14 +306,14 @@ func (c *Cottage) decideFromReports(e *engine.Engine, reports []ISNReport) engin
 		CoordMS:        coordOverheadMS(e),
 		UsedPredictors: true,
 	}
-	res := DetermineBudgetDegraded(reports, e.Cluster.FailedCount(), e.Cluster.Ladder, BudgetOptions{
+	res := DetermineBudgetDegraded(reports, e.Cluster.FailedShardCount(), e.Cluster.Ladder, BudgetOptions{
 		StrictTopK: c.StrictTopK,
 		Downclock:  c.Downclock,
 	}, c.Degraded)
 	if e.Obs != nil {
 		var missing []int
 		for si := range e.Shards {
-			if e.Cluster.IsFailed(si) {
+			if e.Cluster.ShardFailed(si) {
 				missing = append(missing, si)
 			}
 		}

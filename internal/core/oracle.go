@@ -61,13 +61,13 @@ func (o *CottageOracle) Decide(e *engine.Engine, q trace.Query, nowMS float64) e
 	}
 	qk2 := o.truthK2[q.ID]
 	preds := e.Fleet.PredictAll(e.Shards, q.Terms)
-	fdef, fmax := e.Cluster.Ladder.Default(), e.Cluster.Ladder.Max()
 	reports := make([]ISNReport, 0, len(preds))
 	for isn, p := range preds {
 		if !p.Matched {
 			continue
 		}
 		cycles := p.Cycles * (1 + o.inner.LatencyMargin)
+		rep, lcur, lboost := shardLeg(e, isn, nowMS, cycles)
 		reports = append(reports, ISNReport{
 			ISN:        isn,
 			QK:         qk[isn],
@@ -75,9 +75,10 @@ func (o *CottageOracle) Decide(e *engine.Engine, q trace.Query, nowMS float64) e
 			HasK:       qk[isn] > 0,
 			HasK2:      qk2[isn] > 0,
 			ExpQK:      float64(qk[isn]),
-			LCurrent:   e.Cluster.EquivalentLatencyMS(isn, nowMS, cycles, fdef),
-			LBoosted:   e.Cluster.EquivalentLatencyMS(isn, nowMS, cycles, fmax),
+			LCurrent:   lcur,
+			LBoosted:   lboost,
 			PredCycles: cycles,
+			Replica:    rep,
 		})
 	}
 	return o.inner.decideFromReports(e, reports)

@@ -43,6 +43,7 @@ func NewDecisionRecord(res BudgetResult, reports []ISNReport, missing []int,
 	for _, r := range reports {
 		rr := obs.ReportRecord{
 			ISN:        r.ISN,
+			Replica:    r.Replica,
 			QK:         r.QK,
 			QK2:        r.QK2,
 			HasK:       r.HasK,

@@ -95,13 +95,13 @@ func (v *CottageNoML) Decide(e *engine.Engine, q trace.Query, nowMS float64) eng
 	estK2 := e.Gamma.Estimate(q.Terms, e.K/2)
 	preds := e.Fleet.PredictAll(e.Shards, q.Terms)
 
-	fdef, fmax := e.Cluster.Ladder.Default(), e.Cluster.Ladder.Max()
 	reports := make([]ISNReport, 0, len(preds))
 	for isn, p := range preds {
 		if !p.Matched {
 			continue
 		}
 		cycles := p.Cycles * (1 + v.LatencyMargin)
+		rep, lcur, lboost := shardLeg(e, isn, nowMS, cycles)
 		reports = append(reports, ISNReport{
 			ISN:        isn,
 			QK:         int(math.Round(estK[isn])),
@@ -109,9 +109,10 @@ func (v *CottageNoML) Decide(e *engine.Engine, q trace.Query, nowMS float64) eng
 			HasK:       estK[isn] >= v.Tau,
 			HasK2:      estK2[isn] >= v.Tau,
 			ExpQK:      estK[isn],
-			LCurrent:   e.Cluster.EquivalentLatencyMS(isn, nowMS, cycles, fdef),
-			LBoosted:   e.Cluster.EquivalentLatencyMS(isn, nowMS, cycles, fmax),
+			LCurrent:   lcur,
+			LBoosted:   lboost,
 			PredCycles: cycles,
+			Replica:    rep,
 		})
 	}
 	inner := &Cottage{Boost: v.Boost, StrictTopK: v.StrictTopK, Downclock: v.Downclock}

@@ -288,7 +288,11 @@ type Outcome struct {
 	// rejection, so — unlike a failure — no timeout is burned, but the
 	// shard's contribution is lost.
 	ShedISNs int
-	BudgetMS float64
+	// Failovers counts mid-query replica failovers across all legs: how
+	// many times a leg's first-choice replica lost the request (crash,
+	// drop, shed) and a sibling absorbed the retry.
+	Failovers int
+	BudgetMS  float64
 }
 
 // RunResult aggregates a full trace replay under one policy.
@@ -392,12 +396,14 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 		if d.Freq != nil && d.Freq[si] > 0 {
 			f = d.Freq[si]
 		}
-		exec := e.Cluster.Execute(si, dispatch, ev.Cycles[si], f, deadline)
+		exec := e.Cluster.ExecuteShard(si, dispatch, ev.Cycles[si], f, deadline)
 		if e.Obs != nil {
 			execs = append(execs, exec)
 		}
-		if exec.Failed {
-			// Dead node: the request is lost, nothing was searched.
+		out.Failovers += exec.Failovers
+		if exec.Failed || exec.Dropped {
+			// The whole replica group is lost (dead shard, or every
+			// failover attempt crashed/dropped): nothing was searched.
 			anyFailed = true
 			out.FailedISNs++
 			continue
@@ -514,13 +520,19 @@ func (e *Engine) recordQuery(p Policy, ev *Evaluated, d Decision,
 	ss := tb.StartSpan("search", root.ID(), vtUS(dispatch))
 	for _, exec := range execs {
 		leg := tb.StartSpan("search.isn", ss.ID(), vtUS(dispatch))
-		leg.SetISN(exec.ISN)
+		leg.SetISN(exec.Shard)
+		leg.SetAttr("replica", strconv.Itoa(exec.Replica))
+		if exec.Failovers > 0 {
+			leg.SetAttr("failovers", strconv.Itoa(exec.Failovers))
+		}
 		leg.SetAttr("freq_ghz", strconv.FormatFloat(exec.Freq, 'g', -1, 64))
 		switch {
 		case exec.Failed:
 			leg.SetAttr("failed", "true")
 		case exec.Shed:
 			leg.SetAttr("shed", "true")
+		case exec.Dropped:
+			leg.SetAttr("conn_dropped", "true")
 		default:
 			leg.SetAttr("queue_ms", strconv.FormatFloat(exec.QueueMS, 'g', -1, 64))
 			leg.SetAttr("service_ms", strconv.FormatFloat(exec.ServiceMS, 'g', -1, 64))
@@ -547,20 +559,23 @@ func (e *Engine) recordQuery(p Policy, ev *Evaluated, d Decision,
 	if d.Record == nil {
 		return
 	}
-	byISN := make(map[int]*obs.ReportRecord, len(d.Record.Reports))
+	byShard := make(map[int]*obs.ReportRecord, len(d.Record.Reports))
 	for i := range d.Record.Reports {
-		byISN[d.Record.Reports[i].ISN] = &d.Record.Reports[i]
+		byShard[d.Record.Reports[i].ISN] = &d.Record.Reports[i]
 	}
 	for _, exec := range execs {
-		rep := byISN[exec.ISN]
-		if rep == nil || exec.Failed || exec.Shed {
+		rep := byShard[exec.Shard]
+		if rep == nil || exec.Failed || exec.Shed || exec.Dropped {
 			continue
 		}
+		// Accuracy is tracked per shard: replicas of a shard share its
+		// documents and hardware class, so the predictor's target is the
+		// shard regardless of which copy served the leg.
 		if exec.Completed {
-			e.Obs.Acc.ObserveLatency(exec.ISN, rep.PredServiceMS, exec.ServiceMS)
+			e.Obs.Acc.ObserveLatency(exec.Shard, rep.PredServiceMS, exec.ServiceMS)
 		}
-		actualHasK := search.Overlap(ev.PerShard[exec.ISN].Hits, ev.TopKSet) > 0
-		e.Obs.Acc.ObserveQuality(exec.ISN, rep.HasK, actualHasK)
+		actualHasK := search.Overlap(ev.PerShard[exec.Shard].Hits, ev.TopKSet) > 0
+		e.Obs.Acc.ObserveQuality(exec.Shard, rep.HasK, actualHasK)
 	}
 }
 
@@ -599,6 +614,9 @@ type Summary struct {
 	// ShedFrac is the share of queries that had at least one participant
 	// shed by admission control (bounded queues under overload).
 	ShedFrac float64
+	// FailoverFrac is the share of queries where at least one leg failed
+	// over to a sibling replica mid-query.
+	FailoverFrac float64
 }
 
 // Summarize computes a Summary from a RunResult.
@@ -609,7 +627,7 @@ func Summarize(r RunResult) Summary {
 		return s
 	}
 	lats := make([]float64, len(r.Outcomes))
-	dropped, failed, shed := 0, 0, 0
+	dropped, failed, shed, failedOver := 0, 0, 0, 0
 	for i, o := range r.Outcomes {
 		lats[i] = o.LatencyMS
 		s.MeanPAtK += o.PAtK
@@ -624,6 +642,9 @@ func Summarize(r RunResult) Summary {
 		if o.ShedISNs > 0 {
 			shed++
 		}
+		if o.Failovers > 0 {
+			failedOver++
+		}
 	}
 	n := float64(len(r.Outcomes))
 	s.MeanLatency = stats.Mean(lats)
@@ -636,5 +657,6 @@ func Summarize(r RunResult) Summary {
 	s.DroppedFrac = float64(dropped) / n
 	s.FailedFrac = float64(failed) / n
 	s.ShedFrac = float64(shed) / n
+	s.FailoverFrac = float64(failedOver) / n
 	return s
 }

@@ -27,6 +27,7 @@ func Extras() []Experiment {
 		{"heterogeneity", "Extra: a 2.5x straggler ISN (per-ISN predictors absorb it)", Heterogeneity},
 		{"allocation", "Extra: topical vs round-robin document allocation", AllocationStudy},
 		{"availability", "Extra: latency/quality/power with 0-4 of the ISNs failed", Availability},
+		{"replication", "Extra: replication factor (R=1-3) x 0-4 failed replicas (availability, quality, latency, power)", Replication},
 		{"overload", "Extra: bounded ISN queues under 1x-4x load (shed rate, served p99, budget inflation)", Overload},
 		{"predacc", "Extra: rolling predictor-accuracy tracking (obs twin: latency error %, quality hit rate)", PredictorAccuracy},
 	}
@@ -70,6 +71,51 @@ func Availability(s *Setup, w io.Writer) error {
 			fmt.Fprintf(w, "%-8d %-14s %10.2f %10.2f %8.3f %10.2f %10.3f\n",
 				failed, pol.label, sm.MeanLatency, sm.P95Latency, sm.MeanPAtK,
 				sm.AvgPowerW, sm.FailedFrac)
+		}
+	}
+	return nil
+}
+
+// Replication crosses the replication factor (R = 1, 2, 3 replicas per
+// shard) with 0-4 permanently failed replicas and reports availability
+// (share of shard groups with a live replica — a known-dead group is
+// excluded at selection time, so its loss shows up as quality, not as
+// failed dispatches), quality, latency and power. Failures hit the
+// row-0 replica of distinct shards (the same deterministic victims as
+// Availability), so at R >= 2 every failed shard keeps a live sibling:
+// the replica selector routes around the dead node — zero quality loss,
+// only the surviving replica's queueing shows up in latency — while
+// R = 1 reproduces the degraded-mode quality floor of the Availability
+// sweep. Power scales with R (idle replicas still burn watts):
+// replication buys availability with the same currency Cottage saves.
+func Replication(s *Setup, w io.Writer) error {
+	n := len(s.Engine.Shards)
+	maxFailed := 4
+	if maxFailed >= n {
+		maxFailed = n - 1
+	}
+	pol := core.NewCottage()
+	pol.Degraded = core.DegradedConservative
+	fmt.Fprintf(w, "%-4s %-8s %10s %8s %10s %10s %10s %10s\n",
+		"R", "failed", "avail", "P@10", "avg ms", "p95 ms", "power W", "failover")
+	for _, r := range []int{1, 2, 3} {
+		cfg := s.Config.EngineCfg
+		cfg.Cluster.Replicas = r
+		eng := engine.New(s.Engine.Shards, cfg)
+		// Replicas serve the same shard at the same speed, so the trained
+		// per-ISN fleet transfers as-is: no retraining.
+		eng.Fleet = s.Engine.Fleet
+		topo := eng.Cluster.Topo()
+		for failed := 0; failed <= maxFailed; failed++ {
+			eng.Cluster.ClearFaults()
+			for _, sh := range faults.PickVictims(2022, failed, n) {
+				eng.Cluster.FailISN(topo.Node(sh, 0))
+			}
+			sm := engine.Summarize(eng.Run(pol, s.WikiEval))
+			avail := 1 - float64(eng.Cluster.FailedShardCount())/float64(n)
+			fmt.Fprintf(w, "%-4d %-8d %10.3f %8.3f %10.2f %10.2f %10.2f %10.3f\n",
+				r, failed, avail, sm.MeanPAtK, sm.MeanLatency,
+				sm.P95Latency, sm.AvgPowerW, sm.FailoverFrac)
 		}
 	}
 	return nil

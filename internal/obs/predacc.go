@@ -70,6 +70,16 @@ func (a *Accuracy) ObserveQuality(isn int, predicted, actual bool) {
 	}
 }
 
+// EWMAAbsErrPct returns one ISN's rolling absolute latency-prediction
+// error (percent of actual; 0 = no data) — the cheap read the replica
+// selector uses as its quality tiebreak.
+func (a *Accuracy) EWMAAbsErrPct(isn int) float64 {
+	if a == nil || isn < 0 || isn >= len(a.isns) {
+		return 0
+	}
+	return a.isns[isn].ewmaAbsErrPct.Load()
+}
+
 // ISNAccuracy is one ISN's rolling accuracy snapshot.
 type ISNAccuracy struct {
 	ISN           int     `json:"isn"`

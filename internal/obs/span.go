@@ -82,7 +82,10 @@ type DecisionRecord struct {
 
 // ReportRecord is one ISN's predictor inputs and Algorithm 1 outcome.
 type ReportRecord struct {
-	ISN           int     `json:"isn"`
+	ISN int `json:"isn"`
+	// Replica is which copy of the shard served the prediction leg
+	// (replica row index; always 0 on unreplicated fleets).
+	Replica       int     `json:"replica,omitempty"`
 	QK            int     `json:"q_k"`
 	QK2           int     `json:"q_k2"`
 	HasK          bool    `json:"has_k"`

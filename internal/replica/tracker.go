@@ -1,0 +1,68 @@
+package replica
+
+import (
+	"math"
+	"strconv"
+	"sync/atomic"
+
+	"cottage/internal/obs"
+)
+
+// Tracker keeps one rolling (EWMA) service-time figure per replica —
+// the selector's latency signal on the live path, where the aggregator
+// measures each search leg's wall time and wants the group routed
+// toward the replica that has been answering fastest. Lock-free: one
+// atomic load per read, one load+store per observation (a lost update
+// shifts the EWMA by at most one sample's weight, which is fine for a
+// routing signal).
+type Tracker struct {
+	bits []atomic.Uint64 // float64 bits of the per-replica EWMA, 0 = no data
+}
+
+// trackerAlpha weighs recent legs ~8× the long-run mean — reactive
+// enough to steer around a degrading replica within a handful of
+// queries, stable enough not to flap on one outlier.
+const trackerAlpha = 1.0 / 8
+
+// NewTracker returns a tracker with n replica slots.
+func NewTracker(n int) *Tracker {
+	if n < 0 {
+		n = 0
+	}
+	return &Tracker{bits: make([]atomic.Uint64, n)}
+}
+
+// Observe folds one measured service time (ms) into replica i's EWMA.
+// Out-of-range replicas and non-positive samples are ignored.
+func (t *Tracker) Observe(i int, ms float64) {
+	if t == nil || i < 0 || i >= len(t.bits) || ms <= 0 || math.IsNaN(ms) {
+		return
+	}
+	old := math.Float64frombits(t.bits[i].Load())
+	next := ms
+	if old > 0 {
+		next = old + trackerAlpha*(ms-old)
+	}
+	t.bits[i].Store(math.Float64bits(next))
+}
+
+// ServiceMS returns replica i's rolling service time (0 = no data yet).
+func (t *Tracker) ServiceMS(i int) float64 {
+	if t == nil || i < 0 || i >= len(t.bits) {
+		return 0
+	}
+	return math.Float64frombits(t.bits[i].Load())
+}
+
+// Register exposes each replica's EWMA as a scrape-time gauge.
+func (t *Tracker) Register(reg *obs.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	for i := range t.bits {
+		i := i
+		reg.GaugeFunc("cottage_replica_service_ewma_ms",
+			"Rolling (EWMA) search-leg service time per replica, the selector's latency signal.",
+			func() float64 { return t.ServiceMS(i) }, obs.L("replica", strconv.Itoa(i)))
+	}
+}

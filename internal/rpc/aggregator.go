@@ -14,6 +14,7 @@ import (
 	"cottage/internal/core"
 	"cottage/internal/obs"
 	"cottage/internal/overload"
+	"cottage/internal/replica"
 	"cottage/internal/search"
 )
 
@@ -43,22 +44,33 @@ type Aggregator struct {
 	// disables hedging.
 	HedgeAfter time.Duration
 	// Breakers, when set (EnableBreakers), holds one circuit breaker per
-	// client. An ISN with an open breaker is skipped outright — counted
-	// as a missing prediction and handled by degraded-mode Algorithm 1 —
-	// instead of burning retry and hedge budget on a node that keeps
-	// failing. Overload rejections never trip a breaker: a shedding ISN
-	// is busy, not dead.
+	// client — per address, never per replica group, so a probe success
+	// on one replica cannot half-close a sibling's breaker. An ISN with
+	// an open breaker is skipped outright — counted as a missing
+	// prediction and handled by degraded-mode Algorithm 1 — instead of
+	// burning retry and hedge budget on a node that keeps failing. With
+	// replica groups, "skipped" means the leg fails over to a sibling
+	// first; only a whole group of open breakers degrades the shard.
+	// Overload rejections never trip a breaker: a shedding ISN is busy,
+	// not dead.
 	Breakers []*overload.Breaker
+	// Groups, when set (EnableReplicaGroups), maps each logical shard to
+	// the client indices of its replicas. nil means the unreplicated
+	// layout: client i is shard i's only copy.
+	Groups [][]int
 	// Obs, when set, records one trace per query (predict → budget →
 	// search → merge, with the Algorithm 1 decision record and the
 	// ISN-side spans grafted in), latency/budget histograms, and rolling
 	// predictor accuracy. Set before concurrent use.
 	Obs *obs.Observer
 
-	hedges          obs.Counter
-	hedgeWins       obs.Counter
-	hedgesCancelled obs.Counter
-	prober          *Prober
+	hedges           obs.Counter
+	hedgeWins        obs.Counter
+	hedgesCancelled  obs.Counter
+	failoversPredict obs.Counter
+	failoversSearch  obs.Counter
+	tracker          *replica.Tracker // per-client EWMA leg time (nil until EnableReplicaGroups)
+	prober           *Prober
 
 	obsOnce    sync.Once
 	latCottage *obs.Histogram
@@ -81,6 +93,13 @@ func (a *Aggregator) initObs() {
 			"Hedged requests that answered before the primary.", &a.hedgeWins)
 		reg.Register("cottage_agg_hedges_cancelled_total",
 			"Hedged requests torn down because the primary answered first.", &a.hedgesCancelled)
+		reg.Register("cottage_agg_failovers_total",
+			"Mid-query failovers to a sibling replica, by leg.",
+			&a.failoversPredict, obs.L("leg", "predict"))
+		reg.Register("cottage_agg_failovers_total",
+			"Mid-query failovers to a sibling replica, by leg.",
+			&a.failoversSearch, obs.L("leg", "search"))
+		a.tracker.Register(reg)
 		reg.GaugeFunc("cottage_agg_client_retries",
 			"Transport-level retries summed across all ISN clients.",
 			func() float64 {
@@ -163,6 +182,9 @@ type Stats struct {
 	// before the primary; HedgesCancelled how many were torn down because
 	// the primary answered first.
 	Hedges, HedgeWins, HedgesCancelled uint64
+	// FailoversPredict / FailoversSearch count mid-query retries on a
+	// sibling replica, per leg kind.
+	FailoversPredict, FailoversSearch uint64
 	// Retries sums transport-level retries across all clients.
 	Retries uint64
 }
@@ -170,9 +192,11 @@ type Stats struct {
 // Stats snapshots the hedge/retry counters.
 func (a *Aggregator) Stats() Stats {
 	s := Stats{
-		Hedges:          a.hedges.Value(),
-		HedgeWins:       a.hedgeWins.Value(),
-		HedgesCancelled: a.hedgesCancelled.Value(),
+		Hedges:           a.hedges.Value(),
+		HedgeWins:        a.hedgeWins.Value(),
+		HedgesCancelled:  a.hedgesCancelled.Value(),
+		FailoversPredict: a.failoversPredict.Value(),
+		FailoversSearch:  a.failoversSearch.Value(),
 	}
 	for _, c := range a.Clients {
 		s.Retries += c.Retries()
@@ -300,49 +324,36 @@ func (a *Aggregator) SearchExhaustive(terms []string) (Result, error) {
 	root.SetAttr("terms", strings.Join(terms, " "))
 
 	searchSpan := tb.StartSpan("search", root.ID(), nowUS())
-	lists := make([][]search.Hit, len(a.Clients))
-	errs := make([]error, len(a.Clients))
+	shards := a.Shards()
+	lists := make([][]search.Hit, shards)
+	errs := make([]error, shards)
 	var wg sync.WaitGroup
-	for i := range a.Clients {
-		if b := a.breaker(i); b != nil && !b.Allow() {
-			errs[i] = fmt.Errorf("isn %d: circuit open", i)
-			continue
-		}
+	for s := 0; s < shards; s++ {
 		wg.Add(1)
-		go func(i int) {
+		go func(s int) {
 			defer wg.Done()
-			leg := tb.StartSpan("search.isn", searchSpan.ID(), nowUS())
-			leg.SetISN(i)
-			r, spans, err := a.searchHedged(i, leg.Context(), terms, 0)
-			a.observeBreaker(i, err)
-			if err != nil {
-				leg.SetAttr("error", err.Error())
-				leg.End(nowUS())
-				errs[i] = fmt.Errorf("isn %d: %w", i, err)
+			leg := a.searchShard(s, tb, searchSpan, terms, 0)
+			if leg.err != nil {
+				errs[s] = leg.err
 				return
 			}
-			for si := range spans {
-				spans[si].ISN = i
-			}
-			tb.AddSpans(spans)
-			leg.End(nowUS())
-			lists[i] = r.Hits
-		}(i)
+			lists[s] = leg.hits
+		}(s)
 	}
 	wg.Wait()
 	searchSpan.End(nowUS())
 	res := Result{}
 	failures := 0
-	for i, err := range errs {
+	for s, err := range errs {
 		if err != nil {
 			failures++
-			res.Failed = append(res.Failed, i)
+			res.Failed = append(res.Failed, s)
 			continue
 		}
-		res.Selected = append(res.Selected, i)
+		res.Selected = append(res.Selected, s)
 	}
-	if failures == len(a.Clients) {
-		return Result{}, fmt.Errorf("rpc: all %d ISNs failed: %w", failures, errors.Join(errs...))
+	if failures == shards {
+		return Result{}, fmt.Errorf("rpc: all %d shards failed: %w", failures, errors.Join(errs...))
 	}
 	mergeSpan := tb.StartSpan("merge", root.ID(), nowUS())
 	res.Hits = search.Merge(a.K, lists...)
@@ -382,42 +393,31 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 	// leaves the aggregator blind about a live shard and must flow into
 	// the degraded-mode budget, the latter is an answered question.
 	predictSpan := tb.StartSpan("predict", root.ID(), nowUS())
-	preds := make([]core.ISNReport, 0, len(a.Clients))
-	predErrs := make([]error, len(a.Clients))
+	shards := a.Shards()
+	preds := make([]core.ISNReport, 0, shards)
+	predErrs := make([]error, shards)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for i, c := range a.Clients {
-		if b := a.breaker(i); b != nil && !b.Allow() {
-			// Open breaker: skip the ISN entirely. It flows into the
-			// degraded-mode budget as a missing prediction instead of
-			// costing a timeout plus retries plus a hedge every query.
-			predErrs[i] = fmt.Errorf("isn %d predict: circuit open", i)
-			continue
-		}
+	for s := 0; s < shards; s++ {
 		wg.Add(1)
-		go func(i int, c *Client) {
+		go func(s int) {
 			defer wg.Done()
-			leg := tb.StartSpan("predict.isn", predictSpan.ID(), nowUS())
-			leg.SetISN(i)
-			p, load, spans, err := c.PredictLoadSpan(leg.Context(), terms)
-			a.observeBreaker(i, err)
-			if err != nil {
-				leg.SetAttr("error", err.Error())
-				leg.End(nowUS())
-				predErrs[i] = fmt.Errorf("isn %d predict: %w", i, err)
+			// The whole replica group answers one leg: the best live
+			// replica first, siblings on failover. Only a group-wide
+			// failure (every breaker open, every replica erroring) leaves
+			// the shard a missing prediction for degraded-mode Algorithm 1.
+			pl := a.predictShard(s, tb, predictSpan, terms)
+			if pl.err != nil {
+				predErrs[s] = pl.err
 				return
 			}
-			for si := range spans {
-				spans[si].ISN = i
-			}
-			tb.AddSpans(spans)
-			leg.End(nowUS())
-			if !p.Matched {
+			if !pl.pred.Matched {
 				return
 			}
+			p := pl.pred
 			fdef, fmax := a.Ladder.Default(), a.Ladder.Max()
 			r := core.ISNReport{
-				ISN:        i,
+				ISN:        s,
 				QK:         p.QK,
 				QK2:        p.QK2,
 				HasK:       p.PZeroK < a.DropZeroProb,
@@ -427,33 +427,36 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 				LBoosted:   cluster.ServiceMS(p.Cycles, fmax),
 				PredCycles: p.Cycles,
 				RawCycles:  p.Cycles,
+				Replica:    pl.row,
 			}
 			// Eq. 2: correct the bare service-time predictions for the
 			// work already queued at the ISN, measured live rather than
 			// simulated. Queue-heavy ISNs now look as slow to Algorithm 1
 			// as they actually are, so stage-1 cuts and the budget react
-			// to real load.
-			r.AddQueueBacklog(core.QueueBacklogMS(load.Depth, float64(load.AvgServiceUS)/1000))
+			// to real load. The backlog is the serving replica's own —
+			// predictions from whichever replica answered feed the budget
+			// unchanged, since replicas agree on Q^K/Q^{K/2}.
+			r.AddQueueBacklog(core.QueueBacklogMS(pl.load.Depth, float64(pl.load.AvgServiceUS)/1000))
 			mu.Lock()
 			preds = append(preds, r)
 			mu.Unlock()
-		}(i, c)
+		}(s)
 	}
 	wg.Wait()
 	predictSpan.End(nowUS())
 
 	res := Result{}
 	var missing []int
-	for i, err := range predErrs {
+	for s, err := range predErrs {
 		if err != nil {
-			missing = append(missing, i)
-			res.Failed = append(res.Failed, i)
+			missing = append(missing, s)
+			res.Failed = append(res.Failed, s)
 		}
 	}
-	if len(missing) == len(a.Clients) {
+	if len(missing) == shards {
 		root.SetAttr("error", "all predictions failed")
 		a.finishTrace(tb, root, &res)
-		return Result{}, fmt.Errorf("rpc: all %d ISNs failed prediction: %w",
+		return Result{}, fmt.Errorf("rpc: all %d shards failed prediction: %w",
 			len(missing), errors.Join(predErrs...))
 	}
 
@@ -473,40 +476,28 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 		return res, nil
 	}
 
-	// Steps 5-7: budget-bounded search on the selected ISNs.
+	// Steps 5-7: budget-bounded search on the selected shards, each leg
+	// failing over within its replica group before giving up.
 	searchSpan := tb.StartSpan("search", root.ID(), nowUS())
 	deadline := time.Duration(budget.BudgetMS * float64(time.Millisecond))
 	lists := make([][]search.Hit, len(budget.Selected))
-	legMS := make([]float64, len(budget.Selected))
-	legOK := make([]bool, len(budget.Selected))
+	legs := make([]searchLeg, len(budget.Selected))
 	for li, asg := range budget.Selected {
 		res.Selected = append(res.Selected, asg.ISN)
 		wg.Add(1)
-		go func(li int, isn int) {
+		go func(li int, shard int) {
 			defer wg.Done()
-			leg := tb.StartSpan("search.isn", searchSpan.ID(), nowUS())
-			leg.SetISN(isn)
-			legStart := time.Now()
-			r, spans, err := a.searchHedged(isn, leg.Context(), terms, deadline)
-			a.observeBreaker(isn, err)
-			if err != nil {
-				// Straggler or failure: its hits are lost but the query
-				// survives; record the gap so callers can see it.
-				leg.SetAttr("error", err.Error())
-				leg.End(nowUS())
+			leg := a.searchShard(shard, tb, searchSpan, terms, deadline)
+			legs[li] = leg
+			if leg.err != nil {
+				// Straggler or group-wide failure: its hits are lost but
+				// the query survives; record the gap so callers can see it.
 				mu.Lock()
-				res.Failed = append(res.Failed, isn)
+				res.Failed = append(res.Failed, shard)
 				mu.Unlock()
 				return
 			}
-			for si := range spans {
-				spans[si].ISN = isn
-			}
-			tb.AddSpans(spans)
-			leg.End(nowUS())
-			lists[li] = r.Hits
-			legMS[li] = float64(time.Since(legStart).Microseconds()) / 1000
-			legOK[li] = true
+			lists[li] = leg.hits
 		}(li, asg.ISN)
 	}
 	wg.Wait()
@@ -525,21 +516,25 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 		// (predicted top-K contribution vs. whether the ISN actually
 		// placed a hit in the merged top K).
 		top := search.DocSet(res.Hits)
-		byISN := make(map[int]core.ISNReport, len(preds))
+		byShard := make(map[int]core.ISNReport, len(preds))
 		for _, r := range preds {
-			byISN[r.ISN] = r
+			byShard[r.ISN] = r
 		}
 		for li, asg := range budget.Selected {
-			if !legOK[li] {
+			leg := legs[li]
+			if leg.err != nil || leg.client < 0 {
 				continue
 			}
-			r, haveReport := byISN[asg.ISN]
+			r, haveReport := byShard[asg.ISN]
 			if !haveReport {
 				continue
 			}
-			a.Obs.Acc.ObserveLatency(asg.ISN, r.LCurrent, legMS[li])
+			// Accuracy is keyed by the client that served the leg (the
+			// selector's per-replica quality signal); on unreplicated
+			// fleets client index == shard index, as before.
+			a.Obs.Acc.ObserveLatency(leg.client, r.LCurrent, leg.ms)
 			contributed := search.Overlap(lists[li], top) > 0
-			a.Obs.Acc.ObserveQuality(asg.ISN, r.HasK, contributed)
+			a.Obs.Acc.ObserveQuality(leg.client, r.HasK, contributed)
 		}
 		a.latCottage.Observe(float64(res.Elapsed.Microseconds()) / 1000)
 		if !math.IsInf(budget.BudgetMS, 1) {
