@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke overload-smoke obs-smoke chaos-smoke corpus check clean
+.PHONY: all build vet test race fuzz-smoke overload-smoke obs-smoke chaos-smoke bench bench-smoke corpus check clean
 
 all: build
 
@@ -53,11 +53,26 @@ obs-smoke:
 chaos-smoke:
 	$(GO) test -race ./internal/harness -run TestChaosSmoke -count=1 -timeout 10m
 
+# Full perf-regression sweep: every figure benchmark plus the pruning
+# and per-query evaluation benches, recorded to $(BENCHOUT) via
+# tools/benchjson so the baseline can be checked in and diffed. ~30 min.
+BENCHOUT ?= BENCH_PR5.json
+bench:
+	$(GO) test -run '^$$' -bench 'Fig|Table1|Pruning|EvaluateQuery|Ablation|Oracle' \
+		-benchmem -timeout 60m . | tee /dev/stderr | $(GO) run ./tools/benchjson -o $(BENCHOUT)
+
+# Quick perf sanity on the two predictor hot paths (the ones with hard
+# ns/op acceptance bars); keeps check fast while catching gross
+# regressions. Full numbers come from `make bench`.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Fig7QualityPredictor|Fig9BudgetDetermination' \
+		-benchmem -benchtime 1x -timeout 10m .
+
 # Regenerate the checked-in fuzz seed corpus after wire-format changes.
 corpus:
 	$(GO) run ./tools/gencorpus
 
-check: vet build race fuzz-smoke overload-smoke obs-smoke chaos-smoke
+check: vet build race fuzz-smoke overload-smoke obs-smoke chaos-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

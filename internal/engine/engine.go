@@ -24,12 +24,11 @@ import (
 	"math"
 	"runtime"
 	"strconv"
-	"sync"
-	"sync/atomic"
 
 	"cottage/internal/cluster"
 	"cottage/internal/index"
 	"cottage/internal/obs"
+	"cottage/internal/par"
 	"cottage/internal/predict"
 	"cottage/internal/qcache"
 	"cottage/internal/search"
@@ -181,56 +180,44 @@ type Evaluated struct {
 	TopKSet map[int64]bool
 }
 
-// Evaluate runs the query on every shard and merges ground truth.
-func (e *Engine) Evaluate(q trace.Query) *Evaluated {
+// evaluate is Evaluate with an explicit cap on the per-shard fan-out.
+// Shards are immutable during evaluation, EffectiveCycles is a pure read,
+// and every write lands in slot si, so any worker count produces the same
+// Evaluated bit for bit.
+func (e *Engine) evaluate(q trace.Query, shardWorkers int) *Evaluated {
 	ev := &Evaluated{
 		Query:    q,
 		PerShard: make([]search.Result, len(e.Shards)),
 		Cycles:   make([]float64, len(e.Shards)),
 	}
 	lists := make([][]search.Hit, len(e.Shards))
-	for si, s := range e.Shards {
-		ev.PerShard[si] = search.Eval(e.Strategy, s, q.Terms, e.K)
+	par.ForMax(len(e.Shards), shardWorkers, func(si int) {
+		ev.PerShard[si] = search.Eval(e.Strategy, e.Shards[si], q.Terms, e.K)
 		ev.Cycles[si] = e.Cluster.EffectiveCycles(si, e.Cluster.Cost.Cycles(ev.PerShard[si].Stats))
 		lists[si] = ev.PerShard[si].Hits
-	}
+	})
 	ev.TopK = search.Merge(e.K, lists...)
 	ev.TopKSet = search.DocSet(ev.TopK)
 	return ev
 }
 
+// Evaluate runs the query on every shard — fanned out across CPUs, like
+// the real aggregator's scatter phase — and merges ground truth.
+func (e *Engine) Evaluate(q trace.Query) *Evaluated {
+	return e.evaluate(q, runtime.GOMAXPROCS(0))
+}
+
 // EvaluateAll evaluates a whole trace (the expensive, policy-independent
 // pass — do it once and replay it under many policies). Queries are
 // evaluated in parallel across CPUs; shards are immutable and the result
-// slice is index-addressed, so the output is deterministic.
+// slice is index-addressed, so the output is deterministic. The per-query
+// shard fan-out stays serial here — the query-level fan-out already
+// saturates the CPUs, and nesting would only add scheduling churn.
 func (e *Engine) EvaluateAll(qs []trace.Query) []*Evaluated {
 	out := make([]*Evaluated, len(qs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(qs) {
-		workers = len(qs)
-	}
-	if workers <= 1 {
-		for i, q := range qs {
-			out[i] = e.Evaluate(q)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	next := int64(-1)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(qs) {
-					return
-				}
-				out[i] = e.Evaluate(qs[i])
-			}
-		}()
-	}
-	wg.Wait()
+	par.For(len(qs), func(i int) {
+		out[i] = e.evaluate(qs[i], 1)
+	})
 	return out
 }
 

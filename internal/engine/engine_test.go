@@ -2,6 +2,8 @@ package engine
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"cottage/internal/qcache"
@@ -349,5 +351,26 @@ func TestCacheShortCircuitsRepeats(t *testing.T) {
 	uncached := e.Run(&fixedPolicy{name: "all", select_: all, budgetMS: math.Inf(1)}, evs)
 	if res.AvgPowerW >= uncached.AvgPowerW {
 		t.Errorf("cache should save power: %v vs %v", res.AvgPowerW, uncached.AvgPowerW)
+	}
+}
+
+func TestReplayDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	// EvaluateAll fans out per query and per shard through par; Run's
+	// outcome accounting is sequential over an index-addressed input. The
+	// whole replay must be bit-identical at any worker count.
+	e, qs := smallEngine(t)
+	run := func(procs int) ([]*Evaluated, RunResult) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		evs := e.EvaluateAll(qs)
+		p := &fixedPolicy{name: "all", select_: all, budgetMS: math.Inf(1)}
+		return evs, e.Run(p, evs)
+	}
+	evs1, r1 := run(1)
+	evs8, r8 := run(8)
+	if !reflect.DeepEqual(evs1, evs8) {
+		t.Error("EvaluateAll differs across GOMAXPROCS")
+	}
+	if !reflect.DeepEqual(r1, r8) {
+		t.Error("Run differs across GOMAXPROCS")
 	}
 }

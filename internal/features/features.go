@@ -61,6 +61,48 @@ var LatencyNames = [LatencyDim]string{
 	"IDF",
 }
 
+// qualityRow maps one term's index statistics onto Table I's vector order.
+func qualityRow(st *index.TermStats) [QualityDim]float64 {
+	return [QualityDim]float64{
+		st.Q1,
+		st.Mean,
+		st.Median,
+		st.GeoMean,
+		st.HarmMean,
+		st.Q3,
+		st.KthScore,
+		st.MaxScore,
+		st.Variance,
+		float64(st.PostingLen),
+		float64(st.DocsEverInTopK),
+		float64(st.DocsWithin5OfKth),
+		float64(st.DocsWithin5OfMax),
+		float64(st.NumMaxScore),
+		st.IDF,
+	}
+}
+
+// latencyRow maps one term's index statistics onto Table II's vector order.
+func latencyRow(st *index.TermStats) [LatencyDim]float64 {
+	return [LatencyDim]float64{
+		float64(st.PostingLen),
+		float64(st.DocsEverInTopK),
+		float64(st.NumLocalMaxima),
+		float64(st.NumMaximaAboveMean),
+		float64(st.NumMaxScore),
+		0, // query length is set after the loop, not MAXed
+		float64(st.DocsWithin5OfMax),
+		float64(st.DocsWithin5OfKth),
+		st.Mean,
+		st.GeoMean,
+		st.HarmMean,
+		st.MaxScore,
+		st.EstMaxScore,
+		st.Variance,
+		st.IDF,
+	}
+}
+
 // Quality builds the Table I feature vector for the query terms on shard
 // s. Terms missing from the shard contribute nothing; if no term matches,
 // ok is false and the caller should treat the shard's contribution as
@@ -73,24 +115,7 @@ func Quality(s *index.Shard, terms []string) (vec [QualityDim]float64, ok bool) 
 			continue
 		}
 		matched = true
-		st := ti.Stats
-		f := [QualityDim]float64{
-			st.Q1,
-			st.Mean,
-			st.Median,
-			st.GeoMean,
-			st.HarmMean,
-			st.Q3,
-			st.KthScore,
-			st.MaxScore,
-			st.Variance,
-			float64(st.PostingLen),
-			float64(st.DocsEverInTopK),
-			float64(st.DocsWithin5OfKth),
-			float64(st.DocsWithin5OfMax),
-			float64(st.NumMaxScore),
-			st.IDF,
-		}
+		f := qualityRow(&ti.Stats)
 		for i := range vec {
 			if f[i] > vec[i] {
 				vec[i] = f[i]
@@ -110,24 +135,7 @@ func Latency(s *index.Shard, terms []string) (vec [LatencyDim]float64, ok bool) 
 			continue
 		}
 		matched++
-		st := ti.Stats
-		f := [LatencyDim]float64{
-			float64(st.PostingLen),
-			float64(st.DocsEverInTopK),
-			float64(st.NumLocalMaxima),
-			float64(st.NumMaximaAboveMean),
-			float64(st.NumMaxScore),
-			0, // query length is set after the loop, not MAXed
-			float64(st.DocsWithin5OfMax),
-			float64(st.DocsWithin5OfKth),
-			st.Mean,
-			st.GeoMean,
-			st.HarmMean,
-			st.MaxScore,
-			st.EstMaxScore,
-			st.Variance,
-			st.IDF,
-		}
+		f := latencyRow(&ti.Stats)
 		for i := range vec {
 			if f[i] > vec[i] {
 				vec[i] = f[i]
@@ -136,4 +144,34 @@ func Latency(s *index.Shard, terms []string) (vec [LatencyDim]float64, ok bool) 
 	}
 	vec[5] = float64(len(terms))
 	return vec, matched > 0
+}
+
+// Extract builds both predictors' feature vectors in one pass, with a
+// single term-dictionary lookup per query term instead of the two that
+// calling Quality and Latency separately costs. The vectors are identical
+// to the ones the individual extractors produce; the serving path
+// (predict.ISNPredictor.Predict) runs both predictors on every query, so
+// it always wants both.
+func Extract(s *index.Shard, terms []string) (q [QualityDim]float64, l [LatencyDim]float64, ok bool) {
+	for _, t := range terms {
+		ti, found := s.Lookup(t)
+		if !found {
+			continue
+		}
+		ok = true
+		qf := qualityRow(&ti.Stats)
+		for i := range q {
+			if qf[i] > q[i] {
+				q[i] = qf[i]
+			}
+		}
+		lf := latencyRow(&ti.Stats)
+		for i := range l {
+			if lf[i] > l[i] {
+				l[i] = lf[i]
+			}
+		}
+	}
+	l[5] = float64(len(terms))
+	return q, l, ok
 }

@@ -170,3 +170,19 @@ func BenchmarkLatency(b *testing.B) {
 		_, _ = Latency(s, q)
 	}
 }
+
+func TestExtractorsZeroAlloc(t *testing.T) {
+	// The extractors run per query per shard on the serving hot path; the
+	// fixed-size vectors they return must stay on the caller's stack.
+	s := buildShard(t)
+	q := []string{"tokyo", "city", "nosuchterm"}
+	if allocs := testing.AllocsPerRun(100, func() { _, _ = Quality(s, q) }); allocs != 0 {
+		t.Errorf("Quality allocates %v per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _, _ = Latency(s, q) }); allocs != 0 {
+		t.Errorf("Latency allocates %v per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _, _, _ = Extract(s, q) }); allocs != 0 {
+		t.Errorf("Extract allocates %v per run, want 0", allocs)
+	}
+}

@@ -8,12 +8,12 @@ package harness
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"cottage/internal/baselines"
 	"cottage/internal/core"
 	"cottage/internal/engine"
 	"cottage/internal/index"
+	"cottage/internal/par"
 	"cottage/internal/predict"
 	"cottage/internal/textgen"
 	"cottage/internal/trace"
@@ -100,34 +100,35 @@ func Build(cfg SetupConfig) (*Setup, error) {
 	s.Corpus = textgen.Generate(cfg.CorpusCfg)
 	s.Alloc = s.Corpus.AllocateTopical(cfg.EngineCfg.NumShards, cfg.HomeShards, cfg.Spill, cfg.AllocSeed)
 
-	// Shards build independently; parallelize across CPUs.
+	// Shards build independently; fan out across CPUs (bounded — a
+	// goroutine per shard on a large fleet just thrashes the scheduler).
 	shards := make([]*index.Shard, len(s.Alloc))
-	var wg sync.WaitGroup
-	for si := range s.Alloc {
-		wg.Add(1)
-		go func(si int) {
-			defer wg.Done()
-			b := index.NewBuilder(si, cfg.EngineCfg.BM25, cfg.EngineCfg.K)
-			for _, id := range s.Alloc[si] {
-				d := &s.Corpus.Docs[id]
-				terms := make(map[string]int, len(d.Terms))
-				for tid, tf := range d.Terms {
-					terms[s.Corpus.Vocab[tid]] = tf
-				}
-				b.Add(int64(id), terms, d.Length)
+	par.For(len(s.Alloc), func(si int) {
+		b := index.NewBuilder(si, cfg.EngineCfg.BM25, cfg.EngineCfg.K)
+		for _, id := range s.Alloc[si] {
+			d := &s.Corpus.Docs[id]
+			terms := make(map[string]int, len(d.Terms))
+			for tid, tf := range d.Terms {
+				terms[s.Corpus.Vocab[tid]] = tf
 			}
-			shards[si] = b.Finalize()
-		}(si)
-	}
-	wg.Wait()
+			b.Add(int64(id), terms, d.Length)
+		}
+		shards[si] = b.Finalize()
+	})
 	s.Engine = engine.New(shards, cfg.EngineCfg)
 
-	s.TrainQueries = trace.Generate(s.Corpus, trace.Config{
-		Kind: trace.Wikipedia, Seed: 101, NumQueries: cfg.TrainQueries, QPS: cfg.QPS})
-	s.WikiQueries = trace.Generate(s.Corpus, trace.Config{
-		Kind: trace.Wikipedia, Seed: 202, NumQueries: cfg.EvalQueries, QPS: cfg.QPS})
-	s.LuceneQueries = trace.Generate(s.Corpus, trace.Config{
-		Kind: trace.Lucene, Seed: 303, NumQueries: cfg.EvalQueries, QPS: cfg.QPS})
+	// The three traces are independently seeded reads of the corpus;
+	// generate them concurrently.
+	traceCfgs := []trace.Config{
+		{Kind: trace.Wikipedia, Seed: 101, NumQueries: cfg.TrainQueries, QPS: cfg.QPS},
+		{Kind: trace.Wikipedia, Seed: 202, NumQueries: cfg.EvalQueries, QPS: cfg.QPS},
+		{Kind: trace.Lucene, Seed: 303, NumQueries: cfg.EvalQueries, QPS: cfg.QPS},
+	}
+	traces := make([][]trace.Query, len(traceCfgs))
+	par.For(len(traceCfgs), func(i int) {
+		traces[i] = trace.Generate(s.Corpus, traceCfgs[i])
+	})
+	s.TrainQueries, s.WikiQueries, s.LuceneQueries = traces[0], traces[1], traces[2]
 
 	ds, err := s.Engine.TrainFleet(s.TrainQueries, cfg.PredictCfg)
 	if err != nil {

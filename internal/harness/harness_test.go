@@ -359,3 +359,18 @@ func TestCachingComposes(t *testing.T) {
 		t.Errorf("cached quality dropped too much: %v vs %v", cached.MeanPAtK, plain.MeanPAtK)
 	}
 }
+
+// BenchmarkQuickBuild times the full experiment setup — corpus, shard
+// builds, trace generation, predictor training, evaluated-query caches —
+// at the quick scale. This is the perf baseline for the build-side
+// batched-training and fan-out work; serving-side baselines live in the
+// root bench_test.go.
+func BenchmarkQuickBuild(b *testing.B) {
+	cfg := QuickSetupConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

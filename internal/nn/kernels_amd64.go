@@ -1,0 +1,114 @@
+//go:build amd64
+
+package nn
+
+// The SSE2 micro-kernels in kernels_amd64.s process eight output columns
+// of the transposed weight layout at a time; the wrappers here tile the
+// output dimension and finish the remainder with the scalar strided loop.
+// Both paths accumulate bias-first in ascending input order, so they are
+// bit-identical to each other and to the portable fallbacks in
+// kernels_generic.go.
+
+//go:noescape
+func colsDense8(z, wt, bias, x *float64, k, stride int)
+
+//go:noescape
+func colsNZ8(z, wt, bias *float64, idx *int32, xv *float64, nnz, stride int)
+
+//go:noescape
+func gradCols8(gw, act, delta *float64, batch, actStride, deltaStride int)
+
+//go:noescape
+func colsDense4(z, wt, bias, x *float64, k, stride int)
+
+//go:noescape
+func gradCols4(gw, act, delta *float64, batch, actStride, deltaStride int)
+
+// gradWT accumulates the mini-batch weight gradient gw[o*in+i] +=
+// Σ_r delta[r*out+o] * act[r*in+i], eight input columns at a time. Each
+// element's sum runs over ascending batch row r starting from gw's
+// current value — the same chain as the per-sample reference backward.
+func gradWT(gw, act, delta []float64, batch, in, out int) {
+	for o := 0; o < out; o++ {
+		gwRow := gw[o*in : (o+1)*in]
+		i := 0
+		if batch > 0 {
+			for ; i+8 <= in; i += 8 {
+				gradCols8(&gwRow[i], &act[i], &delta[o], batch, in*8, out*8)
+			}
+			if i+4 <= in {
+				gradCols4(&gwRow[i], &act[i], &delta[o], batch, in*8, out*8)
+				i += 4
+			}
+		}
+		for ; i < in; i++ {
+			s := gwRow[i]
+			for r := 0; r < batch; r++ {
+				s += delta[r*out+o] * act[r*in+i]
+			}
+			gwRow[i] = s
+		}
+	}
+}
+
+//go:noescape
+func adamStep2(params, grad, m, v *float64, n int, consts *float64)
+
+// adamBulk runs the packed two-lane Adam update over the even prefix of
+// the parameter vector and returns how many elements it covered; update()
+// finishes the odd tail with the scalar code. Lane-wise SQRTPD/DIVPD
+// round exactly like their scalar forms, so both paths agree bitwise.
+func adamBulk(params, grad, m, v []float64, lr, inv float64, tc TrainConfig) int {
+	n2 := len(params) &^ 1
+	if n2 == 0 {
+		return 0
+	}
+	consts := [7]float64{inv, tc.Beta1, 1 - tc.Beta1, tc.Beta2, 1 - tc.Beta2, lr, tc.Epsilon}
+	adamStep2(&params[0], &grad[0], &m[0], &v[0], n2, &consts[0])
+	return n2
+}
+
+// matvecWT computes z = W·x + bias from the transposed weight layout wt
+// (wt[i*out+o]) with a dense input vector.
+func matvecWT(z, wt, bias, x []float64, out, k int) {
+	o := 0
+	if k > 0 {
+		for ; o+8 <= out; o += 8 {
+			colsDense8(&z[o], &wt[o], &bias[o], &x[0], k, out*8)
+		}
+		if o+4 <= out {
+			colsDense4(&z[o], &wt[o], &bias[o], &x[0], k, out*8)
+			o += 4
+		}
+	}
+	for ; o < out; o++ {
+		s := bias[o]
+		for i := 0; i < k; i++ {
+			s += x[i] * wt[i*out+o]
+		}
+		z[o] = s
+	}
+}
+
+// matvecWTNZ is matvecWT for an input given as a compacted ascending
+// (index, value) list of its nonzero entries. ReLU zeroes roughly half of
+// each hidden activation vector; the skipped terms are exact ±0, which
+// cannot change a sum that started from the bias, so the result matches
+// the dense kernel bit for bit.
+func matvecWTNZ(z, wt, bias []float64, idx []int32, xv []float64, out, k int) {
+	if len(idx) == 0 {
+		copy(z[:out], bias[:out])
+		return
+	}
+	o := 0
+	for ; o+8 <= out; o += 8 {
+		colsNZ8(&z[o], &wt[o], &bias[o], &idx[0], &xv[0], len(idx), out*8)
+	}
+	for ; o < out; o++ {
+		s := bias[o]
+		for j, i := range idx {
+			s += xv[j] * wt[int(i)*out+o]
+		}
+		z[o] = s
+	}
+}

@@ -1,0 +1,267 @@
+// SSE2 inference kernels. Each function accumulates eight output lanes
+// of z = W·x + bias in XMM registers, reading the transposed weight
+// layout wt (wt[i*out+o]) so one 16-byte load covers two adjacent
+// outputs. Every lane is an independent IEEE-754 double accumulator that
+// adds bias first and then products in ascending input order — the exact
+// sequence of the scalar reference — so the vector and scalar paths are
+// bit-identical. SSE2 is part of the amd64 baseline, so there is no CPU
+// feature dispatch (and deliberately no FMA, which would round
+// differently).
+
+#include "textflag.h"
+
+// func colsDense8(z, wt, bias, x *float64, k, stride int)
+// z[0..8) = bias[0..8) + Σ_{i<k} x[i] * wt[i*stride/8 .. +8)
+// stride is in bytes; wt points at the first of the eight columns.
+TEXT ·colsDense8(SB), NOSPLIT, $0-48
+	MOVQ z+0(FP), DI
+	MOVQ wt+8(FP), SI
+	MOVQ bias+16(FP), BX
+	MOVQ x+24(FP), R9
+	MOVQ k+32(FP), CX
+	MOVQ stride+40(FP), DX
+	MOVUPS 0(BX), X0
+	MOVUPS 16(BX), X1
+	MOVUPS 32(BX), X2
+	MOVUPS 48(BX), X3
+	XORQ AX, AX
+dense8loop:
+	CMPQ AX, CX
+	JGE  dense8done
+	MOVQ (R9)(AX*8), X4
+	UNPCKLPD X4, X4
+	MOVUPS 0(SI), X5
+	MULPD X4, X5
+	ADDPD X5, X0
+	MOVUPS 16(SI), X6
+	MULPD X4, X6
+	ADDPD X6, X1
+	MOVUPS 32(SI), X7
+	MULPD X4, X7
+	ADDPD X7, X2
+	MOVUPS 48(SI), X8
+	MULPD X4, X8
+	ADDPD X8, X3
+	ADDQ DX, SI
+	INCQ AX
+	JMP  dense8loop
+dense8done:
+	MOVUPS X0, 0(DI)
+	MOVUPS X1, 16(DI)
+	MOVUPS X2, 32(DI)
+	MOVUPS X3, 48(DI)
+	RET
+
+// func colsNZ8(z, wt, bias *float64, idx *int32, xv *float64, nnz, stride int)
+// z[0..8) = bias[0..8) + Σ_{j<nnz} xv[j] * wt[idx[j]*stride/8 .. +8)
+// The compacted (idx, xv) list holds the nonzero inputs in ascending
+// index order (see forwardZ), so the per-lane sum order is canonical.
+TEXT ·colsNZ8(SB), NOSPLIT, $0-56
+	MOVQ z+0(FP), DI
+	MOVQ wt+8(FP), SI
+	MOVQ bias+16(FP), BX
+	MOVQ idx+24(FP), R8
+	MOVQ xv+32(FP), R9
+	MOVQ nnz+40(FP), CX
+	MOVQ stride+48(FP), DX
+	MOVUPS 0(BX), X0
+	MOVUPS 16(BX), X1
+	MOVUPS 32(BX), X2
+	MOVUPS 48(BX), X3
+	XORQ AX, AX
+nz8loop:
+	CMPQ AX, CX
+	JGE  nz8done
+	MOVLQSX (R8)(AX*4), R10
+	IMULQ DX, R10
+	MOVQ (R9)(AX*8), X4
+	UNPCKLPD X4, X4
+	MOVUPS 0(SI)(R10*1), X5
+	MULPD X4, X5
+	ADDPD X5, X0
+	MOVUPS 16(SI)(R10*1), X6
+	MULPD X4, X6
+	ADDPD X6, X1
+	MOVUPS 32(SI)(R10*1), X7
+	MULPD X4, X7
+	ADDPD X7, X2
+	MOVUPS 48(SI)(R10*1), X8
+	MULPD X4, X8
+	ADDPD X8, X3
+	INCQ AX
+	JMP  nz8loop
+nz8done:
+	MOVUPS X0, 0(DI)
+	MOVUPS X1, 16(DI)
+	MOVUPS X2, 32(DI)
+	MOVUPS X3, 48(DI)
+	RET
+
+// func gradCols8(gw, act, delta *float64, batch, actStride, deltaStride int)
+// gw[0..8) += Σ_{r<batch} delta[r*deltaStride/8] * act[r*actStride/8 .. +8)
+// The accumulators start from gw's current contents, so the per-element
+// chain is exactly the sequential ascending-r accumulation of the
+// reference backward pass. Strides are in bytes; act points at the first
+// of the eight input columns, delta at the output's column in row 0.
+TEXT ·gradCols8(SB), NOSPLIT, $0-48
+	MOVQ gw+0(FP), DI
+	MOVQ act+8(FP), SI
+	MOVQ delta+16(FP), BX
+	MOVQ batch+24(FP), CX
+	MOVQ actStride+32(FP), DX
+	MOVQ deltaStride+40(FP), R8
+	MOVUPS 0(DI), X0
+	MOVUPS 16(DI), X1
+	MOVUPS 32(DI), X2
+	MOVUPS 48(DI), X3
+	XORQ AX, AX
+grad8loop:
+	CMPQ AX, CX
+	JGE  grad8done
+	MOVQ (BX), X4
+	UNPCKLPD X4, X4
+	MOVUPS 0(SI), X5
+	MULPD X4, X5
+	ADDPD X5, X0
+	MOVUPS 16(SI), X6
+	MULPD X4, X6
+	ADDPD X6, X1
+	MOVUPS 32(SI), X7
+	MULPD X4, X7
+	ADDPD X7, X2
+	MOVUPS 48(SI), X8
+	MULPD X4, X8
+	ADDPD X8, X3
+	ADDQ DX, SI
+	ADDQ R8, BX
+	INCQ AX
+	JMP  grad8loop
+grad8done:
+	MOVUPS X0, 0(DI)
+	MOVUPS X1, 16(DI)
+	MOVUPS X2, 32(DI)
+	MOVUPS X3, 48(DI)
+	RET
+
+// func colsDense4(z, wt, bias, x *float64, k, stride int)
+// Four-lane tail variant of colsDense8 for output blocks of 4..7.
+TEXT ·colsDense4(SB), NOSPLIT, $0-48
+	MOVQ z+0(FP), DI
+	MOVQ wt+8(FP), SI
+	MOVQ bias+16(FP), BX
+	MOVQ x+24(FP), R9
+	MOVQ k+32(FP), CX
+	MOVQ stride+40(FP), DX
+	MOVUPS 0(BX), X0
+	MOVUPS 16(BX), X1
+	XORQ AX, AX
+dense4loop:
+	CMPQ AX, CX
+	JGE  dense4done
+	MOVQ (R9)(AX*8), X4
+	UNPCKLPD X4, X4
+	MOVUPS 0(SI), X5
+	MULPD X4, X5
+	ADDPD X5, X0
+	MOVUPS 16(SI), X6
+	MULPD X4, X6
+	ADDPD X6, X1
+	ADDQ DX, SI
+	INCQ AX
+	JMP  dense4loop
+dense4done:
+	MOVUPS X0, 0(DI)
+	MOVUPS X1, 16(DI)
+	RET
+
+// func gradCols4(gw, act, delta *float64, batch, actStride, deltaStride int)
+// Four-lane tail variant of gradCols8 for input blocks of 4..7.
+TEXT ·gradCols4(SB), NOSPLIT, $0-48
+	MOVQ gw+0(FP), DI
+	MOVQ act+8(FP), SI
+	MOVQ delta+16(FP), BX
+	MOVQ batch+24(FP), CX
+	MOVQ actStride+32(FP), DX
+	MOVQ deltaStride+40(FP), R8
+	MOVUPS 0(DI), X0
+	MOVUPS 16(DI), X1
+	XORQ AX, AX
+grad4loop:
+	CMPQ AX, CX
+	JGE  grad4done
+	MOVQ (BX), X4
+	UNPCKLPD X4, X4
+	MOVUPS 0(SI), X5
+	MULPD X4, X5
+	ADDPD X5, X0
+	MOVUPS 16(SI), X6
+	MULPD X4, X6
+	ADDPD X6, X1
+	ADDQ DX, SI
+	ADDQ R8, BX
+	INCQ AX
+	JMP  grad4loop
+grad4done:
+	MOVUPS X0, 0(DI)
+	MOVUPS X1, 16(DI)
+	RET
+
+// func adamStep2(params, grad, m, v *float64, n int, consts *float64)
+// Two-lane Adam update over the first n (even) parameters. consts is
+// [inv, β1, 1-β1, β2, 1-β2, lr, ε]. Each lane performs exactly the
+// scalar sequence of update()'s body — (β1·m)+((1-β1)·gr),
+// (β2·v)+(((1-β2)·gr)·gr), p-(lr·m)/(sqrt(v)+ε) — so the packed and
+// scalar paths round identically.
+TEXT ·adamStep2(SB), NOSPLIT, $0-48
+	MOVQ params+0(FP), DI
+	MOVQ grad+8(FP), SI
+	MOVQ m+16(FP), BX
+	MOVQ v+24(FP), R9
+	MOVQ n+32(FP), CX
+	MOVQ consts+40(FP), R8
+	MOVQ 0(R8), X9
+	UNPCKLPD X9, X9    // inv
+	MOVQ 8(R8), X10
+	UNPCKLPD X10, X10  // β1
+	MOVQ 16(R8), X11
+	UNPCKLPD X11, X11  // 1-β1
+	MOVQ 24(R8), X12
+	UNPCKLPD X12, X12  // β2
+	MOVQ 32(R8), X13
+	UNPCKLPD X13, X13  // 1-β2
+	MOVQ 40(R8), X14
+	UNPCKLPD X14, X14  // lr
+	MOVQ 48(R8), X15
+	UNPCKLPD X15, X15  // ε
+	XORQ AX, AX
+adam2loop:
+	LEAQ 2(AX), R10
+	CMPQ R10, CX
+	JGT  adam2done
+	MOVUPS (SI)(AX*8), X0
+	MULPD X9, X0           // gr = grad·inv
+	MOVUPS (BX)(AX*8), X1
+	MULPD X10, X1          // β1·m
+	MOVAPS X0, X2
+	MULPD X11, X2          // (1-β1)·gr
+	ADDPD X2, X1           // m'
+	MOVUPS X1, (BX)(AX*8)
+	MOVUPS (R9)(AX*8), X3
+	MULPD X12, X3          // β2·v
+	MOVAPS X0, X4
+	MULPD X13, X4          // (1-β2)·gr
+	MULPD X0, X4           // ((1-β2)·gr)·gr
+	ADDPD X4, X3           // v'
+	MOVUPS X3, (R9)(AX*8)
+	SQRTPD X3, X5
+	ADDPD X15, X5          // sqrt(v')+ε
+	MOVAPS X1, X6
+	MULPD X14, X6          // lr·m'
+	DIVPD X5, X6           // (lr·m')/(sqrt(v')+ε)
+	MOVUPS (DI)(AX*8), X7
+	SUBPD X6, X7
+	MOVUPS X7, (DI)(AX*8)
+	ADDQ $2, AX
+	JMP  adam2loop
+adam2done:
+	RET

@@ -1,0 +1,267 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"cottage/internal/xrand"
+)
+
+// refMatvec is the naive reference: z[o] = bias[o] + Σ_i w[o*k+i]*x[i] in
+// canonical order. Every kernel must match it bit for bit.
+func refMatvec(z, w, bias, x []float64, out, k int) {
+	for o := 0; o < out; o++ {
+		s := bias[o]
+		for i := 0; i < k; i++ {
+			s += w[o*k+i] * x[i]
+		}
+		z[o] = s
+	}
+}
+
+func randSlice(rng *xrand.RNG, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+// transpose builds the wt layout (wt[i*out+o]) from a row-major W (out×k).
+func transpose(w []float64, out, k int) []float64 {
+	wt := make([]float64, out*k)
+	for o := 0; o < out; o++ {
+		for i := 0; i < k; i++ {
+			wt[i*out+o] = w[o*k+i]
+		}
+	}
+	return wt
+}
+
+// Shapes chosen to exercise every tile path: the 8-lane kernel, the
+// 4-lane tail, the scalar tail, out < 4 (fully scalar), and k = 0.
+var kernelShapes = [][2]int{
+	{1, 1}, {2, 3}, {3, 5}, {4, 16}, {5, 2}, {6, 7}, {7, 15},
+	{8, 8}, {9, 6}, {11, 4}, {12, 13}, {15, 15}, {16, 24},
+	{20, 3}, {24, 64}, {128, 128}, {129, 130}, {3, 0},
+}
+
+func TestMatvecWTMatchesReference(t *testing.T) {
+	rng := xrand.New(11)
+	for _, shape := range kernelShapes {
+		out, k := shape[0], shape[1]
+		w := randSlice(rng, out*k)
+		bias := randSlice(rng, out)
+		x := randSlice(rng, k)
+		want := make([]float64, out)
+		refMatvec(want, w, bias, x, out, k)
+		got := make([]float64, out)
+		matvecWT(got, transpose(w, out, k), bias, x, out, k)
+		for o := range want {
+			if got[o] != want[o] {
+				t.Fatalf("matvecWT out=%d k=%d: z[%d] = %v, want %v", out, k, o, got[o], want[o])
+			}
+		}
+	}
+}
+
+func TestMatvecWTNZMatchesReference(t *testing.T) {
+	rng := xrand.New(12)
+	for _, shape := range kernelShapes {
+		out, k := shape[0], shape[1]
+		w := randSlice(rng, out*k)
+		bias := randSlice(rng, out)
+		// Sparse input with exact zeros, like a ReLU activation vector,
+		// compacted the way forwardZ compacts it.
+		x := randSlice(rng, k)
+		var idx []int32
+		var xv []float64
+		for i := range x {
+			if i%2 == 0 {
+				x[i] = 0
+			} else {
+				idx = append(idx, int32(i))
+				xv = append(xv, x[i])
+			}
+		}
+		want := make([]float64, out)
+		refMatvec(want, w, bias, x, out, k)
+		got := make([]float64, out)
+		matvecWTNZ(got, transpose(w, out, k), bias, idx, xv, out, k)
+		for o := range want {
+			if got[o] != want[o] {
+				t.Fatalf("matvecWTNZ out=%d k=%d: z[%d] = %v, want %v", out, k, o, got[o], want[o])
+			}
+		}
+	}
+}
+
+func TestMatvecWTNZAllZero(t *testing.T) {
+	// An all-zero input (empty compacted list) must yield exactly the bias.
+	rng := xrand.New(14)
+	out, k := 13, 9
+	wt := randSlice(rng, out*k)
+	bias := randSlice(rng, out)
+	got := randSlice(rng, out) // pre-filled with garbage the copy must overwrite
+	matvecWTNZ(got, wt, bias, nil, nil, out, k)
+	for o := range bias {
+		if got[o] != bias[o] {
+			t.Fatalf("z[%d] = %v, want bias %v", o, got[o], bias[o])
+		}
+	}
+}
+
+func TestGradWTMatchesReference(t *testing.T) {
+	rng := xrand.New(13)
+	for _, shape := range [][3]int{
+		{1, 1, 1}, {2, 3, 4}, {1, 4, 6}, {3, 5, 2}, {5, 16, 24},
+		{4, 6, 13}, {32, 15, 64}, {7, 128, 128}, {6, 130, 9}, {2, 7, 0},
+	} {
+		batch, in, out := shape[0], shape[1], shape[2]
+		act := randSlice(rng, batch*in)
+		delta := randSlice(rng, batch*out)
+		// Zero some deltas so the generic fallback's zero-skip path and the
+		// packed kernel (which keeps the exact-±0 terms) are both exercised.
+		for i := range delta {
+			if i%3 == 0 {
+				delta[i] = 0
+			}
+		}
+		init := randSlice(rng, out*in)
+		// Reference: each element accumulates over ascending batch row r
+		// starting from gw's current value — the per-sample backward chain.
+		want := make([]float64, out*in)
+		copy(want, init)
+		for o := 0; o < out; o++ {
+			for i := 0; i < in; i++ {
+				s := want[o*in+i]
+				for r := 0; r < batch; r++ {
+					s += delta[r*out+o] * act[r*in+i]
+				}
+				want[o*in+i] = s
+			}
+		}
+		got := make([]float64, out*in)
+		copy(got, init)
+		gradWT(got, act, delta, batch, in, out)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("gradWT batch=%d in=%d out=%d: gw[%d] = %v, want %v", batch, in, out, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAdamBulkMatchesScalar(t *testing.T) {
+	rng := xrand.New(15)
+	tc := DefaultTrainConfig(1)
+	for _, n := range []int{0, 1, 2, 3, 7, 16, 33} {
+		params := randSlice(rng, n)
+		grad := randSlice(rng, n)
+		m := randSlice(rng, n)
+		v := randSlice(rng, n)
+		for i := range v {
+			v[i] *= v[i] // second moments are non-negative
+		}
+		lr, inv := 0.0009765625, 1.0/32
+		// Scalar reference: the exact body of update()'s loop.
+		wp := append([]float64(nil), params...)
+		wm := append([]float64(nil), m...)
+		wv := append([]float64(nil), v...)
+		for i := range wp {
+			gr := grad[i] * inv
+			wm[i] = tc.Beta1*wm[i] + (1-tc.Beta1)*gr
+			wv[i] = tc.Beta2*wv[i] + (1-tc.Beta2)*gr*gr
+			wp[i] -= lr * wm[i] / (math.Sqrt(wv[i]) + tc.Epsilon)
+		}
+		update(params, grad, m, v, lr, inv, tc)
+		for i := 0; i < n; i++ {
+			if params[i] != wp[i] || m[i] != wm[i] || v[i] != wv[i] {
+				t.Fatalf("n=%d elem %d: packed (p=%v m=%v v=%v), scalar (p=%v m=%v v=%v)",
+					n, i, params[i], m[i], v[i], wp[i], wm[i], wv[i])
+			}
+		}
+	}
+}
+
+func TestForwardBatchMatchesForward(t *testing.T) {
+	xs, ys := spiralData(40, 88)
+	n := New(Config{InputDim: 2, Hidden: []int{16, 16}, NumClasses: 2, Seed: 3})
+	if _, err := n.Train(xs, ys, DefaultTrainConfig(30)); err != nil {
+		t.Fatal(err)
+	}
+	batch := n.ForwardBatch(xs)
+	if len(batch) != len(xs) {
+		t.Fatalf("ForwardBatch returned %d rows, want %d", len(batch), len(xs))
+	}
+	for i, x := range xs {
+		want := n.Forward(x)
+		for c := range want {
+			if batch[i][c] != want[c] {
+				t.Fatalf("sample %d class %d: batch %v, forward %v", i, c, batch[i][c], want[c])
+			}
+		}
+	}
+}
+
+func TestTrainMatchesPerSampleReference(t *testing.T) {
+	// One batched Train step must produce exactly the gradients of the
+	// per-sample reference backprop over the same sampled batch.
+	xs, ys := spiralData(60, 99)
+	tc := DefaultTrainConfig(1)
+
+	ref := New(Config{InputDim: 2, Hidden: []int{8, 8}, NumClasses: 2, Seed: 21})
+	ref.Norm = FitNormalizer(xs)
+	rng := xrand.New(tc.Seed).SplitName("batches")
+	sc := ref.newScratch()
+	g := newGradients(ref)
+	g.zero()
+	for b := 0; b < tc.BatchSize; b++ {
+		i := rng.Intn(len(xs))
+		ref.backprop(xs[i], ys[i], sc, g)
+	}
+	opt := newAdam(ref, tc)
+	opt.step(ref, g, tc.BatchSize)
+
+	got := New(Config{InputDim: 2, Hidden: []int{8, 8}, NumClasses: 2, Seed: 21})
+	if _, err := got.Train(xs, ys, tc); err != nil {
+		t.Fatal(err)
+	}
+
+	for li := range ref.Layers {
+		for i, w := range ref.Layers[li].W {
+			if got.Layers[li].W[i] != w {
+				t.Fatalf("layer %d W[%d]: batched %v, reference %v", li, i, got.Layers[li].W[i], w)
+			}
+		}
+		for i, b := range ref.Layers[li].B {
+			if got.Layers[li].B[i] != b {
+				t.Fatalf("layer %d B[%d]: batched %v, reference %v", li, i, got.Layers[li].B[i], b)
+			}
+		}
+	}
+}
+
+func TestPredictorProbsZeroAlloc(t *testing.T) {
+	n := New(FastConfig(15, 24, 1))
+	p := n.NewPredictor()
+	x := make([]float64, 15)
+	for i := range x {
+		x[i] = float64(i) * 0.1
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = p.Probs(x) }); allocs != 0 {
+		t.Errorf("Predictor.Probs allocates %v per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = p.Classify(x) }); allocs != 0 {
+		t.Errorf("Predictor.Classify allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestNetworkClassifyZeroAllocSteadyState(t *testing.T) {
+	n := New(FastConfig(15, 24, 1))
+	x := make([]float64, 15)
+	_ = n.Classify(x) // warm the scratch pool
+	if allocs := testing.AllocsPerRun(100, func() { _ = n.Classify(x) }); allocs != 0 {
+		t.Errorf("Network.Classify allocates %v per run, want 0", allocs)
+	}
+}

@@ -6,12 +6,20 @@
 // sparse categorical cross-entropy). It replaces the paper's
 // TensorFlow/Keras dependency with a self-contained, deterministic
 // implementation.
+//
+// All forward and backward paths — single-sample, batched, and the
+// zero-skipping inference kernel — accumulate each output in the same
+// canonical order (bias first, then products in ascending input index;
+// see kernels_amd64.s and kernels_generic.go), so they agree bit for bit
+// and training remains deterministic regardless of which path a caller
+// takes.
 package nn
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"cottage/internal/xrand"
 )
@@ -57,12 +65,22 @@ type layer struct {
 }
 
 // Network is a feed-forward classifier. It is safe for concurrent
-// inference after training completes (Forward into caller-provided
-// scratch), but Train must not run concurrently with anything else.
+// inference after training completes; Train must not run concurrently
+// with anything else. Code that mutates Layers directly (fine-tuning,
+// perturbation tests) must call Rebuild afterwards so the inference
+// kernels see the new weights.
 type Network struct {
 	Cfg    Config
 	Layers []layer
 	Norm   *Normalizer // optional input standardization, set by Train
+
+	// wt holds per-layer transposed weight copies (wt[li][i*Out+o]) the
+	// column-lane inference kernels read (see kernels_amd64.s). Rebuilt
+	// whenever the weights settle: New, Train, Decode, Rebuild.
+	wt [][]float64
+	// pool recycles forward scratch across Forward/Classify calls so the
+	// convenience entry points are pool-backed rather than allocating.
+	pool sync.Pool
 }
 
 // New builds a network with He-initialized weights (appropriate for ReLU).
@@ -83,7 +101,31 @@ func New(cfg Config) *Network {
 		}
 		n.Layers = append(n.Layers, ly)
 	}
+	n.Rebuild()
 	return n
+}
+
+// Rebuild refreshes the transposed weight copies the inference kernels
+// read. New, Train and Decode call it automatically; it only needs to be
+// called by code that mutates Layers by hand.
+func (n *Network) Rebuild() {
+	if n.wt == nil {
+		n.wt = make([][]float64, len(n.Layers))
+	}
+	for li := range n.Layers {
+		l := &n.Layers[li]
+		wt := n.wt[li]
+		if len(wt) != l.In*l.Out {
+			wt = make([]float64, l.In*l.Out)
+			n.wt[li] = wt
+		}
+		for o := 0; o < l.Out; o++ {
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i, w := range row {
+				wt[i*l.Out+o] = w
+			}
+		}
+	}
 }
 
 // NumParams returns the trainable parameter count.
@@ -99,67 +141,109 @@ func (n *Network) NumParams() int {
 type scratch struct {
 	acts [][]float64 // activations per layer, acts[0] is the (normalized) input
 	zs   [][]float64 // pre-activations per layer
+	// idx/xv hold the compacted nonzero entries of the activation vector
+	// feeding the next layer (see matvecWTNZ); rebuilt every layer.
+	idx []int32
+	xv  []float64
 }
 
 func (n *Network) newScratch() *scratch {
 	s := &scratch{}
 	s.acts = append(s.acts, make([]float64, n.Cfg.InputDim))
+	maxOut := 0
 	for _, l := range n.Layers {
 		s.zs = append(s.zs, make([]float64, l.Out))
 		s.acts = append(s.acts, make([]float64, l.Out))
+		maxOut = max(maxOut, l.Out)
 	}
+	s.idx = make([]int32, maxOut)
+	s.xv = make([]float64, maxOut)
 	return s
 }
 
-// forward runs the network, filling sc, and returns the softmax output
-// (aliasing sc's last activation slice).
-func (n *Network) forward(x []float64, sc *scratch) []float64 {
+func (n *Network) getScratch() *scratch {
+	if sc, _ := n.pool.Get().(*scratch); sc != nil {
+		return sc
+	}
+	return n.newScratch()
+}
+
+// forwardZ runs the network up to the output layer's pre-activations and
+// returns them (aliasing sc's last zs slice). Layer 0 uses the dense
+// matvecWT kernel — its standardized input has no zeros to skip — and the
+// activation pass compacts each layer's ReLU survivors (roughly half the
+// vector) into an (index, value) list so the layers above gather only
+// those columns via matvecWTNZ. Both kernels keep the canonical summation
+// order, so the choice never changes a bit.
+func (n *Network) forwardZ(x []float64, sc *scratch) []float64 {
 	in := sc.acts[0]
 	if n.Norm != nil {
 		n.Norm.Apply(x, in)
 	} else {
 		copy(in, x)
 	}
-	for li, l := range n.Layers {
-		z := sc.zs[li]
-		for o := 0; o < l.Out; o++ {
-			sum := l.B[o]
-			row := l.W[o*l.In : (o+1)*l.In]
-			for i, w := range row {
-				sum += w * in[i]
-			}
-			z[o] = sum
-		}
-		out := sc.acts[li+1]
-		if li == len(n.Layers)-1 {
-			softmax(z, out)
+	last := len(n.Layers) - 1
+	idx, xv := sc.idx, sc.xv
+	nnz := 0
+	var z []float64
+	for li := range n.Layers {
+		l := &n.Layers[li]
+		z = sc.zs[li]
+		if li == 0 {
+			matvecWT(z, n.wt[0], l.B, in, l.Out, l.In)
 		} else {
-			for i, v := range z {
-				if v > 0 {
-					out[i] = v
-				} else {
-					out[i] = 0
-				}
+			matvecWTNZ(z, n.wt[li], l.B, idx[:nnz], xv, l.Out, l.In)
+		}
+		if li == last {
+			break
+		}
+		// ReLU into the dense activation row (backprop reads it) while
+		// compacting the positive entries for the next layer's gather.
+		out := sc.acts[li+1]
+		nnz = 0
+		for i, v := range z {
+			if v > 0 {
+				out[i] = v
+				idx[nnz] = int32(i)
+				xv[nnz] = v
+				nnz++
+			} else {
+				out[i] = 0
 			}
 		}
-		in = out
 	}
-	return in
+	return z
 }
 
-// Forward returns class probabilities for x. It allocates scratch per
-// call; hot paths should use a Predictor.
-func (n *Network) Forward(x []float64) []float64 {
-	sc := n.newScratch()
-	probs := n.forward(x, sc)
-	out := make([]float64, len(probs))
-	copy(out, probs)
+// forward runs the network, filling sc, and returns the softmax output
+// (aliasing sc's last activation slice).
+func (n *Network) forward(x []float64, sc *scratch) []float64 {
+	z := n.forwardZ(x, sc)
+	out := sc.acts[len(n.Layers)]
+	softmax(z, out)
 	return out
 }
 
-// Classify returns the argmax class for x.
+// Forward returns class probabilities for x in a fresh slice. Scratch
+// comes from the network's pool, so the only steady-state allocation is
+// the result; fully allocation-free callers use a Predictor.
+func (n *Network) Forward(x []float64) []float64 {
+	sc := n.getScratch()
+	probs := n.forward(x, sc)
+	out := make([]float64, len(probs))
+	copy(out, probs)
+	n.pool.Put(sc)
+	return out
+}
+
+// Classify returns the argmax class for x. It skips the softmax — exp is
+// strictly increasing, so the logits' argmax is the probabilities' argmax
+// — and is allocation-free at steady state.
 func (n *Network) Classify(x []float64) int {
-	return argmax(n.Forward(x))
+	sc := n.getScratch()
+	c := argmax(n.forwardZ(x, sc))
+	n.pool.Put(sc)
+	return c
 }
 
 // Predictor wraps a trained network with reusable scratch space for
@@ -181,9 +265,10 @@ func (p *Predictor) Probs(x []float64) []float64 {
 	return p.net.forward(x, p.sc)
 }
 
-// Classify returns the argmax class for x.
+// Classify returns the argmax class for x, skipping the softmax (see
+// Network.Classify).
 func (p *Predictor) Classify(x []float64) int {
-	return argmax(p.Probs(x))
+	return argmax(p.net.forwardZ(x, p.sc))
 }
 
 // Expected returns the probability-weighted mean of class indices — useful
@@ -196,6 +281,115 @@ func (p *Predictor) Expected(x []float64) float64 {
 		e += float64(c) * pr
 	}
 	return e
+}
+
+// batchScratch holds flat row-major activations for a mini-batch forward
+// pass: acts[li] is rows×dim with row r at acts[li][r*dim:].
+type batchScratch struct {
+	rows int
+	acts [][]float64
+	zs   [][]float64
+}
+
+func (n *Network) newBatchScratch(rows int) *batchScratch {
+	bs := &batchScratch{rows: rows}
+	bs.acts = append(bs.acts, make([]float64, rows*n.Cfg.InputDim))
+	for _, l := range n.Layers {
+		bs.zs = append(bs.zs, make([]float64, rows*l.Out))
+		bs.acts = append(bs.acts, make([]float64, rows*l.Out))
+	}
+	return bs
+}
+
+// forwardBatch runs the first m rows loaded into bs.acts[0] through the
+// network, one packed matvecWT per row per layer (the transposed weight
+// panel stays hot in L1d across rows), leaving pre-activations in bs.zs
+// and class probabilities in the final bs.acts entry. Each row's outputs
+// are bit-identical to a single-sample forward of the same input. Callers
+// must have a current Rebuild (Train refreshes wt every step).
+func (n *Network) forwardBatch(bs *batchScratch, m int) {
+	last := len(n.Layers) - 1
+	for li := range n.Layers {
+		l := &n.Layers[li]
+		z := bs.zs[li]
+		wt, a := n.wt[li], bs.acts[li]
+		for r := 0; r < m; r++ {
+			matvecWT(z[r*l.Out:(r+1)*l.Out], wt, l.B, a[r*l.In:(r+1)*l.In], l.Out, l.In)
+		}
+		out := bs.acts[li+1]
+		if li == last {
+			for r := 0; r < m; r++ {
+				softmax(z[r*l.Out:(r+1)*l.Out], out[r*l.Out:(r+1)*l.Out])
+			}
+		} else {
+			for i, v := range z[:m*l.Out] {
+				if v > 0 {
+					out[i] = v
+				} else {
+					out[i] = 0
+				}
+			}
+		}
+	}
+}
+
+// loadBatchRow standardizes (or copies) x into the given input row.
+func (n *Network) loadBatchRow(dst, x []float64) {
+	if n.Norm != nil {
+		n.Norm.Apply(x, dst)
+	} else {
+		copy(dst, x)
+	}
+}
+
+// ForwardBatch returns class probabilities for every sample in xs using
+// one batched pass per layer. Results match per-sample Forward calls bit
+// for bit; the returned rows are views into a single fresh allocation.
+func (n *Network) ForwardBatch(xs [][]float64) [][]float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	d, c := n.Cfg.InputDim, n.Cfg.NumClasses
+	bs := n.newBatchScratch(len(xs))
+	for r, x := range xs {
+		n.loadBatchRow(bs.acts[0][r*d:(r+1)*d], x)
+	}
+	n.forwardBatch(bs, len(xs))
+	flat := make([]float64, len(xs)*c)
+	copy(flat, bs.acts[len(n.Layers)])
+	out := make([][]float64, len(xs))
+	for r := range out {
+		out[r] = flat[r*c : (r+1)*c : (r+1)*c]
+	}
+	return out
+}
+
+// evalChunk bounds batch-scratch size for whole-dataset evaluation.
+const evalChunk = 256
+
+// evalBatches streams the dataset through forwardBatch in bounded chunks,
+// invoking fn once per sample (in order) with its probability row.
+func (n *Network) evalBatches(xs [][]float64, fn func(i int, probs []float64)) {
+	rows := evalChunk
+	if len(xs) < rows {
+		rows = len(xs)
+	}
+	if rows == 0 {
+		return
+	}
+	bs := n.newBatchScratch(rows)
+	d, c := n.Cfg.InputDim, n.Cfg.NumClasses
+	probs := bs.acts[len(n.Layers)]
+	for base := 0; base < len(xs); base += rows {
+		m := min(rows, len(xs)-base)
+		for r := 0; r < m; r++ {
+			n.loadBatchRow(bs.acts[0][r*d:(r+1)*d], xs[base+r])
+		}
+		n.forwardBatch(bs, m)
+		for r := 0; r < m; r++ {
+			fn(base+r, probs[r*c:(r+1)*c])
+		}
+	}
 }
 
 func softmax(z, out []float64) {
@@ -266,6 +460,12 @@ var ErrBadTrainingData = errors.New("nn: invalid training data")
 // Train fits the network with Adam on sparse categorical cross-entropy and
 // returns the per-step mini-batch loss curve. Labels must lie in
 // [0, NumClasses).
+//
+// The whole mini-batch goes through one GEMM per layer and one fused
+// backward pass; every gradient element is accumulated in the same order
+// as the per-sample reference (backprop), so the optimization trajectory
+// is bit-identical to the unbatched implementation while allocating
+// nothing per step.
 func (n *Network) Train(xs [][]float64, ys []int, tc TrainConfig) ([]float64, error) {
 	if len(xs) == 0 || len(xs) != len(ys) {
 		return nil, fmt.Errorf("%w: %d inputs, %d labels", ErrBadTrainingData, len(xs), len(ys))
@@ -300,28 +500,103 @@ func (n *Network) Train(xs [][]float64, ys []int, tc TrainConfig) ([]float64, er
 		n.Norm = FitNormalizer(xs)
 	}
 
+	d, c := n.Cfg.InputDim, n.Cfg.NumClasses
+	numLayers := len(n.Layers)
+	batch := tc.BatchSize
+
+	// Standardize the dataset once up front; each batch gather is then a
+	// straight copy instead of BatchSize normalizer passes per step.
+	normX := make([]float64, len(xs)*d)
+	for i, x := range xs {
+		n.loadBatchRow(normX[i*d:(i+1)*d], x)
+	}
+
 	opt := newAdam(n, tc)
 	rng := xrand.New(tc.Seed).SplitName("batches")
-	sc := n.newScratch()
 	grads := newGradients(n)
+	bs := n.newBatchScratch(batch)
+	maxDim := c
+	for _, l := range n.Layers {
+		maxDim = max(maxDim, l.In, l.Out)
+	}
+	cur := make([]float64, batch*maxDim) // delta for the layer being processed
+	nxt := make([]float64, batch*maxDim) // delta being built for the layer below
+	zeroBias := make([]float64, maxDim)  // +0 start for the propagation kernel
+	idx := make([]int, batch)            // this step's sample indices
 	losses := make([]float64, 0, tc.Steps)
 
 	for step := 0; step < tc.Steps; step++ {
+		// The forward kernels read the transposed copies; refresh them
+		// with the weights the optimizer just stepped.
+		n.Rebuild()
 		grads.zero()
-		batchLoss := 0.0
-		for b := 0; b < tc.BatchSize; b++ {
-			i := rng.Intn(len(xs))
-			batchLoss += n.backprop(xs[i], ys[i], sc, grads)
+		for b := range idx {
+			idx[b] = rng.Intn(len(xs))
 		}
-		batchLoss /= float64(tc.BatchSize)
-		losses = append(losses, batchLoss)
-		opt.step(n, grads, tc.BatchSize)
+		for r, i := range idx {
+			copy(bs.acts[0][r*d:(r+1)*d], normX[i*d:(i+1)*d])
+		}
+		n.forwardBatch(bs, batch)
+
+		// Output delta for softmax+CE: p - onehot, and the batch loss.
+		probs := bs.acts[numLayers]
+		batchLoss := 0.0
+		dl := cur[:batch*c]
+		copy(dl, probs[:batch*c])
+		for r, i := range idx {
+			y := ys[i]
+			batchLoss += -math.Log(math.Max(probs[r*c+y], 1e-12))
+			dl[r*c+y] -= 1
+		}
+		losses = append(losses, batchLoss/float64(batch))
+
+		for li := numLayers - 1; li >= 0; li-- {
+			l := &n.Layers[li]
+			gw, gb := grads.w[li], grads.b[li]
+			act := bs.acts[li]
+			in, out := l.In, l.Out
+			delta := cur[:batch*out]
+			// Bias gradients: each output's deltas summed over ascending
+			// batch row — row-major passes keep the reads contiguous while
+			// every gb element still accumulates in reference order.
+			gb = gb[:out]
+			for r := 0; r < batch; r++ {
+				dr := delta[r*out : (r+1)*out]
+				for o := range gb {
+					gb[o] += dr[o]
+				}
+			}
+			// Weight gradients, whole batch per eight-column panel. The
+			// ReLU-masked zero deltas contribute exact ±0 terms, which
+			// cannot change sums that started from the +0 gradient, so
+			// the dense kernel matches the zero-skipping reference.
+			gradWT(gw, act, delta, batch, in, out)
+			if li > 0 {
+				// Propagate dL/da = Wᵀ·delta per row — matvecWT over W
+				// itself (w[o*in+i] is the transposed layout of Wᵀ) from
+				// a +0 bias — then apply the ReLU' mask.
+				nd := nxt[:batch*in]
+				for r := 0; r < batch; r++ {
+					matvecWT(nd[r*in:(r+1)*in], l.W, zeroBias, delta[r*out:(r+1)*out], in, out)
+				}
+				for i2, zv := range bs.zs[li-1][:batch*in] {
+					if zv <= 0 {
+						nd[i2] = 0
+					}
+				}
+			}
+			cur, nxt = nxt, cur
+		}
+		opt.step(n, grads, batch)
 	}
+	n.Rebuild()
 	return losses, nil
 }
 
 // backprop runs one forward/backward pass, accumulating into g, and
-// returns the sample's cross-entropy loss.
+// returns the sample's cross-entropy loss. It is the reference
+// implementation the gradient-check test exercises; Train's batched path
+// accumulates exactly the same sums in the same order.
 func (n *Network) backprop(x []float64, y int, sc *scratch, g *gradients) float64 {
 	probs := n.forward(x, sc)
 	loss := -math.Log(math.Max(probs[y], 1e-12))
@@ -376,24 +651,21 @@ func (n *Network) backprop(x []float64, y int, sc *scratch, g *gradients) float6
 
 // Loss returns the mean cross-entropy of the dataset.
 func (n *Network) Loss(xs [][]float64, ys []int) float64 {
-	sc := n.newScratch()
 	total := 0.0
-	for i, x := range xs {
-		probs := n.forward(x, sc)
+	n.evalBatches(xs, func(i int, probs []float64) {
 		total += -math.Log(math.Max(probs[ys[i]], 1e-12))
-	}
+	})
 	return total / float64(len(xs))
 }
 
 // Accuracy returns the exact-class accuracy over the dataset.
 func (n *Network) Accuracy(xs [][]float64, ys []int) float64 {
-	sc := n.newScratch()
 	correct := 0
-	for i, x := range xs {
-		if argmax(n.forward(x, sc)) == ys[i] {
+	n.evalBatches(xs, func(i int, probs []float64) {
+		if argmax(probs) == ys[i] {
 			correct++
 		}
-	}
+	})
 	return float64(correct) / float64(len(xs))
 }
 
@@ -401,18 +673,16 @@ func (n *Network) Accuracy(xs [][]float64, ys []int) float64 {
 // within tol bins of the true class — the paper's notion of an "accurate"
 // latency prediction over binned service times.
 func (n *Network) AccuracyWithin(xs [][]float64, ys []int, tol int) float64 {
-	sc := n.newScratch()
 	correct := 0
-	for i, x := range xs {
-		got := argmax(n.forward(x, sc))
-		d := got - ys[i]
+	n.evalBatches(xs, func(i int, probs []float64) {
+		d := argmax(probs) - ys[i]
 		if d < 0 {
 			d = -d
 		}
 		if d <= tol {
 			correct++
 		}
-	}
+	})
 	return float64(correct) / float64(len(xs))
 }
 
@@ -433,14 +703,10 @@ func newGradients(n *Network) *gradients {
 
 func (g *gradients) zero() {
 	for _, w := range g.w {
-		for i := range w {
-			w[i] = 0
-		}
+		clear(w)
 	}
 	for _, b := range g.b {
-		for i := range b {
-			b[i] = 0
-		}
+		clear(b)
 	}
 }
 
@@ -476,7 +742,7 @@ func (a *adam) step(n *Network, g *gradients, batchSize int) {
 }
 
 func update(params, grad, m, v []float64, lr, inv float64, tc TrainConfig) {
-	for i := range params {
+	for i := adamBulk(params, grad, m, v, lr, inv, tc); i < len(params); i++ {
 		gr := grad[i] * inv
 		m[i] = tc.Beta1*m[i] + (1-tc.Beta1)*gr
 		v[i] = tc.Beta2*v[i] + (1-tc.Beta2)*gr*gr

@@ -328,6 +328,7 @@ func TestGradientCheck(t *testing.T) {
 	n.backprop(x, y, sc, g)
 
 	loss := func() float64 {
+		n.Rebuild() // the perturbation loop below edits Layers directly
 		probs := n.Forward(x)
 		return -math.Log(probs[y])
 	}

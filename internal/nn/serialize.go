@@ -30,5 +30,6 @@ func Decode(r io.Reader) (*Network, error) {
 	if len(n.Layers) == 0 {
 		return nil, fmt.Errorf("nn: decoded network has no layers")
 	}
+	n.Rebuild()
 	return n, nil
 }

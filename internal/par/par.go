@@ -1,0 +1,59 @@
+// Package par provides the bounded worker pool shared by the hot fan-out
+// paths (per-ISN prediction, harvest replay, shard builds, per-query
+// shard evaluation). Every helper hands out index-addressed work so the
+// caller's writes land in disjoint slots: results are bit-identical no
+// matter how many workers run or how the scheduler interleaves them,
+// which is what keeps the replay pipeline seeded-deterministic across
+// GOMAXPROCS (see DESIGN.md §12).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n), spread over at most
+// min(n, GOMAXPROCS) goroutines. fn must write only to index-addressed
+// state (slot i of a pre-sized slice) and must not depend on the order in
+// which other indices run; under those rules the result is deterministic
+// and race-free. With one usable CPU (or n <= 1) the loop runs inline,
+// so single-core deployments pay no goroutine overhead.
+func For(n int, fn func(i int)) {
+	ForMax(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// ForMax is For with an explicit worker cap (at least 1). Nested
+// fan-outs use it to keep the total goroutine count bounded: an outer
+// For over queries caps its inner shard fan-out at 1 worker.
+func ForMax(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Work-stealing by atomic ticket: each worker claims the next unclaimed
+	// index. Claim order is nondeterministic; result order is not, because
+	// every index writes only its own slot.
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,52 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1001} {
+		out := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&out[i], 1) })
+		for i, v := range out {
+			if v != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, v)
+			}
+		}
+	}
+}
+
+func TestForMaxSingleWorkerIsOrdered(t *testing.T) {
+	var order []int
+	ForMax(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline path out of order: %v", order)
+		}
+	}
+}
+
+func TestForDeterministicAcrossWorkerCounts(t *testing.T) {
+	compute := func(workers int) []float64 {
+		out := make([]float64, 257)
+		ForMax(len(out), workers, func(i int) {
+			v := 1.0
+			for k := 0; k < i%17+1; k++ {
+				v = v*1.000001 + float64(i)
+			}
+			out[i] = v
+		})
+		return out
+	}
+	want := compute(1)
+	for _, w := range []int{2, 3, 8, runtime.GOMAXPROCS(0) * 4} {
+		got := compute(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d differs", w, i)
+			}
+		}
+	}
+}

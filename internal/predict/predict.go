@@ -21,14 +21,12 @@ package predict
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"cottage/internal/cluster"
 	"cottage/internal/features"
 	"cottage/internal/index"
 	"cottage/internal/nn"
+	"cottage/internal/par"
 	"cottage/internal/search"
 	"cottage/internal/trace"
 )
@@ -74,8 +72,7 @@ func Harvest(shards []*index.Shard, queries []trace.Query, k int,
 		inK := search.DocSet(search.Merge(k, lists...))
 		inK2 := search.DocSet(search.Merge(k/2, lists...))
 		for si, s := range shards {
-			qv, qok := features.Quality(s, q.Terms)
-			lv, _ := features.Latency(s, q.Terms)
+			qv, lv, qok := features.Extract(s, q.Terms)
 			ds.PerISN[si][qi] = Sample{
 				QualityVec: qv,
 				LatencyVec: lv,
@@ -88,32 +85,7 @@ func Harvest(shards []*index.Shard, queries []trace.Query, k int,
 	}
 	// Queries are independent and every write is index-addressed, so the
 	// harvest parallelizes across CPUs deterministically.
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	if workers <= 1 {
-		for qi := range queries {
-			harvestOne(qi)
-		}
-		return ds
-	}
-	var wg sync.WaitGroup
-	next := int64(-1)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				qi := int(atomic.AddInt64(&next, 1))
-				if qi >= len(queries) {
-					return
-				}
-				harvestOne(qi)
-			}
-		}()
-	}
-	wg.Wait()
+	par.For(len(queries), harvestOne)
 	return ds
 }
 
@@ -248,15 +220,16 @@ type Prediction struct {
 	ExpQK float64
 }
 
-// Predict runs both predictors for one query on this ISN's shard.
+// Predict runs both predictors for one query on this ISN's shard. Both
+// feature vectors come from one pass over the term dictionary
+// (features.Extract), and the latency class decode skips the softmax.
 func (p *ISNPredictor) Predict(s *index.Shard, terms []string) Prediction {
-	qv, ok := features.Quality(s, terms)
+	qv, lv, ok := features.Extract(s, terms)
 	if !ok {
 		// No query term exists on this shard: zero contribution, and the
 		// only work is the dictionary miss.
 		return Prediction{Matched: false, PZeroK: 1, PZeroK2: 1}
 	}
-	lv, _ := features.Latency(s, terms)
 	qkProbs := p.qkPred.Probs(qv[:])
 	pr := Prediction{
 		Matched: true,
@@ -289,12 +262,18 @@ type Fleet struct {
 	Predictors []*ISNPredictor
 }
 
-// PredictAll runs every ISN's predictors for a query.
+// PredictAll runs every ISN's predictors for a query, fanned out across
+// CPUs — in production each ISN predicts on its own node concurrently,
+// and here every ISN owns its predictor scratch while out is
+// index-addressed, so the fan-out is race-free and deterministic. Two
+// concurrent PredictAll calls on the same Fleet are not allowed (the
+// per-ISN inference scratch is single-threaded), matching the aggregator,
+// which issues one prediction round at a time per fleet.
 func (f *Fleet) PredictAll(shards []*index.Shard, terms []string) []Prediction {
 	out := make([]Prediction, len(shards))
-	for i, s := range shards {
-		out[i] = f.Predictors[i].Predict(s, terms)
-	}
+	par.For(len(shards), func(i int) {
+		out[i] = f.Predictors[i].Predict(shards[i], terms)
+	})
 	return out
 }
 
@@ -314,26 +293,19 @@ func Train(ds *Dataset, cfg Config) (*Fleet, error) {
 		cfg.LatencyBins = 20
 	}
 	// Every ISN's three models train independently (the paper trains one
-	// model set per ISN on its own index); parallelize across CPUs.
+	// model set per ISN on its own index); parallelize across CPUs with
+	// index-addressed results so the trained fleet is identical at any
+	// worker count.
 	fleet := &Fleet{K: cfg.K, Predictors: make([]*ISNPredictor, len(ds.PerISN))}
 	errs := make([]error, len(ds.PerISN))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for isn := range ds.PerISN {
-		wg.Add(1)
-		go func(isn int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			p, err := trainISN(isn, ds.PerISN[isn], cfg)
-			if err != nil {
-				errs[isn] = fmt.Errorf("predict: ISN %d: %w", isn, err)
-				return
-			}
-			fleet.Predictors[isn] = p
-		}(isn)
-	}
-	wg.Wait()
+	par.For(len(ds.PerISN), func(isn int) {
+		p, err := trainISN(isn, ds.PerISN[isn], cfg)
+		if err != nil {
+			errs[isn] = fmt.Errorf("predict: ISN %d: %w", isn, err)
+			return
+		}
+		fleet.Predictors[isn] = p
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -343,21 +315,33 @@ func Train(ds *Dataset, cfg Config) (*Fleet, error) {
 }
 
 func trainISN(isn int, samples []Sample, cfg Config) (*ISNPredictor, error) {
+	matched := 0
+	for _, sm := range samples {
+		if sm.Matched {
+			matched++
+		}
+	}
+	// Two flat backing arrays instead of one small slice per sample; the
+	// row views into them are what nn.Train sees.
 	var (
-		qx   [][]float64
-		qkY  []int
-		qk2Y []int
-		lx   [][]float64
-		latC []float64
+		qflat = make([]float64, 0, matched*features.QualityDim)
+		lflat = make([]float64, 0, matched*features.LatencyDim)
+		qx    = make([][]float64, 0, matched)
+		qkY   = make([]int, 0, matched)
+		qk2Y  = make([]int, 0, matched)
+		lx    = make([][]float64, 0, matched)
+		latC  = make([]float64, 0, matched)
 	)
 	for _, sm := range samples {
 		if !sm.Matched {
 			continue // unmatched shards are known zeros; no model needed
 		}
-		qx = append(qx, append([]float64(nil), sm.QualityVec[:]...))
+		qflat = append(qflat, sm.QualityVec[:]...)
+		qx = append(qx, qflat[len(qflat)-features.QualityDim:len(qflat):len(qflat)])
 		qkY = append(qkY, clampClass(sm.QK, cfg.K))
 		qk2Y = append(qk2Y, clampClass(sm.QK2, cfg.K/2))
-		lx = append(lx, append([]float64(nil), sm.LatencyVec[:]...))
+		lflat = append(lflat, sm.LatencyVec[:]...)
+		lx = append(lx, lflat[len(lflat)-features.LatencyDim:len(lflat):len(lflat)])
 		latC = append(latC, sm.Cycles)
 	}
 	if len(qx) < 10 {
@@ -430,7 +414,8 @@ type Accuracy struct {
 // split).
 func Evaluate(fleet *Fleet, ds *Dataset) []Accuracy {
 	out := make([]Accuracy, len(fleet.Predictors))
-	for isn, p := range fleet.Predictors {
+	par.For(len(fleet.Predictors), func(isn int) {
+		p := fleet.Predictors[isn]
 		var qx, lx [][]float64
 		var qy, ly []int
 		for _, sm := range ds.PerISN[isn] {
@@ -458,6 +443,6 @@ func Evaluate(fleet *Fleet, ds *Dataset) []Accuracy {
 			a.QualityZero = float64(zeroOK) / float64(len(qx))
 		}
 		out[isn] = a
-	}
+	})
 	return out
 }

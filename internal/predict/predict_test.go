@@ -2,6 +2,8 @@ package predict
 
 import (
 	"math"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"cottage/internal/cluster"
@@ -351,5 +353,77 @@ func BenchmarkGammaEstimate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = g.Estimate(q, 10)
+	}
+}
+
+func TestISNPredictorPredictZeroAllocSteadyState(t *testing.T) {
+	// The per-query serving path — feature extraction plus three softmax
+	// inferences — must not allocate once the inference scratch pools are
+	// warm.
+	f := getFixture(t)
+	ds := Harvest(f.shards[:1], f.train[:80], 10, search.StrategyMaxScore, cluster.DefaultCostModel())
+	cfg := DefaultConfig(10)
+	cfg.QualitySteps = 5
+	cfg.LatencySteps = 5
+	fleet, err := Train(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fleet.Predictors[0]
+	terms := f.test[0].Terms
+	_ = p.Predict(f.shards[0], terms) // warm the scratch pools
+	if allocs := testing.AllocsPerRun(100, func() { _ = p.Predict(f.shards[0], terms) }); allocs != 0 {
+		t.Errorf("ISNPredictor.Predict allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestPipelineDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	// Harvest, Train, PredictAll and Evaluate all fan out through par.For;
+	// index-addressed writes mean the worker count must never change a bit
+	// of any result. Replaying at 1 and 8 procs must agree exactly.
+	f := getFixture(t)
+	type snapshot struct {
+		ds    *Dataset
+		w     [][]float64
+		preds [][]Prediction
+		accs  []Accuracy
+	}
+	run := func(procs int) snapshot {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		ds := Harvest(f.shards, f.train[:60], 10, search.StrategyMaxScore, cluster.DefaultCostModel())
+		cfg := DefaultConfig(10)
+		cfg.QualitySteps = 5
+		cfg.LatencySteps = 5
+		fleet, err := Train(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w [][]float64
+		for _, p := range fleet.Predictors {
+			for _, net := range []*nn.Network{p.QKNet, p.QK2Net, p.LatNet} {
+				for _, l := range net.Layers {
+					w = append(w, l.W, l.B)
+				}
+			}
+		}
+		var preds [][]Prediction
+		for _, q := range f.test[:10] {
+			preds = append(preds, fleet.PredictAll(f.shards, q.Terms))
+		}
+		return snapshot{ds: ds, w: w, preds: preds, accs: Evaluate(fleet, ds)}
+	}
+	one := run(1)
+	many := run(8)
+	if !reflect.DeepEqual(one.ds, many.ds) {
+		t.Error("Harvest differs across GOMAXPROCS")
+	}
+	if !reflect.DeepEqual(one.w, many.w) {
+		t.Error("trained weights differ across GOMAXPROCS")
+	}
+	if !reflect.DeepEqual(one.preds, many.preds) {
+		t.Error("PredictAll differs across GOMAXPROCS")
+	}
+	if !reflect.DeepEqual(one.accs, many.accs) {
+		t.Error("Evaluate differs across GOMAXPROCS")
 	}
 }

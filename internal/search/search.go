@@ -8,8 +8,8 @@
 package search
 
 import (
-	"container/heap"
 	"sort"
+	"sync"
 
 	"cottage/internal/index"
 )
@@ -125,22 +125,52 @@ func (c *cursor) seek(doc uint32) bool {
 	return !c.exhausted() && c.doc() == doc
 }
 
-// openCursors resolves terms against the shard dictionary, dropping
-// duplicates and absent terms.
-func openCursors(s *index.Shard, terms []string) []*cursor {
-	var cs []*cursor
-	seen := make(map[string]bool, len(terms))
+// cursorSet is the pooled per-evaluation cursor scratch: one contiguous
+// slab of cursors plus the pointer slice the evaluators walk. Recycling
+// it through a sync.Pool makes steady-state query evaluation stop
+// allocating a map, a slice and k cursors per (query, shard) pair.
+type cursorSet struct {
+	slab []cursor
+	cs   []*cursor
+}
+
+var cursorPool = sync.Pool{New: func() any { return new(cursorSet) }}
+
+// openCursorSet resolves terms against the shard dictionary, dropping
+// duplicates and absent terms (duplicates are detected by TermInfo
+// identity — equal terms resolve to the same dictionary entry — so no
+// map is needed for the handful of terms real queries carry). The set
+// comes from a pool; the caller must put() it back once the cursors are
+// dead, and must not retain them past that point.
+func openCursorSet(s *index.Shard, terms []string) *cursorSet {
+	x := cursorPool.Get().(*cursorSet)
+	slab := x.slab[:0]
 	for _, t := range terms {
-		if seen[t] {
+		ti, ok := s.Lookup(t)
+		if !ok {
 			continue
 		}
-		seen[t] = true
-		if ti, ok := s.Lookup(t); ok {
-			cs = append(cs, &cursor{ti: ti})
+		dup := false
+		for i := range slab {
+			if slab[i].ti == ti {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			slab = append(slab, cursor{ti: ti})
 		}
 	}
-	return cs
+	// Pointers are taken only after the slab stops growing.
+	cs := x.cs[:0]
+	for i := range slab {
+		cs = append(cs, &slab[i])
+	}
+	x.slab, x.cs = slab, cs
+	return x
 }
+
+func (x *cursorSet) put() { cursorPool.Put(x) }
 
 // canonicalScore computes a document's full score by summing term
 // contributions in a fixed (cursor-slice) order, so that every evaluation
@@ -162,7 +192,9 @@ func canonicalScore(s *index.Shard, cs []*cursor, doc uint32) float64 {
 // posting of every matching term is visited. This is the paper's baseline
 // "exhaustive search" behaviour at a single ISN.
 func Exhaustive(s *index.Shard, terms []string, k int) Result {
-	cs := openCursors(s, terms)
+	set := openCursorSet(s, terms)
+	defer set.put()
+	cs := set.cs
 	var st ExecStats
 	st.TermsMatched = len(cs)
 	if len(cs) == 0 || k <= 0 {
@@ -207,7 +239,9 @@ func Exhaustive(s *index.Shard, terms []string, k int) Result {
 // those lists stop producing candidates and are only probed for documents
 // surfaced by the essential lists.
 func MaxScore(s *index.Shard, terms []string, k int) Result {
-	cs := openCursors(s, terms)
+	set := openCursorSet(s, terms)
+	defer set.put()
+	cs := set.cs
 	var st ExecStats
 	st.TermsMatched = len(cs)
 	if len(cs) == 0 || k <= 0 {
@@ -289,7 +323,9 @@ func MaxScore(s *index.Shard, terms []string, k int) Result {
 // the cumulative upper bound exceeds the threshold, and cursors before the
 // pivot leapfrog directly to the pivot document.
 func WAND(s *index.Shard, terms []string, k int) Result {
-	cs := openCursors(s, terms)
+	set := openCursorSet(s, terms)
+	defer set.put()
+	cs := set.cs
 	var st ExecStats
 	st.TermsMatched = len(cs)
 	if len(cs) == 0 || k <= 0 {
@@ -365,12 +401,26 @@ func WAND(s *index.Shard, terms []string, k int) Result {
 
 // topK is a fixed-capacity min-heap of (doc, score) keeping the best k.
 // Ties on score are broken toward smaller document IDs, deterministically.
+// The heap is a hand-inlined slice heap — container/heap's interface{}
+// Push/Pop boxed every Hit and kept the comparisons behind interface
+// dispatch on what is the hottest loop of query evaluation.
 type topK struct {
 	k int
-	h hitHeap
+	h []Hit // min-heap, worst hit at h[0]
 }
 
-func newTopK(k int) *topK { return &topK{k: k} }
+// newTopK allocates the heap at full capacity up front, so offer never
+// grows the slice: after this call the top-K path is allocation-free.
+func newTopK(k int) *topK { return &topK{k: k, h: make([]Hit, 0, k)} }
+
+// worseHit reports whether a should be evicted before b (min-heap order):
+// lower score first; among equal scores, the larger doc ID goes first.
+func worseHit(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Local > b.Local
+}
 
 // threshold is the score a new document must strictly exceed to enter a
 // full heap; -inf semantics are represented by a large negative number so
@@ -386,16 +436,49 @@ func (t *topK) threshold() float64 {
 // changed.
 func (t *topK) offer(doc uint32, score float64) bool {
 	if len(t.h) < t.k {
-		heap.Push(&t.h, Hit{Local: doc, Score: score})
+		t.h = append(t.h, Hit{Local: doc, Score: score})
+		t.siftUp(len(t.h) - 1)
 		return true
 	}
 	min := t.h[0]
 	if score > min.Score || (score == min.Score && doc < min.Local) {
 		t.h[0] = Hit{Local: doc, Score: score}
-		heap.Fix(&t.h, 0)
+		t.siftDown(0)
 		return true
 	}
 	return false
+}
+
+func (t *topK) siftUp(i int) {
+	h := t.h
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worseHit(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (t *topK) siftDown(i int) {
+	h := t.h
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && worseHit(h[r], h[l]) {
+			m = r
+		}
+		if !worseHit(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // hits drains the heap into a descending-score slice with global doc IDs
@@ -413,25 +496,4 @@ func (t *topK) hits(s *index.Shard) []Hit {
 		out[i].Doc = s.GlobalDoc(out[i].Local)
 	}
 	return out
-}
-
-// hitHeap orders hits worst-first (min score; among equal scores, the
-// larger doc ID is evicted first).
-type hitHeap []Hit
-
-func (h hitHeap) Len() int { return len(h) }
-func (h hitHeap) Less(i, j int) bool {
-	if h[i].Score != h[j].Score {
-		return h[i].Score < h[j].Score
-	}
-	return h[i].Local > h[j].Local
-}
-func (h hitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *hitHeap) Push(x interface{}) { *h = append(*h, x.(Hit)) }
-func (h *hitHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
 }

@@ -319,3 +319,16 @@ func BenchmarkTAAT(b *testing.B) {
 		_ = TAAT(s, q, 10)
 	}
 }
+
+func TestTopKOfferZeroAlloc(t *testing.T) {
+	// offer is the innermost call of every evaluation strategy; the slice
+	// heap must never allocate after newTopK's single up-front make.
+	tk := newTopK(10)
+	if allocs := testing.AllocsPerRun(100, func() {
+		for d := uint32(0); d < 64; d++ {
+			tk.offer(d, float64(d%17)*1.25)
+		}
+	}); allocs != 0 {
+		t.Errorf("topK.offer allocates %v per run, want 0", allocs)
+	}
+}

@@ -15,7 +15,9 @@ import (
 // pruning ablation benchmarks and as a third independent oracle in the
 // cross-strategy equivalence tests.
 func TAAT(s *index.Shard, terms []string, k int) Result {
-	cs := openCursors(s, terms)
+	set := openCursorSet(s, terms)
+	defer set.put()
+	cs := set.cs
 	var st ExecStats
 	st.TermsMatched = len(cs)
 	if len(cs) == 0 || k <= 0 {

@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document so benchmark baselines can be checked in and diffed across
+// PRs. It reads the benchmark output on stdin and writes JSON to the
+// file named by -o (stdout by default):
+//
+//	go test -run '^$' -bench 'Fig' -benchmem . | go run ./tools/benchjson -o BENCH.json
+//
+// Only lines that look like benchmark results are parsed; everything
+// else (PASS, ok, build noise) is ignored, so the tool can sit at the
+// end of a pipe without fragile filtering.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. Bytes/Allocs are -1 when the run did not
+// use -benchmem, distinguishing "not measured" from a true zero.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Doc is the checked-in artifact: environment header plus results in the
+// order the run produced them.
+type Doc struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Package    string   `json:"pkg,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Doc{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseLine parses one result line, e.g.
+//
+//	BenchmarkFig7QualityPredictor-8  228490  5271 ns/op  0 B/op  0 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so baselines compare across
+// machines; value/unit pairs other than the three standard ones are
+// ignored (custom b.ReportMetric units would land there).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if r.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Result{}, false
+			}
+			seenNs = true
+		case "B/op":
+			if r.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, false
+			}
+		case "allocs/op":
+			if r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, false
+			}
+		}
+	}
+	return r, seenNs
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
