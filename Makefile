@@ -30,6 +30,7 @@ fuzz-smoke:
 	$(GO) test ./internal/rpc/ -run '^$$' -fuzz FuzzDecodeResponse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/rpc/ -run '^$$' -fuzz FuzzValidateRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/replica/ -run '^$$' -fuzz FuzzReplicaSelect -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/search/ -run '^$$' -fuzz FuzzAnytimeDeadline -fuzztime $(FUZZTIME)
 
 # The overload sweep (bounded admission queues at 1x-4x load) on the
 # quick-scale setup: shed rates grow with load while the admitted p99
@@ -72,7 +73,15 @@ bench-smoke:
 corpus:
 	$(GO) run ./tools/gencorpus
 
-check: vet build race fuzz-smoke overload-smoke obs-smoke chaos-smoke bench-smoke
+# Per-package statement coverage with a hard floor on the query
+# evaluation core: the anytime/block-max machinery is exactness-critical,
+# so internal/search and internal/index must stay at >= $(COVERFLOOR)%.
+COVERFLOOR ?= 85
+cover:
+	$(GO) test -cover ./... | $(GO) run ./tools/covergate -floor $(COVERFLOOR) \
+		-require cottage/internal/search,cottage/internal/index
+
+check: vet build race fuzz-smoke overload-smoke obs-smoke chaos-smoke bench-smoke cover
 
 clean:
 	$(GO) clean ./...

@@ -60,6 +60,7 @@ func main() {
 		brkN      = flag.Int("breaker-threshold", 3, "open an ISN's circuit breaker after this many consecutive transport failures (0 = off)")
 		brkCoolMS = flag.Float64("breaker-cooldown-ms", 500, "circuit-breaker cooldown before a half-open probe, in ms")
 		probeMS   = flag.Float64("probe-interval-ms", 0, "background health-probe interval for broken/open ISNs, in ms (0 = off)")
+		anytime   = flag.Bool("anytime", false, "budget-missing ISNs return exact truncated top-K answers with a score bound instead of being dropped")
 		debugAddr = flag.String("debug-addr", "", "HTTP debug listener (/metrics, /healthz, /debug/traces, /debug/accuracy, /debug/pprof); empty = off")
 		traceOut  = flag.String("trace-out", "", "write the recorded query traces as JSONL to this file on exit")
 	)
@@ -122,6 +123,7 @@ func main() {
 		log.Printf("%d shards x replica groups over %d servers", len(groups), len(clients))
 	}
 	agg.HedgeAfter = time.Duration(*hedgeMS * float64(time.Millisecond))
+	agg.Anytime = *anytime
 	if *debugAddr != "" || *traceOut != "" {
 		agg.Obs = obs.NewObserver(len(clients), 512)
 	}

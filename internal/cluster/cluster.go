@@ -212,7 +212,13 @@ type Cluster struct {
 	// bound — the simulated counterpart of the live transport's
 	// overload.Limiter. Zero keeps the queue unbounded.
 	MaxQueueMS float64
-	nowMS      float64 // latest event time observed, for horizon accounting
+	// Anytime turns deadline misses into truncated answers: ISNs run the
+	// anytime traversal, so a request cut off at its budget still returns
+	// a quality-bounded best-so-far (Execution.WorkFrac), and admission
+	// control admits over-queue requests that can still start before
+	// their deadline instead of shedding them outright.
+	Anytime bool
+	nowMS   float64 // latest event time observed, for horizon accounting
 }
 
 // Config assembles a Cluster.
@@ -244,6 +250,8 @@ type Config struct {
 	// MaxQueueMS bounds per-ISN queueing delay; arrivals beyond it are
 	// shed (0 = unbounded).
 	MaxQueueMS float64
+	// Anytime enables truncated (best-so-far) answers on deadline misses.
+	Anytime bool
 }
 
 // DefaultConfig returns a 16-ISN cluster matching the paper's deployment.
@@ -280,6 +288,7 @@ func New(cfg Config) *Cluster {
 		InferMS:       cfg.InferMS,
 		FailTimeoutMS: cfg.FailTimeoutMS,
 		MaxQueueMS:    cfg.MaxQueueMS,
+		Anytime:       cfg.Anytime,
 		topo:          replica.Topology{Shards: cfg.NumISNs, R: r},
 	}
 	if c.FailTimeoutMS <= 0 {
@@ -489,6 +498,11 @@ type Execution struct {
 	ServiceMS float64 // actual busy time charged
 	Freq      float64
 	Completed bool // false if the deadline truncated the work
+	// WorkFrac is the fraction of the request's full service time the
+	// node performed before the deadline cut it off (1 when Completed).
+	// Anytime-mode callers replay the truncated traversal against this
+	// fraction of the full cycle budget to recover the partial answer.
+	WorkFrac float64
 	// Failed marks a request sent to a dead ISN: no work was done and no
 	// response will ever arrive (the aggregator waits out its
 	// failure-detection timeout instead of the response).
@@ -551,12 +565,17 @@ func (c *Cluster) Execute(isn int, tMS, cycles, f, deadlineMS float64) Execution
 			injDelayMS = d.DelayMS
 		}
 	}
-	if c.MaxQueueMS > 0 && c.QueueDelayMS(isn, arrive) > c.MaxQueueMS {
-		// Admission control: the backlog already exceeds the queue bound,
-		// so the ISN sheds the request immediately — no work, no power,
-		// and the aggregator gets the rejection after one network hop.
-		c.observe(arrive)
-		return Execution{ISN: isn, Shard: shard, Replica: rep, StartMS: arrive, FinishMS: arrive, Freq: f, Shed: true}
+	if qd := c.QueueDelayMS(isn, arrive); c.MaxQueueMS > 0 && qd > c.MaxQueueMS {
+		// Admission control: the backlog already exceeds the queue bound.
+		// In anytime mode a request that can still start before its
+		// deadline is admitted anyway — it will answer truncated at the
+		// budget, which beats an outright rejection. Otherwise the ISN
+		// sheds it immediately — no work, no power, and the aggregator
+		// gets the rejection after one network hop.
+		if !c.Anytime || arrive+qd >= deadlineMS {
+			c.observe(arrive)
+			return Execution{ISN: isn, Shard: shard, Replica: rep, StartMS: arrive, FinishMS: arrive, Freq: f, Shed: true}
+		}
 	}
 	worker := node.earliestWorker()
 	start := arrive
@@ -567,8 +586,10 @@ func (c *Cluster) Execute(isn int, tMS, cycles, f, deadlineMS float64) Execution
 	finish := start + full
 	busy := full
 	completed := true
+	workFrac := 1.0
 	if finish > deadlineMS {
-		// Work until the budget expires, then abandon.
+		// Work until the budget expires, then abandon (or, in anytime
+		// mode, answer with whatever the truncated traversal found).
 		completed = false
 		if deadlineMS > start {
 			busy = deadlineMS - start
@@ -576,6 +597,10 @@ func (c *Cluster) Execute(isn int, tMS, cycles, f, deadlineMS float64) Execution
 		} else {
 			busy = 0
 			finish = start
+		}
+		workFrac = 0
+		if full > 0 {
+			workFrac = busy / full
 		}
 	}
 	node.freeAtMS[worker] = finish
@@ -595,6 +620,7 @@ func (c *Cluster) Execute(isn int, tMS, cycles, f, deadlineMS float64) Execution
 		ServiceMS: busy,
 		Freq:      f,
 		Completed: completed,
+		WorkFrac:  workFrac,
 		QueueMS:   start - arrive,
 		Dropped:   dropped,
 	}

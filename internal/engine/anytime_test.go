@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// tightBudget returns a budget at ~60% of the unbudgeted mean latency —
+// enough pressure that stragglers reliably miss it.
+func tightBudget(e *Engine, evs []*Evaluated) float64 {
+	free := e.Run(&fixedPolicy{name: "free", select_: all, budgetMS: math.Inf(1)}, evs)
+	return Summarize(free).MeanLatency * 0.6
+}
+
+// TestAnytimeConvertsDropsToTruncations: with the same tight budget,
+// turning Anytime on must convert every dropped straggler into a
+// truncated answer, never lose quality on any query, and leave the
+// latency distribution untouched (truncation happens at the deadline
+// either way — anytime changes what is answered, not when).
+func TestAnytimeConvertsDropsToTruncations(t *testing.T) {
+	e, qs := smallEngine(t)
+	evs := e.EvaluateAll(qs)
+	budget := tightBudget(e, evs)
+	p := &fixedPolicy{name: "tight", select_: all, budgetMS: budget}
+	drop := e.Run(p, evs)
+	e.Anytime = true
+	defer func() { e.Anytime = false }()
+	any := e.Run(p, evs)
+
+	sd, sa := Summarize(drop), Summarize(any)
+	if sd.DroppedFrac == 0 {
+		t.Fatal("budget not tight enough to drop anything; test is vacuous")
+	}
+	if sa.TruncatedFrac != sd.DroppedFrac {
+		t.Errorf("truncated frac %v != dropped frac %v: some stragglers not converted",
+			sa.TruncatedFrac, sd.DroppedFrac)
+	}
+	if sa.DroppedFrac != 0 {
+		t.Errorf("anytime run still dropped %v of queries", sa.DroppedFrac)
+	}
+	if sa.MeanPAtK <= sd.MeanPAtK {
+		t.Errorf("anytime quality %v should beat drop protocol %v", sa.MeanPAtK, sd.MeanPAtK)
+	}
+	if sa.P95Latency != sd.P95Latency || sa.MeanLatency != sd.MeanLatency {
+		t.Errorf("anytime changed latency: p95 %v vs %v, mean %v vs %v",
+			sa.P95Latency, sd.P95Latency, sa.MeanLatency, sd.MeanLatency)
+	}
+	for i := range drop.Outcomes {
+		od, oa := drop.Outcomes[i], any.Outcomes[i]
+		if oa.TruncatedISNs != od.DroppedISNs {
+			t.Fatalf("query %d: %d truncated ISNs for %d drops", od.QueryID, oa.TruncatedISNs, od.DroppedISNs)
+		}
+		if oa.PAtK < od.PAtK {
+			t.Fatalf("query %d: anytime P@K %v below drop protocol %v", od.QueryID, oa.PAtK, od.PAtK)
+		}
+		if oa.LatencyMS != od.LatencyMS {
+			t.Fatalf("query %d: anytime latency %v != %v", od.QueryID, oa.LatencyMS, od.LatencyMS)
+		}
+	}
+}
+
+// TestAnytimeOffIsUnchanged: the flag defaults to off and an off-run
+// never reports truncations — the legacy drop accounting is preserved
+// bit-for-bit.
+func TestAnytimeOffIsUnchanged(t *testing.T) {
+	e, qs := smallEngine(t)
+	evs := e.EvaluateAll(qs)
+	res := e.Run(&fixedPolicy{name: "tight", select_: all, budgetMS: tightBudget(e, evs)}, evs)
+	for _, o := range res.Outcomes {
+		if o.TruncatedISNs != 0 {
+			t.Fatalf("query %d: truncations with Anytime off", o.QueryID)
+		}
+	}
+	if Summarize(res).TruncatedFrac != 0 {
+		t.Error("TruncatedFrac nonzero with Anytime off")
+	}
+}
+
+// TestAnytimeReplayDeterministicAcrossGOMAXPROCS: the anytime replay is
+// pure virtual time — the cycle-budget deadline derives from the cost
+// model, never the wall clock — so the whole truncated run must be
+// bit-identical at any worker count (and race-free under -race).
+func TestAnytimeReplayDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	e, qs := smallEngine(t)
+	evs := e.EvaluateAll(qs)
+	budget := tightBudget(e, evs)
+	e.Anytime = true
+	defer func() { e.Anytime = false }()
+	run := func(procs int) RunResult {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		return e.Run(&fixedPolicy{name: "tight", select_: all, budgetMS: budget}, evs)
+	}
+	r1 := run(1)
+	r8 := run(8)
+	if !reflect.DeepEqual(r1, r8) {
+		t.Error("anytime Run differs across GOMAXPROCS")
+	}
+	if Summarize(r1).TruncatedFrac == 0 {
+		t.Error("determinism run truncated nothing; test is vacuous")
+	}
+}

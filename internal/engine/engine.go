@@ -50,6 +50,13 @@ type Engine struct {
 	K int
 	// Strategy is the per-ISN evaluation algorithm.
 	Strategy search.Strategy
+	// Anytime converts budget-miss drops into truncated answers: when a
+	// shard's execution is cut off at the deadline, the engine replays
+	// the anytime traversal under the fraction of the cycle budget the
+	// node actually spent (Execution.WorkFrac) and merges the truncated,
+	// quality-bounded hits instead of discarding the shard. Run copies
+	// the flag to the cluster so admission control matches.
+	Anytime bool
 	// Cache, when set, answers repeated queries at the aggregator without
 	// touching any ISN (qcache.LRU). Cached answers cost only the client
 	// round trip plus a lookup; misses follow the configured policy and
@@ -267,6 +274,10 @@ type Outcome struct {
 	DocsSearched int
 	// DroppedISNs counts participants whose responses missed the budget.
 	DroppedISNs int
+	// TruncatedISNs counts participants that missed the budget but still
+	// contributed a truncated anytime answer (engine.Anytime): their hits
+	// are exact, just possibly incomplete, with a recorded score bound.
+	TruncatedISNs int
 	// FailedISNs counts participants that were dead when dispatched to
 	// (injected failures): no work done, no response, contribution lost.
 	FailedISNs int
@@ -298,6 +309,7 @@ type RunResult struct {
 // if any) is reset first, so results of consecutive runs are independent.
 func (e *Engine) Run(p Policy, evs []*Evaluated) RunResult {
 	e.Cluster.Reset()
+	e.Cluster.Anytime = e.Anytime
 	if e.Cache != nil {
 		e.Cache.Reset()
 	}
@@ -372,6 +384,7 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 	}
 	var lists [][]search.Hit
 	var execs []cluster.Execution // recorded for the trace (observer only)
+	var truncBounds map[int]float64
 	aggDone := dispatch
 	anyDropped := false
 	anyFailed := false
@@ -406,13 +419,37 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 			continue
 		}
 		out.ActiveISNs++
-		out.DocsSearched += ev.PerShard[si].Stats.DocsScored
-		if exec.Completed {
+		switch {
+		case exec.Completed:
+			out.DocsSearched += ev.PerShard[si].Stats.DocsScored
 			lists = append(lists, ev.PerShard[si].Hits)
 			if resp := e.Cluster.ResponseAtAggregatorMS(exec); resp > aggDone {
 				aggDone = resp
 			}
-		} else {
+		case e.Anytime && exec.WorkFrac > 0:
+			// Budget miss, anytime mode: the node spent WorkFrac of the
+			// full service before the deadline. Replay the anytime
+			// traversal against that fraction of the query's measured
+			// cycle cost (virtual time — deterministic, no wall clock)
+			// and merge the truncated, quality-bounded answer.
+			budget := exec.WorkFrac * e.Cluster.Cost.Cycles(ev.PerShard[si].Stats)
+			r := search.Anytime(e.Shards[si], ev.Query.Terms, e.K, func(st search.ExecStats) bool {
+				return e.Cluster.Cost.Cycles(st) > budget
+			})
+			out.TruncatedISNs++
+			out.DocsSearched += r.Stats.DocsScored
+			if len(r.Hits) > 0 {
+				lists = append(lists, r.Hits)
+			}
+			if truncBounds == nil {
+				truncBounds = make(map[int]float64)
+			}
+			truncBounds[si] = r.ScoreBound
+			if resp := e.Cluster.ResponseAtAggregatorMS(exec); resp > aggDone {
+				aggDone = resp
+			}
+		default:
+			out.DocsSearched += ev.PerShard[si].Stats.DocsScored
 			anyDropped = true
 			out.DroppedISNs++
 		}
@@ -447,7 +484,14 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 	if e.Cache != nil {
 		e.Cache.Put(qcache.Key(ev.Query.Terms), merged)
 	}
-	e.recordQuery(p, ev, d, arrive, dispatch, aggDone, execs, out)
+	if d.Record != nil && truncBounds != nil {
+		for si := range e.Shards {
+			if _, ok := truncBounds[si]; ok {
+				d.Record.Truncated = append(d.Record.Truncated, si)
+			}
+		}
+	}
+	e.recordQuery(p, ev, d, arrive, dispatch, aggDone, execs, truncBounds, out)
 	p.Observe(out.LatencyMS)
 	return out
 }
@@ -481,7 +525,8 @@ func (e *Engine) recordCacheHit(p Policy, ev *Evaluated, out Outcome) {
 // predicted equivalent latency and top-K contribution against what the
 // simulator actually did.
 func (e *Engine) recordQuery(p Policy, ev *Evaluated, d Decision,
-	arrive, dispatch, aggDone float64, execs []cluster.Execution, out Outcome) {
+	arrive, dispatch, aggDone float64, execs []cluster.Execution,
+	truncBounds map[int]float64, out Outcome) {
 
 	if e.Obs == nil {
 		return
@@ -524,7 +569,12 @@ func (e *Engine) recordQuery(p Policy, ev *Evaluated, d Decision,
 			leg.SetAttr("queue_ms", strconv.FormatFloat(exec.QueueMS, 'g', -1, 64))
 			leg.SetAttr("service_ms", strconv.FormatFloat(exec.ServiceMS, 'g', -1, 64))
 			if !exec.Completed {
-				leg.SetAttr("dropped", "true")
+				if bound, ok := truncBounds[exec.Shard]; ok {
+					leg.SetAttr("truncated", "true")
+					leg.SetAttr("score_bound", strconv.FormatFloat(bound, 'g', -1, 64))
+				} else {
+					leg.SetAttr("dropped", "true")
+				}
 			}
 		}
 		leg.End(vtUS(e.Cluster.ResponseAtAggregatorMS(exec)))
@@ -595,6 +645,9 @@ type Summary struct {
 	Utilization float64
 	Queries     int
 	DroppedFrac float64
+	// TruncatedFrac is the share of queries where at least one
+	// participant answered truncated (anytime mode budget miss).
+	TruncatedFrac float64
 	// FailedFrac is the share of queries that dispatched to at least one
 	// dead ISN (injected failures).
 	FailedFrac float64
@@ -614,7 +667,7 @@ func Summarize(r RunResult) Summary {
 		return s
 	}
 	lats := make([]float64, len(r.Outcomes))
-	dropped, failed, shed, failedOver := 0, 0, 0, 0
+	dropped, truncated, failed, shed, failedOver := 0, 0, 0, 0, 0
 	for i, o := range r.Outcomes {
 		lats[i] = o.LatencyMS
 		s.MeanPAtK += o.PAtK
@@ -622,6 +675,9 @@ func Summarize(r RunResult) Summary {
 		s.MeanCRES += float64(o.DocsSearched)
 		if o.DroppedISNs > 0 {
 			dropped++
+		}
+		if o.TruncatedISNs > 0 {
+			truncated++
 		}
 		if o.FailedISNs > 0 {
 			failed++
@@ -642,6 +698,7 @@ func Summarize(r RunResult) Summary {
 	s.MeanISNs /= n
 	s.MeanCRES /= n
 	s.DroppedFrac = float64(dropped) / n
+	s.TruncatedFrac = float64(truncated) / n
 	s.FailedFrac = float64(failed) / n
 	s.ShedFrac = float64(shed) / n
 	s.FailoverFrac = float64(failedOver) / n

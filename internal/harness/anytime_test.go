@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"cottage/internal/engine"
+)
+
+// TestAnytimeSweepCurves replays the sweep's ladder directly and asserts
+// the acceptance shape: quality is monotone in the deadline for both
+// protocols, anytime strictly beats the drop-ISN protocol at every
+// deadline where budget misses actually occur, and at an infinite
+// deadline both protocols are exhaustive and identical.
+func TestAnytimeSweepCurves(t *testing.T) {
+	s := testSetup(t)
+	defer func() { s.Engine.Anytime = false }()
+	prevDrop, prevAny := -1.0, -1.0
+	misses := 0
+	for _, b := range AnytimeBudgets() {
+		pol := FixedBudget{BudgetMS: b}
+		s.Engine.Anytime = false
+		drop := engine.Summarize(s.Engine.Run(pol, s.WikiEval))
+		s.Engine.Anytime = true
+		any := engine.Summarize(s.Engine.Run(pol, s.WikiEval))
+		if drop.MeanPAtK < prevDrop || any.MeanPAtK < prevAny {
+			t.Fatalf("budget %v: quality not monotone (drop %v<-%v, any %v<-%v)",
+				b, drop.MeanPAtK, prevDrop, any.MeanPAtK, prevAny)
+		}
+		prevDrop, prevAny = drop.MeanPAtK, any.MeanPAtK
+		if any.TruncatedFrac != drop.DroppedFrac {
+			t.Fatalf("budget %v: truncated frac %v != dropped frac %v", b, any.TruncatedFrac, drop.DroppedFrac)
+		}
+		if drop.DroppedFrac > 0 {
+			misses++
+			if any.MeanPAtK <= drop.MeanPAtK {
+				t.Fatalf("budget %v: anytime P@10 %v not strictly above drop %v despite %v dropped",
+					b, any.MeanPAtK, drop.MeanPAtK, drop.DroppedFrac)
+			}
+		}
+		if math.IsInf(b, 1) {
+			if drop.MeanPAtK != 1 || any.MeanPAtK != 1 {
+				t.Fatalf("infinite budget not exhaustive: drop %v, any %v", drop.MeanPAtK, any.MeanPAtK)
+			}
+		}
+		if any.P95Latency != drop.P95Latency {
+			t.Fatalf("budget %v: anytime changed p95 latency %v vs %v", b, any.P95Latency, drop.P95Latency)
+		}
+	}
+	if misses < 3 {
+		t.Fatalf("only %d ladder rungs produced budget misses; the sweep is not probing the quality cliff", misses)
+	}
+}
+
+// TestAnytimeSweepRenders smoke-tests the experiment's table output.
+func TestAnytimeSweepRenders(t *testing.T) {
+	s := testSetup(t)
+	var buf bytes.Buffer
+	if err := AnytimeSweep(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"budget", "drop@10", "any@10", "truncfrac", "inf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	if s.Engine.Anytime {
+		t.Error("sweep left the engine in anytime mode")
+	}
+	if _, ok := ByID("anytime"); !ok {
+		t.Error("anytime experiment not registered")
+	}
+}

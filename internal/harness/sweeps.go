@@ -30,6 +30,7 @@ func Extras() []Experiment {
 		{"replication", "Extra: replication factor (R=1-3) x 0-4 failed replicas (availability, quality, latency, power)", Replication},
 		{"overload", "Extra: bounded ISN queues under 1x-4x load (shed rate, served p99, budget inflation)", Overload},
 		{"predacc", "Extra: rolling predictor-accuracy tracking (obs twin: latency error %, quality hit rate)", PredictorAccuracy},
+		{"anytime", "Extra: anytime truncated answers vs the drop-ISN protocol across a deadline ladder", AnytimeSweep},
 	}
 }
 

@@ -1,0 +1,106 @@
+package index
+
+import "fmt"
+
+// Block-max overlay: every term's postings are tiled into fixed-size
+// blocks, each carrying the largest BM25 score among its postings and
+// the document of its last posting. The overlay is what makes safe
+// early termination possible — a traversal that knows "no document in
+// this region can score above X" may skip or defer the region without
+// giving up exactness (Ding & Suel's Block-Max WAND, and the anytime
+// ranking of Mackenzie et al. that internal/search.Anytime follows).
+// Blocks are built in Finalize from the same per-posting scores the
+// term statistics are computed from, and round-trip through the shard
+// wire format (serialize.go).
+
+// BlockSize is the number of postings per block-max block. 64 keeps the
+// overlay under 2% of postings storage while giving upper bounds tight
+// enough that a priority-ordered traversal finds the high-scoring
+// regions first.
+const BlockSize = 64
+
+// Block is one fixed-size run of postings with its score upper bound.
+// A term's block i covers Postings[i*BlockSize : (i+1)*BlockSize] (the
+// last block may be short); blocks tile the postings exactly.
+type Block struct {
+	// MaxDoc is the document of the block's last posting — the
+	// inclusive upper end of the block's document span (the span starts
+	// at the block's first posting's document).
+	MaxDoc uint32
+	// Max is the largest BM25 score among the block's postings: a safe
+	// upper bound on any single-term contribution from the span.
+	Max float64
+}
+
+// buildBlocks tiles document-ordered postings into BlockSize blocks,
+// taking each block's bound from the already-materialized per-posting
+// scores (scores[i] belongs to ps[i]).
+func buildBlocks(ps []Posting, scores []float64) []Block {
+	if len(ps) == 0 {
+		return nil
+	}
+	n := (len(ps) + BlockSize - 1) / BlockSize
+	blocks := make([]Block, 0, n)
+	for lo := 0; lo < len(ps); lo += BlockSize {
+		hi := lo + BlockSize
+		if hi > len(ps) {
+			hi = len(ps)
+		}
+		max := scores[lo]
+		for _, sc := range scores[lo+1 : hi] {
+			if sc > max {
+				max = sc
+			}
+		}
+		blocks = append(blocks, Block{MaxDoc: ps[hi-1].Doc, Max: max})
+	}
+	return blocks
+}
+
+// NumBlocks returns how many block-max blocks tile the term's postings.
+func (ti *TermInfo) NumBlocks() int { return len(ti.Blocks) }
+
+// BlockSpan returns block bi's posting index range [lo, hi).
+func (ti *TermInfo) BlockSpan(bi int) (lo, hi int) {
+	lo = bi * BlockSize
+	hi = lo + BlockSize
+	if hi > len(ti.Postings) {
+		hi = len(ti.Postings)
+	}
+	return lo, hi
+}
+
+// validateBlocks checks the block-max overlay invariants for one term:
+// the blocks tile the postings exactly, each block's MaxDoc is its last
+// posting's document, and no posting's score exceeds its block's bound
+// (scores are recomputed the same way Finalize computed them, so the
+// comparison is exact).
+func (s *Shard) validateBlocks(ti *TermInfo) error {
+	ps := ti.Postings
+	want := (len(ps) + BlockSize - 1) / BlockSize
+	if len(ti.Blocks) != want {
+		return fmt.Errorf("index: term %q has %d block-max blocks, want %d", ti.Text, len(ti.Blocks), want)
+	}
+	for bi, blk := range ti.Blocks {
+		lo, hi := ti.BlockSpan(bi)
+		if blk.MaxDoc != ps[hi-1].Doc {
+			return fmt.Errorf("index: term %q block %d MaxDoc %d != last posting doc %d",
+				ti.Text, bi, blk.MaxDoc, ps[hi-1].Doc)
+		}
+		attained := false
+		for _, p := range ps[lo:hi] {
+			sc := s.TermScore(ti, p)
+			if sc > blk.Max {
+				return fmt.Errorf("index: term %q block %d: posting doc %d scores %v above block max %v",
+					ti.Text, bi, p.Doc, sc, blk.Max)
+			}
+			if sc == blk.Max {
+				attained = true
+			}
+		}
+		if !attained {
+			return fmt.Errorf("index: term %q block %d: no posting attains block max %v", ti.Text, bi, blk.Max)
+		}
+	}
+	return nil
+}

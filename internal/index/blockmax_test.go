@@ -1,0 +1,180 @@
+package index
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestBlocksBuiltInFinalize: every finalized term carries a block-max
+// overlay that tiles its postings exactly, with sound and tight bounds.
+func TestBlocksBuiltInFinalize(t *testing.T) {
+	s := buildTestShard(t)
+	for i := range s.Terms {
+		ti := &s.Terms[i]
+		want := (len(ti.Postings) + BlockSize - 1) / BlockSize
+		if ti.NumBlocks() != want {
+			t.Fatalf("%q: %d blocks for %d postings, want %d", ti.Text, ti.NumBlocks(), len(ti.Postings), want)
+		}
+		covered := 0
+		for bi, blk := range ti.Blocks {
+			lo, hi := ti.BlockSpan(bi)
+			if lo != covered {
+				t.Fatalf("%q block %d: span starts at %d, want %d", ti.Text, bi, lo, covered)
+			}
+			covered = hi
+			if blk.MaxDoc != ti.Postings[hi-1].Doc {
+				t.Fatalf("%q block %d: MaxDoc %d != last posting doc %d", ti.Text, bi, blk.MaxDoc, ti.Postings[hi-1].Doc)
+			}
+			attained := false
+			for _, p := range ti.Postings[lo:hi] {
+				sc := s.TermScore(ti, p)
+				if sc > blk.Max {
+					t.Fatalf("%q block %d: posting scores %v above bound %v", ti.Text, bi, sc, blk.Max)
+				}
+				attained = attained || sc == blk.Max
+			}
+			if !attained {
+				t.Fatalf("%q block %d: bound %v not attained (not tight)", ti.Text, bi, blk.Max)
+			}
+		}
+		if covered != len(ti.Postings) {
+			t.Fatalf("%q: blocks cover %d of %d postings", ti.Text, covered, len(ti.Postings))
+		}
+		// The overlay's global max must equal the term's max score.
+		blkMax := 0.0
+		for _, blk := range ti.Blocks {
+			blkMax = math.Max(blkMax, blk.Max)
+		}
+		if math.Abs(blkMax-ti.Stats.MaxScore) > 1e-12 {
+			t.Fatalf("%q: overlay max %v != stats max %v", ti.Text, blkMax, ti.Stats.MaxScore)
+		}
+	}
+}
+
+func TestBuildBlocksEdges(t *testing.T) {
+	if buildBlocks(nil, nil) != nil {
+		t.Error("empty postings should have a nil overlay")
+	}
+	ps := []Posting{{Doc: 3, TF: 1}}
+	blocks := buildBlocks(ps, []float64{1.5})
+	if len(blocks) != 1 || blocks[0] != (Block{MaxDoc: 3, Max: 1.5}) {
+		t.Errorf("single-posting overlay wrong: %+v", blocks)
+	}
+}
+
+// TestSerializeRoundTripCarriesBlocks: the overlay survives the wire
+// format bit-for-bit — ReadShard must not need to rebuild it.
+func TestSerializeRoundTripCarriesBlocks(t *testing.T) {
+	s := buildTestShard(t)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadShard(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Terms {
+		a, b := s.Terms[i].Blocks, got.Terms[i].Blocks
+		if len(a) != len(b) {
+			t.Fatalf("term %q: %d blocks after round trip, want %d", s.Terms[i].Text, len(b), len(a))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("term %q block %d changed in round trip: %+v != %+v", s.Terms[i].Text, j, b[j], a[j])
+			}
+		}
+	}
+}
+
+// TestValidateCatchesBlockCorruption: each way the overlay can be wrong
+// — missing blocks, stale MaxDoc, an unsound (too low) bound, a slack
+// (unattained) bound — must fail Validate with a descriptive error.
+func TestValidateCatchesBlockCorruption(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		mutate  func(ti *TermInfo)
+		errFrag string
+	}{
+		{"truncated overlay", func(ti *TermInfo) {
+			ti.Blocks = ti.Blocks[:len(ti.Blocks)-1]
+		}, "block-max blocks"},
+		{"stale MaxDoc", func(ti *TermInfo) {
+			ti.Blocks[0].MaxDoc++
+		}, "MaxDoc"},
+		{"unsound bound", func(ti *TermInfo) {
+			ti.Blocks[0].Max /= 2
+		}, "above block max"},
+		{"slack bound", func(ti *TermInfo) {
+			ti.Blocks[0].Max *= 2
+		}, "attains"},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			s := buildTestShard(t)
+			// Pick a term with at least two blocks so truncation leaves one.
+			var ti *TermInfo
+			for i := range s.Terms {
+				if s.Terms[i].NumBlocks() >= 2 {
+					ti = &s.Terms[i]
+					break
+				}
+			}
+			if ti == nil {
+				t.Fatal("no multi-block term in test shard")
+			}
+			c.mutate(ti)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("corruption %q passed Validate", c.name)
+			}
+			if !strings.Contains(err.Error(), c.errFrag) {
+				t.Fatalf("corruption %q: error %q does not mention %q", c.name, err, c.errFrag)
+			}
+		})
+	}
+}
+
+// TestValidateCatchesShardCorruption covers the non-block invariants:
+// every mutation must be caught with an error naming the problem.
+func TestValidateCatchesShardCorruption(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		mutate  func(s *Shard)
+		errFrag string
+	}{
+		{"doc metadata", func(s *Shard) { s.NumDocs++ }, "metadata length"},
+		{"dict size", func(s *Shard) { delete(s.dict, s.Terms[0].Text) }, "dict has"},
+		{"dict target", func(s *Shard) {
+			s.dict[s.Terms[0].Text], s.dict[s.Terms[1].Text] = s.dict[s.Terms[1].Text], s.dict[s.Terms[0].Text]
+		}, "wrong term"},
+		{"empty postings", func(s *Shard) { s.Terms[0].Postings = nil }, "empty postings"},
+		{"unsorted postings", func(s *Shard) {
+			ps := s.Terms[0].Postings
+			ps[0], ps[1] = ps[1], ps[0]
+		}, "out of order"},
+		{"doc out of range", func(s *Shard) {
+			ps := s.Terms[0].Postings
+			ps[len(ps)-1].Doc = uint32(s.NumDocs)
+		}, "references doc"},
+		{"zero tf", func(s *Shard) { s.Terms[0].Postings[0].TF = 0 }, "zero tf"},
+		{"stats length", func(s *Shard) { s.Terms[0].Stats.PostingLen++ }, "stats posting length"},
+		{"kth above max", func(s *Shard) { s.Terms[0].Stats.KthScore = s.Terms[0].Stats.MaxScore + 1 }, "below kth"},
+		{"NaN idf", func(s *Shard) { s.Terms[0].Stats.IDF = math.NaN() }, "invalid idf"},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			s := buildTestShard(t)
+			c.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("corruption %q passed Validate", c.name)
+			}
+			if !strings.Contains(err.Error(), c.errFrag) {
+				t.Fatalf("corruption %q: error %q does not mention %q", c.name, err, c.errFrag)
+			}
+		})
+	}
+}

@@ -31,6 +31,11 @@ type TermInfo struct {
 	Postings  []Posting
 	Positions [][]uint32
 	Stats     TermStats
+	// Blocks is the block-max overlay: fixed-size posting blocks with
+	// per-block score upper bounds (see blockmax.go). Built in Finalize
+	// and serialized with the shard; dynamic pruning and anytime
+	// traversal depend on it.
+	Blocks []Block
 }
 
 // Shard is one ISN's index: a self-contained searchable partition. Shards
@@ -200,7 +205,9 @@ func (b *Builder) Finalize() *Shard {
 		if b.positional {
 			ti.Positions = b.positions[i]
 		}
-		ti.Stats = computeTermStats(s, ti, b.statsK)
+		var scores []float64
+		ti.Stats, scores = computeTermStats(s, ti, b.statsK)
+		ti.Blocks = buildBlocks(ti.Postings, scores)
 	}
 	return s
 }
@@ -281,6 +288,9 @@ func (s *Shard) Validate() error {
 		}
 		if math.IsNaN(st.IDF) || st.IDF < 0 {
 			return fmt.Errorf("index: term %q has invalid idf %v", s.Terms[i].Text, st.IDF)
+		}
+		if err := s.validateBlocks(&s.Terms[i]); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,132 @@
+package index
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildPositionalShard(t testing.TB) *Shard {
+	t.Helper()
+	b := NewBuilder(0, DefaultBM25(), 5)
+	b.EnablePositions()
+	if !b.Positional() {
+		t.Fatal("EnablePositions did not stick")
+	}
+	b.AddTokens(1, []string{"to", "be", "or", "not", "to", "be"})
+	b.AddTokens(2, []string{"be", "not", "afraid"})
+	b.AddTokens(3, []string{"or", "else"})
+	s := b.Finalize()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("positional shard invalid: %v", err)
+	}
+	return s
+}
+
+func TestPositionalBuilder(t *testing.T) {
+	s := buildPositionalShard(t)
+	if !s.HasPositions() {
+		t.Fatal("positional shard reports no positions")
+	}
+	ti, ok := s.Lookup("to")
+	if !ok {
+		t.Fatal("term missing")
+	}
+	if ti.Postings[0].TF != 2 {
+		t.Fatalf("tf(to, doc0) = %d, want 2", ti.Postings[0].TF)
+	}
+	want := []uint32{0, 4}
+	got := ti.Positions[0]
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("positions(to, doc0) = %v, want %v", got, want)
+	}
+	// Bag-of-words shards carry no positions.
+	if buildTestShard(t).HasPositions() {
+		t.Fatal("bag-of-words shard reports positions")
+	}
+}
+
+func TestPositionalSerializeRoundTrip(t *testing.T) {
+	s := buildPositionalShard(t)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadShard(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasPositions() {
+		t.Fatal("positions lost in round trip")
+	}
+	for i := range s.Terms {
+		a, b := s.Terms[i].Positions, got.Terms[i].Positions
+		if len(a) != len(b) {
+			t.Fatalf("term %q: position list count changed", s.Terms[i].Text)
+		}
+		for j := range a {
+			if len(a[j]) != len(b[j]) {
+				t.Fatalf("term %q posting %d: position count changed", s.Terms[i].Text, j)
+			}
+			for k := range a[j] {
+				if a[j][k] != b[j][k] {
+					t.Fatalf("term %q posting %d: position %d changed", s.Terms[i].Text, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateCatchesPositionCorruption(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		mutate  func(ti *TermInfo)
+		errFrag string
+	}{
+		{"list count", func(ti *TermInfo) { ti.Positions = ti.Positions[:len(ti.Positions)-1] }, "position lists"},
+		{"tf mismatch", func(ti *TermInfo) { ti.Positions[0] = ti.Positions[0][:0] }, "positions for tf"},
+		{"not increasing", func(ti *TermInfo) { ti.Positions[0] = []uint32{4, 4} }, "not increasing"},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			s := buildPositionalShard(t)
+			ti, ok := s.Lookup("to")
+			if !ok {
+				t.Fatal("term missing")
+			}
+			c.mutate(ti)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("corruption %q passed Validate", c.name)
+			}
+			if !strings.Contains(err.Error(), c.errFrag) {
+				t.Fatalf("corruption %q: error %q does not mention %q", c.name, err, c.errFrag)
+			}
+		})
+	}
+}
+
+func TestPositionalPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("EnablePositions after Add should panic")
+			}
+		}()
+		b := NewBuilder(0, DefaultBM25(), 5)
+		b.Add(1, map[string]int{"a": 1}, 1)
+		b.EnablePositions()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddTokens after Finalize should panic")
+			}
+		}()
+		b := NewBuilder(0, DefaultBM25(), 5)
+		b.EnablePositions()
+		b.AddTokens(1, []string{"a"})
+		b.Finalize()
+		b.AddTokens(2, []string{"b"})
+	}()
+}

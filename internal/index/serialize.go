@@ -28,9 +28,11 @@ type shardWire struct {
 	// Positions is nil for non-positional shards; otherwise
 	// Positions[term][posting] lists token offsets.
 	Positions [][][]uint32
+	// Blocks[term] is the term's block-max overlay (wire v3).
+	Blocks [][]Block
 }
 
-const wireVersion = 2
+const wireVersion = 3
 
 // Encode serializes the shard with encoding/gob.
 func (s *Shard) Encode(w io.Writer) error {
@@ -54,6 +56,7 @@ func (s *Shard) Encode(w io.Writer) error {
 		wire.TermStats = append(wire.TermStats, t.Stats)
 		wire.PostingCounts = append(wire.PostingCounts, len(t.Postings))
 		wire.PostingBlobs = append(wire.PostingBlobs, EncodePostings(t.Postings))
+		wire.Blocks = append(wire.Blocks, t.Blocks)
 		if positional {
 			wire.Positions = append(wire.Positions, t.Positions)
 		}
@@ -73,7 +76,8 @@ func ReadShard(r io.Reader) (*Shard, error) {
 	}
 	if len(w.TermTexts) != len(w.TermStats) ||
 		len(w.TermTexts) != len(w.PostingCounts) ||
-		len(w.TermTexts) != len(w.PostingBlobs) {
+		len(w.TermTexts) != len(w.PostingBlobs) ||
+		len(w.TermTexts) != len(w.Blocks) {
 		return nil, fmt.Errorf("index: inconsistent term arrays in shard file")
 	}
 	s := &Shard{
@@ -92,7 +96,7 @@ func ReadShard(r io.Reader) (*Shard, error) {
 		if err != nil {
 			return nil, fmt.Errorf("index: term %q: %w", w.TermTexts[i], err)
 		}
-		s.Terms[i] = TermInfo{Text: w.TermTexts[i], Postings: ps, Stats: w.TermStats[i]}
+		s.Terms[i] = TermInfo{Text: w.TermTexts[i], Postings: ps, Stats: w.TermStats[i], Blocks: w.Blocks[i]}
 		if w.Positions != nil {
 			if len(w.Positions) != len(w.TermTexts) {
 				return nil, fmt.Errorf("index: positional arrays inconsistent in shard file")

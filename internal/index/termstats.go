@@ -47,8 +47,10 @@ type TermStats struct {
 }
 
 // computeTermStats evaluates the term's score over every posting (exactly
-// what the indexing phase of the paper does) and summarizes.
-func computeTermStats(s *Shard, ti *TermInfo, k int) TermStats {
+// what the indexing phase of the paper does) and summarizes. The
+// materialized per-posting scores are returned alongside the statistics
+// so Finalize can build the block-max overlay from the same values.
+func computeTermStats(s *Shard, ti *TermInfo, k int) (TermStats, []float64) {
 	ps := ti.Postings
 	df := len(ps)
 	idf := math.Log(1 + (float64(s.NumDocs)-float64(df)+0.5)/(float64(df)+0.5))
@@ -132,7 +134,7 @@ func computeTermStats(s *Shard, ti *TermInfo, k int) TermStats {
 	// approximation overshooting the true max by ~76×).
 	st.EstMaxScore = idf * (s.BM25.K1 + 1) * float64(maxTF)
 
-	return st
+	return st, scores
 }
 
 // heapInsertions counts how many scores would enter a size-k min-heap when

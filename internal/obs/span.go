@@ -74,7 +74,11 @@ type DecisionRecord struct {
 	Boosted        []int          `json:"boosted,omitempty"`
 	Downclocked    []int          `json:"downclocked,omitempty"`
 	Dropped        []int          `json:"dropped,omitempty"`
-	Missing        []int          `json:"missing,omitempty"` // ISNs with no prediction (degraded)
+	// Truncated lists ISNs whose execution missed the budget but still
+	// answered with a truncated anytime result (filled in after the
+	// search legs complete, not by Algorithm 1 itself).
+	Truncated []int `json:"truncated,omitempty"`
+	Missing   []int `json:"missing,omitempty"` // ISNs with no prediction (degraded)
 	DegradedMode   string         `json:"degraded_mode,omitempty"`
 	DegradedReason string         `json:"degraded_reason,omitempty"`
 	Reports        []ReportRecord `json:"reports,omitempty"`
@@ -98,6 +102,11 @@ type ReportRecord struct {
 	Boosted       bool    `json:"boosted"`
 	Downclocked   bool    `json:"downclocked"`
 	Cut           bool    `json:"cut"`
+	// Truncated and ScoreBound describe an anytime leg that hit its
+	// budget: the answer is exact-but-partial, and no unseen document on
+	// the ISN scores above ScoreBound.
+	Truncated  bool    `json:"truncated,omitempty"`
+	ScoreBound float64 `json:"score_bound,omitempty"`
 }
 
 // TraceBuilder accumulates one query's spans. All methods are safe on a

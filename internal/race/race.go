@@ -1,0 +1,11 @@
+//go:build race
+
+// Package race reports whether the binary was built with the race
+// detector. Tests that assert zero steady-state allocations on
+// sync.Pool-backed paths consult it: the race-enabled runtime randomly
+// drops Pool.Put items to expose races, so pooled paths legitimately
+// allocate under -race and the assertions must be skipped, not loosened.
+package race
+
+// Enabled is true in binaries built with -race.
+const Enabled = true

@@ -43,6 +43,11 @@ type Aggregator struct {
 	// window; the first reply wins and the loser is cancelled. Zero
 	// disables hedging.
 	HedgeAfter time.Duration
+	// Anytime makes every budgeted search leg use the anytime traversal:
+	// ISNs that would overrun the budget answer with an exact truncated
+	// top-K and a score-bound certificate instead of erroring, and
+	// Result.Truncated lists the shards that did. Set before use.
+	Anytime bool
 	// Breakers, when set (EnableBreakers), holds one circuit breaker per
 	// client — per address, never per replica group, so a probe success
 	// on one replica cannot half-close a sibling's breaker. An ISN with
@@ -215,6 +220,9 @@ type Result struct {
 	// are missing from Hits (degraded but non-empty results, the
 	// behaviour a production aggregator prefers over failing the query).
 	Failed []int
+	// Truncated lists ISNs that answered with a deadline-terminated
+	// anytime result: their hits are exact but possibly incomplete.
+	Truncated []int
 	// TraceID identifies the query's recorded trace (0 when the
 	// aggregator has no observer); look it up in /debug/traces.
 	TraceID uint64
@@ -232,7 +240,7 @@ func nowUS() int64 { return time.Now().UnixMicro() }
 func (a *Aggregator) searchHedged(isn int, sc obs.SpanContext, terms []string, deadline time.Duration) (search.Result, []obs.Span, error) {
 	primary := a.Clients[isn]
 	if a.HedgeAfter <= 0 || primary.Addr() == "" {
-		return primary.SearchSpan(sc, terms, a.K, deadline)
+		return a.clientSearch(primary, sc, terms, deadline)
 	}
 	type outcome struct {
 		r     search.Result
@@ -242,7 +250,7 @@ func (a *Aggregator) searchHedged(isn int, sc obs.SpanContext, terms []string, d
 	}
 	ch := make(chan outcome, 2) // buffered: abandoned legs must not leak
 	go func() {
-		r, spans, err := primary.SearchSpan(sc, terms, a.K, deadline)
+		r, spans, err := a.clientSearch(primary, sc, terms, deadline)
 		ch <- outcome{r, spans, err, false}
 	}()
 
@@ -263,7 +271,7 @@ func (a *Aggregator) searchHedged(isn int, sc obs.SpanContext, terms []string, d
 			a.hedges.Inc()
 			inflight++
 			go func() {
-				r, spans, err := hc.SearchSpan(sc, terms, a.K, deadline)
+				r, spans, err := a.clientSearch(hc, sc, terms, deadline)
 				ch <- outcome{r, spans, err, true}
 			}()
 		}
@@ -295,6 +303,15 @@ func (a *Aggregator) searchHedged(isn int, sc obs.SpanContext, terms []string, d
 		a.hedgeWins.Inc()
 	}
 	return first.r, first.spans, first.err
+}
+
+// clientSearch issues one search round trip on c, anytime-flagged when
+// the aggregator is in anytime mode.
+func (a *Aggregator) clientSearch(c *Client, sc obs.SpanContext, terms []string, deadline time.Duration) (search.Result, []obs.Span, error) {
+	if a.Anytime {
+		return c.SearchAnytime(sc, terms, a.K, deadline)
+	}
+	return c.SearchSpan(sc, terms, a.K, deadline)
 }
 
 // finishTrace seals and records a query's trace, stamping its ID into
@@ -464,8 +481,10 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 	// missing.
 	budgetSpan := tb.StartSpan("budget", root.ID(), nowUS())
 	budget := core.DetermineBudgetDegraded(preds, len(missing), a.Ladder, core.BudgetOptions{}, a.Degraded)
+	var rec *obs.DecisionRecord
 	if a.Obs != nil {
-		budgetSpan.SetDecision(core.NewDecisionRecord(budget, preds, missing, a.Degraded, a.Ladder))
+		rec = core.NewDecisionRecord(budget, preds, missing, a.Degraded, a.Ladder)
+		budgetSpan.SetDecision(rec)
 	}
 	budgetSpan.End(nowUS())
 	res.BudgetMS = budget.BudgetMS
@@ -503,6 +522,29 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 	wg.Wait()
 	searchSpan.End(nowUS())
 	sort.Ints(res.Failed)
+
+	// Anytime legs that hit the budget: exact-but-partial answers. They
+	// are recorded on the result, and — when tracing — folded back into
+	// the decision record after the fact (the search legs, not Algorithm
+	// 1, discover truncation).
+	for li, asg := range budget.Selected {
+		leg := legs[li]
+		if leg.err != nil || !leg.terminated {
+			continue
+		}
+		res.Truncated = append(res.Truncated, asg.ISN)
+		if rec == nil {
+			continue
+		}
+		rec.Truncated = append(rec.Truncated, asg.ISN)
+		for ri := range rec.Reports {
+			if rec.Reports[ri].ISN == asg.ISN {
+				rec.Reports[ri].Truncated = true
+				rec.Reports[ri].ScoreBound = leg.bound
+			}
+		}
+	}
+	sort.Ints(res.Truncated)
 
 	mergeSpan := tb.StartSpan("merge", root.ID(), nowUS())
 	res.Hits = search.Merge(a.K, lists...)

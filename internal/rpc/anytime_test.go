@@ -1,0 +1,91 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+
+	"cottage/internal/obs"
+	"cottage/internal/search"
+)
+
+// TestSearchAnytimeOverWire: an anytime search with a generous deadline
+// must come back complete and bitwise-identical to a local evaluation;
+// the termination certificate must survive the wire either way.
+func TestSearchAnytimeOverWire(t *testing.T) {
+	sh := buildShard(t, 9)
+	addr, stop := startServer(t, sh, nil)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	terms := []string{"ga", "gb"}
+	r, _, err := c.SearchAnytime(obs.SpanContext{}, terms, 10, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Terminated {
+		t.Error("5s deadline on a 500-doc shard should not truncate")
+	}
+	want := search.Anytime(sh, terms, 10, nil)
+	if len(r.Hits) != len(want.Hits) {
+		t.Fatalf("remote %d hits, local %d", len(r.Hits), len(want.Hits))
+	}
+	for i := range r.Hits {
+		if r.Hits[i].Doc != want.Hits[i].Doc || r.Hits[i].Score != want.Hits[i].Score {
+			t.Fatalf("hit %d differs over the wire", i)
+		}
+	}
+	if r.ScoreBound != want.ScoreBound {
+		t.Errorf("ScoreBound %v lost over the wire (local %v)", r.ScoreBound, want.ScoreBound)
+	}
+
+	// A truncated answer (whenever the 1us deadline fires mid-shard) must
+	// still carry exact hits and a bound covering the full evaluation.
+	r, _, err = c.SearchAnytime(obs.SpanContext{}, terms, 10, time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Terminated {
+		if r.ScoreBound < want.ScoreBound {
+			t.Errorf("truncated bound %v below exact k-th %v", r.ScoreBound, want.ScoreBound)
+		}
+		for _, h := range r.Hits {
+			found := false
+			for _, w := range want.Hits {
+				if w.Doc == h.Doc && w.Score == h.Score {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("truncated hit %v not among the exact top-K", h)
+			}
+		}
+	}
+}
+
+// TestSearchAnytimeWithoutDeadlineFallsBack: Anytime requests without a
+// deadline take the ordinary strategy path — no certificate fields set.
+func TestSearchAnytimeWithoutDeadlineFallsBack(t *testing.T) {
+	sh := buildShard(t, 9)
+	addr, stop := startServer(t, sh, nil)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r, _, err := c.SearchAnytime(obs.SpanContext{}, []string{"ga"}, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Terminated || r.ScoreBound != 0 {
+		t.Errorf("deadline-free anytime call set certificate fields: %v %v", r.Terminated, r.ScoreBound)
+	}
+	if len(r.Hits) == 0 {
+		t.Error("no hits")
+	}
+}

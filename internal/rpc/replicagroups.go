@@ -165,6 +165,10 @@ type searchLeg struct {
 	hits      []search.Hit
 	ms        float64
 	err       error
+	// terminated/bound echo an anytime leg's certificate: exact but
+	// possibly incomplete hits, nothing unseen scoring above bound.
+	terminated bool
+	bound      float64
 }
 
 // searchShard runs one shard's search leg over its ranked replicas with
@@ -218,11 +222,16 @@ func (a *Aggregator) searchShard(shard int, tb *obs.TraceBuilder, parent *obs.Ac
 			spans[si].ISN = shard
 		}
 		tb.AddSpans(spans)
+		if r.Terminated {
+			leg.SetAttr("truncated", "true")
+			leg.SetAttr("score_bound", strconv.FormatFloat(r.ScoreBound, 'g', -1, 64))
+		}
 		leg.End(nowUS())
 		ms := float64(time.Since(legStart).Microseconds()) / 1000
 		a.tracker.Observe(ci, ms)
 		out.client, out.row, out.failovers = ci, row, sent-1
 		out.hits, out.ms = r.Hits, ms
+		out.terminated, out.bound = r.Terminated, r.ScoreBound
 		return out
 	}
 	if lastErr == nil {

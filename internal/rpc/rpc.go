@@ -75,6 +75,11 @@ type Request struct {
 	// server abandons result delivery past the deadline, mimicking
 	// budget-bounded ISN processing.
 	DeadlineUS int64
+	// Anytime asks the server to evaluate KindSearch with the anytime
+	// traversal: instead of abandoning a search that overruns DeadlineUS,
+	// the ISN stops at the deadline and returns its exact best-so-far
+	// top-K with the Terminated/ScoreBound certificate on the response.
+	Anytime bool
 	// Trace and Span propagate the aggregator's trace across the wire:
 	// Trace is the query's trace ID, Span the client-side span that
 	// parents whatever the server records. Zero means untraced — the
@@ -109,6 +114,11 @@ type Response struct {
 	Pred  predict.Prediction
 	Err   string
 	Code  Code
+	// Terminated and ScoreBound echo an anytime search's certificate:
+	// the hits are exact but possibly incomplete, and no unreturned
+	// document on this shard scores above ScoreBound.
+	Terminated bool
+	ScoreBound float64
 	// QueueDepth and AvgServiceUS ride on KindPredict responses: the
 	// ISN's current admission-queue occupancy and its EWMA service time.
 	// The aggregator turns them into the Eq. 2 equivalent-latency
@@ -375,6 +385,16 @@ func (s *Server) serve(req *Request) *Response {
 		// queue wait is latency).
 		if err := s.Limit.Acquire(time.Duration(req.DeadlineUS) * time.Microsecond); err != nil {
 			s.shed.Inc()
+			if req.Anytime && req.Kind == KindSearch && req.DeadlineUS > 0 {
+				if rem := time.Duration(req.DeadlineUS)*time.Microsecond - time.Since(arrived); rem > 0 {
+					// Shed with budget remaining: degrade to a truncated
+					// anytime answer instead of an outright rejection.
+					// The traversal stops at the remaining budget, so the
+					// work stays bounded — early termination is itself
+					// the load shedding the limiter wants.
+					return s.anytimeSearch(req, time.Now().Add(rem))
+				}
+			}
 			return &Response{ID: req.ID, Code: CodeOverloaded, Err: err.Error()}
 		}
 		queueWait = time.Since(arrived)
@@ -444,6 +464,9 @@ func (s *Server) dispatch(req *Request) *Response {
 	case KindPing:
 	case KindSearch:
 		start := time.Now()
+		if req.Anytime && req.DeadlineUS > 0 {
+			return s.anytimeSearch(req, start.Add(time.Duration(req.DeadlineUS)*time.Microsecond))
+		}
 		r := search.Eval(s.Strategy, s.Shard, req.Terms, req.K)
 		if req.DeadlineUS > 0 && time.Since(start).Microseconds() > req.DeadlineUS {
 			resp.Err = "deadline exceeded"
@@ -482,6 +505,19 @@ func (s *Server) dispatch(req *Request) *Response {
 		resp.Err = fmt.Sprintf("unknown request kind %d", req.Kind)
 	}
 	return resp
+}
+
+// anytimeSearch evaluates a search with the deadline-aware anytime
+// traversal: the wall clock is the injected budget, and the response
+// carries the termination flag and the score-bound quality certificate.
+func (s *Server) anytimeSearch(req *Request, deadline time.Time) *Response {
+	r := search.Anytime(s.Shard, req.Terms, req.K, func(search.ExecStats) bool {
+		return !time.Now().Before(deadline)
+	})
+	return &Response{
+		ID: req.ID, Hits: r.Hits, Stats: r.Stats,
+		Terminated: r.Terminated, ScoreBound: r.ScoreBound,
+	}
 }
 
 // RetryPolicy bounds the client's transport-level retries. Retries
@@ -731,13 +767,26 @@ func (c *Client) Search(terms []string, k int, deadline time.Duration) (search.R
 // request, and the server's spans (if it recorded any) come back for
 // grafting into the caller's trace. A zero sc disables both.
 func (c *Client) SearchSpan(sc obs.SpanContext, terms []string, k int, deadline time.Duration) (search.Result, []obs.Span, error) {
+	return c.searchCall(sc, terms, k, deadline, false)
+}
+
+// SearchAnytime is SearchSpan with the anytime flag: the server runs the
+// deadline-aware traversal, so a budget overrun comes back as an exact
+// truncated top-K (Result.Terminated, Result.ScoreBound) instead of a
+// "deadline exceeded" error.
+func (c *Client) SearchAnytime(sc obs.SpanContext, terms []string, k int, deadline time.Duration) (search.Result, []obs.Span, error) {
+	return c.searchCall(sc, terms, k, deadline, true)
+}
+
+func (c *Client) searchCall(sc obs.SpanContext, terms []string, k int, deadline time.Duration, anytime bool) (search.Result, []obs.Span, error) {
 	resp, err := c.call(&Request{
 		Kind: KindSearch, Terms: terms, K: k, DeadlineUS: deadline.Microseconds(),
-		Trace: sc.Trace, Span: sc.Parent})
+		Anytime: anytime, Trace: sc.Trace, Span: sc.Parent})
 	if err != nil {
 		return search.Result{}, nil, err
 	}
-	return search.Result{Hits: resp.Hits, Stats: resp.Stats}, resp.Spans, nil
+	return search.Result{Hits: resp.Hits, Stats: resp.Stats,
+		Terminated: resp.Terminated, ScoreBound: resp.ScoreBound}, resp.Spans, nil
 }
 
 // Phrase evaluates an exact-phrase query on the remote (positional)

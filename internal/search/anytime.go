@@ -1,0 +1,185 @@
+package search
+
+import (
+	"sync"
+
+	"cottage/internal/index"
+)
+
+// Anytime ranking on a document-ordered index, after Mackenzie, Petri &
+// Moffat: the shard's document space is tiled into ranges, each range's
+// score upper bound is derived from the block-max overlay, and a DAAT
+// merge visits ranges in descending-bound order so the highest-scoring
+// regions are evaluated first. The traversal checks an injectable budget
+// between ranges; when it fires, the best-so-far top-K is returned with a
+// certificate bounding how much better the unseen remainder could be.
+// Everything about the traversal is deterministic — range order, scoring
+// order, tie-breaks — so the engine's simulated twin replays it exactly.
+
+// Deadline is an injectable budget predicate: it is consulted between
+// ranges with the work performed so far and returns true once the budget
+// is exhausted. A nil Deadline never expires. The twin passes a
+// cycle-budget closure over the cost model (virtual time); the live rpc
+// server passes a wall-clock check.
+type Deadline func(st ExecStats) bool
+
+// anytimeRanges is how many document ranges the shard is tiled into: the
+// granularity of both the priority order and the deadline check.
+const anytimeRanges = 64
+
+// anytimeScratch is the pooled per-evaluation workspace so steady-state
+// Anytime evaluation allocates nothing beyond the shared cursor/topK
+// machinery.
+type anytimeScratch struct {
+	termMax []float64
+	bounds  []float64
+	order   []int
+}
+
+var anytimePool = sync.Pool{New: func() any { return new(anytimeScratch) }}
+
+func (sc *anytimeScratch) resize(n int) (termMax, bounds []float64, order []int) {
+	if cap(sc.termMax) < n {
+		sc.termMax = make([]float64, n)
+		sc.bounds = make([]float64, n)
+		sc.order = make([]int, n)
+	}
+	termMax, bounds, order = sc.termMax[:n], sc.bounds[:n], sc.order[:n]
+	for i := 0; i < n; i++ {
+		bounds[i] = 0
+	}
+	return termMax, bounds, order
+}
+
+// Anytime evaluates the query like Exhaustive but under a deadline: exact
+// scoring, best-first over document ranges, early termination with a
+// quality certificate. With a nil (infinite) deadline the result is
+// bitwise-identical to Exhaustive — same documents, same score bits, same
+// order — because ranges partition the document space, every candidate is
+// scored in canonical slab order, and the top-K heap's final contents are
+// insertion-order independent.
+func Anytime(s *index.Shard, terms []string, k int, deadline Deadline) Result {
+	set := openCursorSet(s, terms)
+	defer set.put()
+	cs := set.cs
+	var st ExecStats
+	st.TermsMatched = len(cs)
+	if len(cs) == 0 || k <= 0 {
+		return Result{Stats: st}
+	}
+
+	// Tile the document space into equal ranges and bound each range:
+	// per term, the range's bound is the largest Max of any overlapping
+	// block-max block; per range, term bounds are summed in slab order.
+	// Floating-point addition of non-negative values is monotone in each
+	// operand and a document's real score sums a subset of the same terms
+	// in the same order (absent terms contribute an exact +0.0), so
+	// bounds[r] >= score(d) holds bitwise for every document d in range r.
+	width := (s.NumDocs + anytimeRanges - 1) / anytimeRanges
+	nr := (s.NumDocs + width - 1) / width
+	sc := anytimePool.Get().(*anytimeScratch)
+	defer anytimePool.Put(sc)
+	termMax, bounds, order := sc.resize(nr)
+	for _, c := range cs { // cs is slab order here: Anytime never sorts it
+		for i := range termMax {
+			termMax[i] = 0
+		}
+		start := uint32(0)
+		for _, blk := range c.ti.Blocks {
+			rLo := int(start) / width
+			rHi := int(blk.MaxDoc) / width
+			for r := rLo; r <= rHi; r++ {
+				if blk.Max > termMax[r] {
+					termMax[r] = blk.Max
+				}
+			}
+			start = blk.MaxDoc + 1
+		}
+		for r := range bounds {
+			bounds[r] += termMax[r]
+		}
+	}
+
+	// Priority order: descending bound, ties toward the lower range index.
+	// Insertion sort keeps this allocation-free (nr <= 64).
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < nr; i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j], order[j-1]
+			if bounds[a] > bounds[b] || (bounds[a] == bounds[b] && a < b) {
+				order[j], order[j-1] = b, a
+			} else {
+				break
+			}
+		}
+	}
+
+	tk := newTopK(k)
+	terminated := false
+	remBound := 0.0
+	for _, r := range order {
+		if bounds[r] < tk.threshold() {
+			// No unvisited document can enter the top-K (strict <: an
+			// exact tie could still displace a larger doc ID). Ranges are
+			// in descending bound order, so the result is now exact.
+			break
+		}
+		if deadline != nil && deadline(st) {
+			terminated = true
+			remBound = bounds[r] // the largest unvisited bound
+			break
+		}
+		dLo := uint32(r * width)
+		dHi := uint32(s.NumDocs)
+		if hi := (r + 1) * width; hi < s.NumDocs {
+			dHi = uint32(hi)
+		}
+		// Ranges are visited out of document order: reposition every
+		// cursor at the range start (a seek counts as one traversal).
+		for _, c := range cs {
+			c.pos = index.Seek(c.ti.Postings, dLo)
+			st.PostingsTraversed++
+		}
+		for {
+			minDoc := uint32(0)
+			live := false
+			for _, c := range cs {
+				if c.exhausted() || c.doc() >= dHi {
+					continue
+				}
+				if !live || c.doc() < minDoc {
+					minDoc = c.doc()
+					live = true
+				}
+			}
+			if !live {
+				break
+			}
+			// Summing in cs (slab) order makes the score canonical.
+			score := 0.0
+			for _, c := range cs {
+				if !c.exhausted() && c.doc() == minDoc {
+					score += s.TermScore(c.ti, c.posting())
+					c.pos++
+					st.PostingsTraversed++
+				}
+			}
+			st.DocsScored++
+			if tk.offer(minDoc, score) {
+				st.HeapInserts++
+			}
+		}
+	}
+
+	kth := 0.0
+	if len(tk.h) == tk.k {
+		kth = tk.h[0].Score
+	}
+	bound := kth
+	if terminated && remBound > bound {
+		bound = remBound
+	}
+	return Result{Hits: tk.hits(s), Stats: st, Terminated: terminated, ScoreBound: bound}
+}

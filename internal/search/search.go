@@ -48,6 +48,15 @@ func (s *ExecStats) Add(other ExecStats) {
 type Result struct {
 	Hits  []Hit // descending score, ties broken by ascending doc ID
 	Stats ExecStats
+	// Terminated reports that the evaluation stopped at a deadline before
+	// visiting every promising region (only Anytime sets it). The hits are
+	// still exactly scored; the set may just be incomplete.
+	Terminated bool
+	// ScoreBound is the quality certificate: an upper bound on the true
+	// k-th best score in the shard. When Terminated is false the result is
+	// exact and ScoreBound equals the k-th returned score (or 0 with fewer
+	// than k matches); when true, no missing document can beat it.
+	ScoreBound float64
 }
 
 // Evaluator is a query evaluation strategy over one shard.
@@ -173,16 +182,19 @@ func openCursorSet(s *index.Shard, terms []string) *cursorSet {
 func (x *cursorSet) put() { cursorPool.Put(x) }
 
 // canonicalScore computes a document's full score by summing term
-// contributions in a fixed (cursor-slice) order, so that every evaluation
+// contributions in slab (term-appearance) order, so that every evaluation
 // strategy assigns bitwise-identical scores to the same document and the
-// pruning strategies return exactly the exhaustive top-K.
-func canonicalScore(s *index.Shard, cs []*cursor, doc uint32) float64 {
+// pruning strategies return exactly the exhaustive top-K. The slab is
+// iterated rather than the cs pointer slice because MaxScore and WAND
+// reorder cs; the slab always keeps the order Exhaustive sums in.
+func canonicalScore(s *index.Shard, set *cursorSet, doc uint32) float64 {
 	score := 0.0
-	for _, c := range cs {
-		ps := c.ti.Postings
-		i := index.Seek(ps, doc)
-		if i < len(ps) && ps[i].Doc == doc {
-			score += s.TermScore(c.ti, ps[i])
+	for i := range set.slab {
+		ti := set.slab[i].ti
+		ps := ti.Postings
+		j := index.Seek(ps, doc)
+		if j < len(ps) && ps[j].Doc == doc {
+			score += s.TermScore(ti, ps[j])
 		}
 	}
 	return score
@@ -305,7 +317,7 @@ func MaxScore(s *index.Shard, terms []string, k int) Result {
 		if ok && score > theta {
 			// Re-score canonically so ties and float ordering match the
 			// exhaustive evaluator exactly.
-			if tk.offer(minDoc, canonicalScore(s, cs, minDoc)) {
+			if tk.offer(minDoc, canonicalScore(s, set, minDoc)) {
 				st.HeapInserts++
 			}
 		}
@@ -371,7 +383,7 @@ func WAND(s *index.Shard, terms []string, k int) Result {
 			}
 			st.DocsScored++
 			if score > theta {
-				if tk.offer(pivotDoc, canonicalScore(s, cs, pivotDoc)) {
+				if tk.offer(pivotDoc, canonicalScore(s, set, pivotDoc)) {
 					st.HeapInserts++
 				}
 			}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		line string
+		pkg  string
+		pct  float64
+		ok   bool
+	}{
+		{"ok  \tcottage/internal/index\t0.41s\tcoverage: 85.2% of statements", "cottage/internal/index", 85.2, true},
+		{"ok  \tcottage/internal/search\t1.1s\tcoverage: 100.0% of statements", "cottage/internal/search", 100, true},
+		{"ok  \tcottage/internal/par\t0.2s", "", 0, false},
+		{"?   \tcottage/tools/covergate\t[no test files]", "", 0, false},
+		{"FAIL\tcottage/internal/rpc\t0.3s", "", 0, false},
+		{"", "", 0, false},
+		{"ok  \tpkg\t0.1s\tcoverage: bogus% of statements", "", 0, false},
+	}
+	for _, c := range cases {
+		pkg, pct, ok := parseLine(c.line)
+		if ok != c.ok || pkg != c.pkg || pct != c.pct {
+			t.Errorf("parseLine(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.line, pkg, pct, ok, c.pkg, c.pct, c.ok)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"log"
@@ -53,6 +54,21 @@ func writeCorpus(dir string, entries map[string][]byte) {
 	}
 }
 
+// anytimeEntry lays out one FuzzAnytimeDeadline input. It mirrors
+// decodeAnytimeFuzz in internal/search/fuzz_test.go: 8-byte shard seed,
+// k byte, two LE budgets (second is an increment over the first), a
+// term-count byte, then one term-index byte per term (0 means absent).
+func anytimeEntry(seed uint64, k byte, b1, extra uint16, termIdx ...byte) []byte {
+	data := make([]byte, 14+len(termIdx))
+	binary.LittleEndian.PutUint64(data[0:8], seed)
+	data[8] = k
+	binary.LittleEndian.PutUint16(data[9:11], b1)
+	binary.LittleEndian.PutUint16(data[11:13], extra)
+	data[13] = byte(len(termIdx) - 1)
+	copy(data[14:], termIdx)
+	return data
+}
+
 func main() {
 	reqValid := encode(
 		&rpc.Request{Kind: rpc.KindSearch, ID: 1, Terms: []string{"ga", "gb"}, K: 10, DeadlineUS: 5000},
@@ -95,5 +111,18 @@ func main() {
 		"header":    respValid[:9],
 		"corrupted": corrupt(respValid),
 	})
-	fmt.Println("corpus written under internal/rpc/testdata/fuzz")
+	writeCorpus("internal/search/testdata/fuzz/FuzzAnytimeDeadline", map[string][]byte{
+		// Budget 0: the deadline fires before any range — the empty
+		// truncated answer whose bound must still cover the shard.
+		"zero-budget": anytimeEntry(1, 9, 0, 0, 5, 10),
+		// A budget beyond any shard's posting count: must be bitwise
+		// exhaustive with Terminated=false.
+		"exhaustive": anytimeEntry(42, 9, 0xffff, 0xffff, 1, 2, 3),
+		// Mid-traversal truncations at two nearby budgets exercise the
+		// monotone-quality comparison where it can actually differ.
+		"truncated": anytimeEntry(7, 4, 40, 25, 3, 3, 0, 17),
+		// Absent-only query on the largest seed the decoder folds to.
+		"absent": anytimeEntry(1023, 24, 100, 1, 0),
+	})
+	fmt.Println("corpus written under internal/rpc/testdata/fuzz and internal/search/testdata/fuzz")
 }
