@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke overload-smoke obs-smoke chaos-smoke bench bench-smoke corpus check clean
+.PHONY: all build vet test race fuzz-smoke overload-smoke obs-smoke chaos-smoke autoscale-smoke bench bench-smoke corpus check clean
 
 all: build
 
@@ -31,6 +31,7 @@ fuzz-smoke:
 	$(GO) test ./internal/rpc/ -run '^$$' -fuzz FuzzValidateRequest -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/replica/ -run '^$$' -fuzz FuzzReplicaSelect -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/search/ -run '^$$' -fuzz FuzzAnytimeDeadline -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
 
 # The overload sweep (bounded admission queues at 1x-4x load) on the
 # quick-scale setup: shed rates grow with load while the admitted p99
@@ -54,6 +55,14 @@ obs-smoke:
 chaos-smoke:
 	$(GO) test -race ./internal/harness -run TestChaosSmoke -count=1 -timeout 10m
 
+# Closed-loop capacity gate on the quick-scale twin: under a flash-crowd
+# trace the controller must hold the p99 SLO on fewer machine-hours than
+# the smallest adequate fixed fleet, and predictive hedging must match
+# the fixed-delay tail at a measurably lower hedge rate. Both replays
+# are deterministic in virtual time.
+autoscale-smoke:
+	$(GO) test ./internal/harness -run 'TestAutoscaleSweepCurves|TestHedgingSweepCurves' -count=1 -timeout 10m
+
 # Full perf-regression sweep: every figure benchmark plus the pruning
 # and per-query evaluation benches, recorded to $(BENCHOUT) via
 # tools/benchjson so the baseline can be checked in and diffed. ~30 min.
@@ -74,14 +83,16 @@ corpus:
 	$(GO) run ./tools/gencorpus
 
 # Per-package statement coverage with a hard floor on the query
-# evaluation core: the anytime/block-max machinery is exactness-critical,
-# so internal/search and internal/index must stay at >= $(COVERFLOOR)%.
+# evaluation core and the capacity planner: the anytime/block-max
+# machinery is exactness-critical and the autoscale loop sizes the
+# fleet, so internal/{search,index,autoscale} must stay at
+# >= $(COVERFLOOR)%.
 COVERFLOOR ?= 85
 cover:
 	$(GO) test -cover ./... | $(GO) run ./tools/covergate -floor $(COVERFLOOR) \
-		-require cottage/internal/search,cottage/internal/index
+		-require cottage/internal/search,cottage/internal/index,cottage/internal/autoscale
 
-check: vet build race fuzz-smoke overload-smoke obs-smoke chaos-smoke bench-smoke cover
+check: vet build race fuzz-smoke overload-smoke obs-smoke chaos-smoke autoscale-smoke bench-smoke cover
 
 clean:
 	$(GO) clean ./...

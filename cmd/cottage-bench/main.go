@@ -35,6 +35,11 @@ func main() {
 		csvDir     = flag.String("csv", "", "export raw per-query outcomes of the policy comparison to CSVs in this directory")
 		debugAddr  = flag.String("debug-addr", "", "HTTP debug listener for the simulated twin (/metrics, /debug/traces); empty = off")
 		replicas   = flag.Int("replicas", 1, "replicas per shard in the simulated twin (the replication extra sweeps its own factors)")
+		sloP99MS   = flag.Float64("slo-p99-ms", harness.AutoscaleSLOp99MS, "p99 latency SLO the autoscale extra provisions for")
+		replanMS   = flag.Float64("replan-interval-ms", harness.AutoscaleReplanIntervalMS, "closed-loop replan cadence in virtual ms")
+		cooldownMS = flag.Float64("scale-cooldown-ms", harness.AutoscaleScaleCooldownMS, "scale-down cooldown in virtual ms (0 = 3x the replan interval)")
+		hedgePred  = flag.Bool("hedge-predictive", false, "hedge twin legs at dispatch when the predicted leg latency crosses -hedge-threshold-ms (instead of a fixed timer)")
+		hedgeThMS  = flag.Float64("hedge-threshold-ms", 0, "predicted leg latency (ms) above which -hedge-predictive duplicates a leg")
 	)
 	flag.Parse()
 
@@ -61,6 +66,21 @@ func main() {
 		log.Fatalf("-replicas %d < 1", *replicas)
 	}
 	cfg.EngineCfg.Cluster.Replicas = *replicas
+	if *sloP99MS <= 0 {
+		log.Fatalf("-slo-p99-ms %v <= 0", *sloP99MS)
+	}
+	if *replanMS <= 0 {
+		log.Fatalf("-replan-interval-ms %v <= 0", *replanMS)
+	}
+	if *cooldownMS < 0 {
+		log.Fatalf("-scale-cooldown-ms %v < 0", *cooldownMS)
+	}
+	harness.AutoscaleSLOp99MS = *sloP99MS
+	harness.AutoscaleReplanIntervalMS = *replanMS
+	harness.AutoscaleScaleCooldownMS = *cooldownMS
+	if *hedgePred && *hedgeThMS <= 0 {
+		log.Fatal("-hedge-predictive needs -hedge-threshold-ms > 0")
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -80,6 +100,16 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("setup ready in %v", time.Since(start).Round(time.Millisecond))
+	if *hedgePred {
+		// Arm predictive hedging on the shared twin. Replicated runs need
+		// somewhere to send the duplicate, so insist on a replicated fleet
+		// rather than silently never hedging.
+		if *replicas < 2 {
+			log.Fatal("-hedge-predictive needs -replicas >= 2")
+		}
+		s.Engine.HedgePredictive = true
+		s.Engine.HedgeThresholdMS = *hedgeThMS
+	}
 
 	if *debugAddr != "" {
 		// The simulated twin shares the live transport's observability

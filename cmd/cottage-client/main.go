@@ -55,6 +55,8 @@ func main() {
 		compare   = flag.Bool("compare", false, "run both protocols and report overlap")
 		retries   = flag.Int("retries", 2, "transport retries per request (reconnect + capped exponential backoff)")
 		hedgeMS   = flag.Float64("hedge-after-ms", 0, "issue a hedged duplicate request after this many ms (0 = off)")
+		hedgePred = flag.Bool("hedge-predictive", false, "hedge from the latency prediction instead of a fixed timer: legs whose queue-corrected prediction exceeds -hedge-threshold-ms are duplicated at dispatch, the rest never (cottage mode only)")
+		hedgeThMS = flag.Float64("hedge-threshold-ms", 0, "predicted queue-inclusive latency above which a predictive hedge fires, in ms")
 		timeoutMS = flag.Float64("timeout-ms", 2000, "per-round-trip timeout in ms (0 = none)")
 		degraded  = flag.String("degraded", "exclude", "budget policy for ISNs with missing predictions: exclude|conservative")
 		brkN      = flag.Int("breaker-threshold", 3, "open an ISN's circuit breaker after this many consecutive transport failures (0 = off)")
@@ -123,6 +125,11 @@ func main() {
 		log.Printf("%d shards x replica groups over %d servers", len(groups), len(clients))
 	}
 	agg.HedgeAfter = time.Duration(*hedgeMS * float64(time.Millisecond))
+	agg.HedgePredictive = *hedgePred
+	agg.HedgeThresholdMS = *hedgeThMS
+	if *hedgePred && *hedgeThMS <= 0 {
+		log.Fatal("-hedge-predictive needs -hedge-threshold-ms > 0")
+	}
 	agg.Anytime = *anytime
 	if *debugAddr != "" || *traceOut != "" {
 		agg.Obs = obs.NewObserver(len(clients), 512)

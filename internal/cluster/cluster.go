@@ -160,6 +160,21 @@ type ISN struct {
 	// lets an ISN serve that many queries concurrently (each worker is
 	// one core for power accounting).
 	freeAtMS []float64
+	// active marks the node as accepting new work. The autoscaler
+	// deactivates replica rows it scales away; a deactivated node drains
+	// its backlog (offAtMS) and then stops costing idle power.
+	active bool
+	// offAtMS is when a deactivated node actually powers down: the later
+	// of the deactivation instant and its queue drain. +Inf while active.
+	offAtMS float64
+	// defectMS is a rolling estimate of this node's per-request latency
+	// defect — observed service time beyond what the cost model predicts
+	// (injected straggler delay, chaos slowdowns). It is the twin's
+	// counterpart of the live path's replica.Tracker service EWMA: Eq. 2
+	// cannot see a silent straggler whose queue happens to be empty, but
+	// its history can. Predictive hedging adds it to the predicted leg
+	// latency.
+	defectMS float64
 	// Totals for reporting.
 	BusyMS        float64
 	QueriesServed int
@@ -218,7 +233,18 @@ type Cluster struct {
 	// control admits over-queue requests that can still start before
 	// their deadline instead of shedding them outright.
 	Anytime bool
-	nowMS   float64 // latest event time observed, for horizon accounting
+	// dynamic enables machine-time power accounting (Config
+	// .DynamicMachines): the idle floor integrates over each node's
+	// actual powered-on interval instead of charging the full R× fleet
+	// for the whole horizon, so an autoscaler's scale-downs show up as
+	// saved watts and machine-hours.
+	dynamic bool
+	// accruedToMS is how far along the virtual-time axis machine time
+	// has been integrated (dynamic mode only).
+	accruedToMS float64
+	// machineNodeMS is the integrated powered-on node time (node·ms).
+	machineNodeMS float64
+	nowMS         float64 // latest event time observed, for horizon accounting
 }
 
 // Config assembles a Cluster.
@@ -232,10 +258,10 @@ type Config struct {
 	// box.
 	Replicas int
 	Ladder   Ladder
-	Cost    CostModel
-	Net     Network
-	Power   power.Model
-	InferMS float64
+	Cost     CostModel
+	Net      Network
+	Power    power.Model
+	InferMS  float64
 	// SpeedFactors optionally sets per-shard service-time multipliers
 	// (heterogeneous fleet). Missing or non-positive entries default to 1.
 	// Replicas of one shard share its factor — they index the same
@@ -252,6 +278,12 @@ type Config struct {
 	MaxQueueMS float64
 	// Anytime enables truncated (best-so-far) answers on deadline misses.
 	Anytime bool
+	// DynamicMachines switches power accounting to integrated machine
+	// time so SetActiveReplicas can scale replica rows up and down
+	// mid-run: only powered-on nodes pay the idle floor, and MachineMS
+	// reports the fleet's machine-time bill. Without it the cluster
+	// behaves exactly as before (all R rows on for the whole horizon).
+	DynamicMachines bool
 }
 
 // DefaultConfig returns a 16-ISN cluster matching the paper's deployment.
@@ -279,7 +311,9 @@ func New(cfg Config) *Cluster {
 		r = 1
 	}
 	pw := cfg.Power
-	pw.IdleWatts *= float64(r) // R replica rows = R× the idle hardware
+	if !cfg.DynamicMachines {
+		pw.IdleWatts *= float64(r) // R replica rows = R× the idle hardware
+	}
 	c := &Cluster{
 		Ladder:        cfg.Ladder,
 		Cost:          cfg.Cost,
@@ -289,7 +323,13 @@ func New(cfg Config) *Cluster {
 		FailTimeoutMS: cfg.FailTimeoutMS,
 		MaxQueueMS:    cfg.MaxQueueMS,
 		Anytime:       cfg.Anytime,
+		dynamic:       cfg.DynamicMachines,
 		topo:          replica.Topology{Shards: cfg.NumISNs, R: r},
+	}
+	if c.dynamic {
+		// The idle floor is integrated per replica row (IdleWatts is the
+		// per-row package floor; a row is Shards nodes).
+		c.Meter.SetDynamicIdle(true)
 	}
 	if c.FailTimeoutMS <= 0 {
 		c.FailTimeoutMS = 100
@@ -304,7 +344,8 @@ func New(cfg Config) *Cluster {
 		if shard < len(cfg.SpeedFactors) && cfg.SpeedFactors[shard] > 0 {
 			speed = cfg.SpeedFactors[shard]
 		}
-		c.ISNs = append(c.ISNs, &ISN{ID: i, SpeedFactor: speed, freeAtMS: make([]float64, workers)})
+		c.ISNs = append(c.ISNs, &ISN{ID: i, SpeedFactor: speed,
+			freeAtMS: make([]float64, workers), active: true, offAtMS: math.Inf(1)})
 	}
 	return c
 }
@@ -399,8 +440,11 @@ func (c *Cluster) rankShard(shard int, tMS float64) []int {
 	cands := make([]replica.Candidate, len(group))
 	for i, n := range group {
 		cands[i] = replica.Candidate{
-			ID:        n,
-			Failed:    c.nodeDead(n),
+			ID: n,
+			// A deactivated (scaled-away) replica is as unselectable as a
+			// dead one: it is draining toward power-off and takes no new
+			// work.
+			Failed:    c.nodeDead(n) || !c.ISNs[n].active,
 			Healthy:   true,
 			ServiceMS: c.QueueDelayMS(n, tMS),
 		}
@@ -441,6 +485,28 @@ func (c *Cluster) ShardEquivalentLatencyMS(shard int, tMS, predictedCycles, f fl
 	return c.EquivalentLatencyMS(n, tMS, predictedCycles, f)
 }
 
+// defectAlpha smooths the per-node latency-defect EWMA: heavy enough
+// that a persistent straggler is flagged within a handful of requests,
+// light enough that one chaos slowdown does not brand a healthy node.
+const defectAlpha = 0.25
+
+// NodeDefectMS returns the node's rolling latency-defect estimate: the
+// observed per-request service time beyond the cost model's prediction.
+func (c *Cluster) NodeDefectMS(isn int) float64 { return c.ISNs[isn].defectMS }
+
+// ShardPredictedLegMS is the predictive-hedging signal for one search
+// leg: Eq. 2's equivalent latency on the shard's selected replica plus
+// that replica's observed latency defect. The defect term is what lets
+// the prediction flag a silent straggler — a limping node with an empty
+// queue looks fine to Eq. 2 but not to its own service history.
+func (c *Cluster) ShardPredictedLegMS(shard int, tMS, predictedCycles, f float64) float64 {
+	n := c.SelectReplica(shard, tMS)
+	if n < 0 {
+		return math.Inf(1)
+	}
+	return c.EquivalentLatencyMS(n, tMS, predictedCycles, f) + c.ISNs[n].defectMS
+}
+
 // SetExtraDelayMS injects a per-request virtual-time slowdown on an ISN.
 func (c *Cluster) SetExtraDelayMS(isn int, ms float64) { c.ISNs[isn].ExtraDelayMS = ms }
 
@@ -464,9 +530,129 @@ func (c *Cluster) NowMS() float64 { return c.nowMS }
 
 // observe advances the cluster's notion of the horizon.
 func (c *Cluster) observe(tMS float64) {
+	c.accrueTo(tMS)
 	if tMS > c.nowMS {
 		c.nowMS = tMS
 	}
+}
+
+// accrueTo integrates powered-on node time along the virtual-time axis
+// up to tMS (dynamic-machines mode only). A deactivated node counts
+// until its offAtMS — deactivation drains before it powers down. The
+// integration advances monotonically: events that land behind the
+// accrual point (a finish time already seen) add nothing.
+func (c *Cluster) accrueTo(tMS float64) {
+	if !c.dynamic || tMS <= c.accruedToMS {
+		return
+	}
+	nodeMS := 0.0
+	for _, n := range c.ISNs {
+		end := tMS
+		if !n.active && n.offAtMS < end {
+			end = n.offAtMS
+		}
+		if end > c.accruedToMS {
+			nodeMS += end - c.accruedToMS
+		}
+	}
+	c.machineNodeMS += nodeMS
+	// IdleWatts is calibrated per replica row (= Shards nodes).
+	c.Meter.AddIdleMachineMS(nodeMS/float64(c.topo.Shards), 1)
+	c.accruedToMS = tMS
+}
+
+// ActiveReplicas returns how many of a shard's replica rows currently
+// accept new work.
+func (c *Cluster) ActiveReplicas(shard int) int {
+	n := 0
+	for _, node := range c.topo.Group(shard) {
+		if c.ISNs[node].active {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalActiveNodes returns the number of powered-on, work-accepting
+// nodes across the fleet.
+func (c *Cluster) TotalActiveNodes() int {
+	n := 0
+	for _, node := range c.ISNs {
+		if node.active {
+			n++
+		}
+	}
+	return n
+}
+
+// SetActiveReplicas scales a shard to r active replica rows at virtual
+// time tMS, clamped to [1, R]. Scaling down deactivates the highest
+// rows first; a deactivated node stops receiving new work immediately
+// but drains its queued backlog before powering down (graceful drain —
+// its in-flight responses still arrive, and its idle power runs until
+// the drain completes). Scaling up reactivates rows instantly; the
+// twin's stand-in for a machine whose spin-up latency is below the
+// replan cadence. No-op outside dynamic-machines mode.
+func (c *Cluster) SetActiveReplicas(shard, r int, tMS float64) {
+	if !c.dynamic {
+		return
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > c.topo.R {
+		r = c.topo.R
+	}
+	c.accrueTo(tMS)
+	group := c.topo.Group(shard)
+	for row, nodeID := range group {
+		n := c.ISNs[nodeID]
+		if row < r {
+			if !n.active {
+				n.active = true
+				n.offAtMS = math.Inf(1)
+			}
+			continue
+		}
+		if n.active {
+			n.active = false
+			drainEnd := tMS
+			for _, free := range n.freeAtMS {
+				if free > drainEnd {
+					drainEnd = free
+				}
+			}
+			n.offAtMS = drainEnd
+		}
+	}
+}
+
+// SetAllActiveReplicas applies SetActiveReplicas to every shard.
+func (c *Cluster) SetAllActiveReplicas(r int, tMS float64) {
+	for s := 0; s < c.topo.Shards; s++ {
+		c.SetActiveReplicas(s, r, tMS)
+	}
+}
+
+// MachineMS returns the fleet's integrated machine time in node·ms —
+// the machine-hours bill an autoscaled run is judged by. In static
+// mode every node is on for the whole horizon.
+func (c *Cluster) MachineMS() float64 {
+	if !c.dynamic {
+		return c.nowMS * float64(len(c.ISNs))
+	}
+	// Include the un-accrued tail and pending drains up to the horizon.
+	tail := 0.0
+	for _, n := range c.ISNs {
+		end := c.nowMS
+		if !n.active && n.offAtMS < end {
+			end = n.offAtMS
+		}
+		if end > c.accruedToMS {
+			tail += end - c.accruedToMS
+		}
+	}
+	return c.machineNodeMS + tail
 }
 
 // QueueDelayMS returns how long a request arriving at the ISN at tMS
@@ -583,6 +769,7 @@ func (c *Cluster) Execute(isn int, tMS, cycles, f, deadlineMS float64) Execution
 		start = node.freeAtMS[worker]
 	}
 	full := ServiceMS(cycles, f) + node.ExtraDelayMS + injDelayMS
+	node.defectMS += defectAlpha * ((node.ExtraDelayMS + injDelayMS) - node.defectMS)
 	finish := start + full
 	busy := full
 	completed := true
@@ -668,6 +855,71 @@ func (c *Cluster) ExecuteShard(shard int, tMS, cycles, f, deadlineMS float64) Ex
 	return last
 }
 
+// HedgeResult reports what the hedging layer did for one shard request.
+type HedgeResult struct {
+	// Hedged is true when a duplicate copy of the request was sent.
+	Hedged bool
+	// Won is true when the hedge's response reached the aggregator
+	// strictly before the primary's (ties go to the primary).
+	Won bool
+	// DuplicateMS is the busy time the losing copy burned — pure waste,
+	// the cost side of the hedging trade. The twin models no
+	// cancellation, so the full duplicate service time is charged; real
+	// deployments that cancel the loser would waste less, making this an
+	// upper bound that keeps the duplicate-work cost visible.
+	DuplicateMS float64
+}
+
+// ExecuteShardHedged is ExecuteShard plus hedged requests: if the
+// primary attempt's response would reach the aggregator later than
+// tMS + hedgeDelayMS, a full duplicate is sent at that instant to the
+// shard's next-best active live replica, and the earlier response wins.
+// hedgeDelayMS = 0 models predictive hedging (the caller already
+// decided this request looks like a straggler, so the duplicate goes
+// out immediately); hedgeDelayMS < 0 or +Inf disables hedging. Both
+// copies' work and power are charged — see HedgeResult.DuplicateMS.
+func (c *Cluster) ExecuteShardHedged(shard int, tMS, cycles, f, deadlineMS, hedgeDelayMS float64) (Execution, HedgeResult) {
+	primary := c.ExecuteShard(shard, tMS, cycles, f, deadlineMS)
+	var hr HedgeResult
+	if hedgeDelayMS < 0 || math.IsInf(hedgeDelayMS, 1) {
+		return primary, hr
+	}
+	if primary.Failed || primary.Shed || primary.Dropped {
+		// ExecuteShard already burned through the group's failover legs;
+		// there is no healthier sibling left for a hedge to reach.
+		return primary, hr
+	}
+	hedgeAt := tMS + hedgeDelayMS
+	if c.ResponseAtAggregatorMS(primary) <= hedgeAt {
+		return primary, hr // primary answered before the hedge timer fired
+	}
+	// Next-best active live replica, excluding the primary's server.
+	hedgeNode := -1
+	for _, n := range c.rankShard(shard, hedgeAt) {
+		if n != primary.ISN {
+			hedgeNode = n
+			break
+		}
+	}
+	if hedgeNode < 0 {
+		return primary, hr // R=1 or siblings all down: nowhere to hedge
+	}
+	hr.Hedged = true
+	hedge := c.Execute(hedgeNode, hedgeAt, cycles, f, deadlineMS)
+	if hedge.Failed || hedge.Shed || hedge.Dropped {
+		hr.DuplicateMS = hedge.ServiceMS
+		return primary, hr
+	}
+	if c.ResponseAtAggregatorMS(hedge) < c.ResponseAtAggregatorMS(primary) {
+		hr.Won = true
+		hr.DuplicateMS = primary.ServiceMS
+		hedge.Failovers = primary.Failovers
+		return hedge, hr
+	}
+	hr.DuplicateMS = hedge.ServiceMS
+	return primary, hr
+}
+
 // ResponseAtAggregatorMS is when the aggregator holds the ISN's response.
 func (c *Cluster) ResponseAtAggregatorMS(e Execution) float64 {
 	return e.FinishMS + c.Net.AggToISNMS
@@ -688,7 +940,10 @@ func (c *Cluster) AveragePowerWatts() float64 {
 	return c.Meter.AveragePowerWatts(c.nowMS)
 }
 
-// Utilization returns the mean busy fraction across ISNs over the horizon.
+// Utilization returns the mean busy fraction over the horizon; in
+// dynamic-machines mode the denominator is the integrated powered-on
+// machine time, so a well-scaled fleet shows *higher* utilization than
+// the same load on a static fleet.
 func (c *Cluster) Utilization() float64 {
 	if c.nowMS <= 0 {
 		return 0
@@ -697,7 +952,14 @@ func (c *Cluster) Utilization() float64 {
 	for _, n := range c.ISNs {
 		total += n.BusyMS
 	}
-	return total / (c.nowMS * float64(len(c.ISNs)))
+	denom := c.nowMS * float64(len(c.ISNs))
+	if c.dynamic {
+		denom = c.MachineMS()
+	}
+	if denom <= 0 {
+		return 0
+	}
+	return total / denom
 }
 
 // Reset returns the cluster to its initial state, keeping configuration.
@@ -708,7 +970,12 @@ func (c *Cluster) Reset() {
 		}
 		n.BusyMS = 0
 		n.QueriesServed = 0
+		n.active = true
+		n.offAtMS = math.Inf(1)
+		n.defectMS = 0
 	}
 	c.Meter.Reset()
 	c.nowMS = 0
+	c.accruedToMS = 0
+	c.machineNodeMS = 0
 }

@@ -36,6 +36,12 @@ func (c *Cluster) Register(reg *obs.Registry) {
 	reg.GaugeFunc("cottage_cluster_failed_shards",
 		"Shards with no live replica left (degraded-mode territory).",
 		func() float64 { return float64(c.FailedShardCount()) })
+	reg.GaugeFunc("cottage_cluster_active_nodes",
+		"Powered-on, work-accepting nodes (autoscaler scale state).",
+		func() float64 { return float64(c.TotalActiveNodes()) })
+	reg.GaugeFunc("cottage_cluster_machine_ms",
+		"Integrated powered-on machine time in node-ms.",
+		func() float64 { return c.MachineMS() })
 	for s := 0; s < c.Shards(); s++ {
 		shard := s
 		reg.GaugeFunc("cottage_shard_live_replicas",

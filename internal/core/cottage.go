@@ -305,6 +305,10 @@ func (c *Cottage) decideFromReports(e *engine.Engine, reports []ISNReport) engin
 		Freq:           make([]float64, len(e.Shards)),
 		CoordMS:        coordOverheadMS(e),
 		UsedPredictors: true,
+		PredCycles:     make([]float64, len(e.Shards)),
+	}
+	for _, r := range reports {
+		d.PredCycles[r.ISN] = r.PredCycles
 	}
 	res := DetermineBudgetDegraded(reports, e.Cluster.FailedShardCount(), e.Cluster.Ladder, BudgetOptions{
 		StrictTopK: c.StrictTopK,

@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"strconv"
 
+	"cottage/internal/autoscale"
 	"cottage/internal/cluster"
 	"cottage/internal/index"
 	"cottage/internal/obs"
@@ -69,6 +70,30 @@ type Engine struct {
 	// and rolling predictor accuracy — so harness sweeps validate the
 	// instrumentation itself.
 	Obs *obs.Observer
+	// Scaler, when set, closes the autoscaling loop during Run: every
+	// arrival feeds its rate estimator, completed legs feed per-shard
+	// service EWMAs, and on each cadence tick the controller's plan is
+	// applied to the cluster's active replica rows. The cluster should
+	// be built with DynamicMachines so scale-downs show up in power and
+	// machine time.
+	Scaler *autoscale.Controller
+	// ScaleStartR is the active replica count per shard at the start of
+	// a scaled run (default 1 — the controller earns its capacity).
+	ScaleStartR int
+	// HedgeDelayMS > 0 enables fixed-delay hedged requests: any leg
+	// whose response would take longer than this gets a duplicate sent
+	// to a sibling replica after the delay (the classic tail-taming
+	// baseline). Ignored when HedgePredictive is set.
+	HedgeDelayMS float64
+	// HedgePredictive hedges only legs the predictor flags: when a
+	// shard's predicted leg latency (margined cycle prediction plus
+	// live queue backlog, Eq. 2, plus the serving replica's observed
+	// latency defect) exceeds HedgeThresholdMS, the duplicate is sent
+	// immediately at dispatch — no timer, no waiting for the straggler
+	// to prove itself. Requires a policy that fills
+	// Decision.PredCycles; legs without a prediction never hedge.
+	HedgePredictive  bool
+	HedgeThresholdMS float64
 
 	// runObs caches the current Run's metric handles (resolved once per
 	// Run so the per-query hot path never touches the registry).
@@ -249,6 +274,12 @@ type Decision struct {
 	// observer attached), is the Algorithm 1 audit trail for this query;
 	// the engine attaches it to the trace's budget span.
 	Record *obs.DecisionRecord
+	// PredCycles, when the policy predicts per-shard work (Cottage
+	// does), carries the margined cycle predictions indexed by shard
+	// (zero for shards without a prediction). The engine's predictive
+	// hedging combines them with live queue state to flag straggler
+	// legs at dispatch; nil for baselines that do not predict.
+	PredCycles []float64
 }
 
 // Policy decides, per query, which ISNs run, at what frequency, and under
@@ -290,7 +321,14 @@ type Outcome struct {
 	// many times a leg's first-choice replica lost the request (crash,
 	// drop, shed) and a sibling absorbed the retry.
 	Failovers int
-	BudgetMS  float64
+	// HedgedISNs counts legs that sent a duplicate to a sibling replica;
+	// HedgeWonISNs counts those where the duplicate's response arrived
+	// first. DuplicateMS is the busy time the losing copies burned —
+	// the waste side of the hedging trade.
+	HedgedISNs   int
+	HedgeWonISNs int
+	DuplicateMS  float64
+	BudgetMS     float64
 }
 
 // RunResult aggregates a full trace replay under one policy.
@@ -303,6 +341,16 @@ type RunResult struct {
 	// CacheHitRate is the aggregator cache's hit rate for this run
 	// (zero when no cache is configured).
 	CacheHitRate float64
+	// MachineMS is the fleet's integrated machine time in node·ms —
+	// horizon × nodes on a static fleet, the actual powered-on integral
+	// under autoscaling.
+	MachineMS float64
+	// TotalBusyMS is the summed busy time across all nodes (includes
+	// hedging duplicates), the denominator for duplicate-work fractions.
+	TotalBusyMS float64
+	// ScaleLog is the autoscaler's decision trail for this run (nil
+	// without a Scaler) — what the determinism tests compare.
+	ScaleLog []autoscale.Change
 }
 
 // Run replays evaluated queries under policy p. The cluster (and cache,
@@ -312,6 +360,14 @@ func (e *Engine) Run(p Policy, evs []*Evaluated) RunResult {
 	e.Cluster.Anytime = e.Anytime
 	if e.Cache != nil {
 		e.Cache.Reset()
+	}
+	if e.Scaler != nil {
+		r0 := e.ScaleStartR
+		if r0 < 1 {
+			r0 = 1
+		}
+		e.Scaler.Reset(r0)
+		e.Cluster.SetAllActiveReplicas(r0, 0)
 	}
 	e.runObs = nil
 	if e.Obs != nil {
@@ -333,8 +389,15 @@ func (e *Engine) Run(p Policy, evs []*Evaluated) RunResult {
 	res.DurationMS = e.Cluster.NowMS()
 	res.AvgPowerW = e.Cluster.AveragePowerWatts()
 	res.Utilization = e.Cluster.Utilization()
+	res.MachineMS = e.Cluster.MachineMS()
+	for _, n := range e.Cluster.ISNs {
+		res.TotalBusyMS += n.BusyMS
+	}
 	if e.Cache != nil {
 		res.CacheHitRate = e.Cache.HitRate()
+	}
+	if e.Scaler != nil {
+		res.ScaleLog = append([]autoscale.Change(nil), e.Scaler.Log()...)
 	}
 	return res
 }
@@ -361,6 +424,18 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 			e.recordCacheHit(p, ev, out)
 			p.Observe(out.LatencyMS)
 			return out
+		}
+	}
+	if e.Scaler != nil {
+		e.Scaler.RecordArrival()
+		if e.Scaler.Due(arrive) {
+			qd := make([]float64, len(e.Shards))
+			for si := range e.Shards {
+				qd[si] = e.Cluster.ShardQueueDelayMS(si, arrive)
+			}
+			for _, ch := range e.Scaler.Replan(arrive, qd) {
+				e.Cluster.SetActiveReplicas(ch.Shard, ch.To, arrive)
+			}
 		}
 	}
 	d := p.Decide(e, ev.Query, arrive)
@@ -396,7 +471,29 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 		if d.Freq != nil && d.Freq[si] > 0 {
 			f = d.Freq[si]
 		}
-		exec := e.Cluster.ExecuteShard(si, dispatch, ev.Cycles[si], f, deadline)
+		// Hedging: predictive mode duplicates flagged legs at dispatch
+		// (predicted leg latency — Eq. 2 plus the replica's observed
+		// defect — over the threshold), fixed-delay mode duplicates any
+		// leg still unanswered after the timer. +Inf disables hedging
+		// for this leg.
+		hedgeDelay := math.Inf(1)
+		if e.HedgePredictive {
+			if d.PredCycles != nil && e.HedgeThresholdMS > 0 && d.PredCycles[si] > 0 {
+				if pl := e.Cluster.ShardPredictedLegMS(si, dispatch, d.PredCycles[si], f); pl > e.HedgeThresholdMS {
+					hedgeDelay = 0
+				}
+			}
+		} else if e.HedgeDelayMS > 0 {
+			hedgeDelay = e.HedgeDelayMS
+		}
+		exec, hr := e.Cluster.ExecuteShardHedged(si, dispatch, ev.Cycles[si], f, deadline, hedgeDelay)
+		if hr.Hedged {
+			out.HedgedISNs++
+			if hr.Won {
+				out.HedgeWonISNs++
+			}
+			out.DuplicateMS += hr.DuplicateMS
+		}
 		if e.Obs != nil {
 			execs = append(execs, exec)
 		}
@@ -419,6 +516,9 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 			continue
 		}
 		out.ActiveISNs++
+		if e.Scaler != nil && exec.Completed {
+			e.Scaler.RecordService(exec.Shard, exec.ServiceMS)
+		}
 		switch {
 		case exec.Completed:
 			out.DocsSearched += ev.PerShard[si].Stats.DocsScored
@@ -657,22 +757,39 @@ type Summary struct {
 	// FailoverFrac is the share of queries where at least one leg failed
 	// over to a sibling replica mid-query.
 	FailoverFrac float64
+	// HedgeLegRate is hedged legs per participating leg — how often the
+	// hedging layer paid for a duplicate.
+	HedgeLegRate float64
+	// HedgeWinFrac is the share of hedges whose duplicate actually won
+	// the race (useful hedges).
+	HedgeWinFrac float64
+	// DuplicateWorkFrac is hedging's wasted busy time as a fraction of
+	// all busy time.
+	DuplicateWorkFrac float64
+	// MachineMS is the run's integrated machine time in node·ms.
+	MachineMS float64
 }
 
 // Summarize computes a Summary from a RunResult.
 func Summarize(r RunResult) Summary {
 	s := Summary{Policy: r.Policy, AvgPowerW: r.AvgPowerW, Utilization: r.Utilization,
-		Queries: len(r.Outcomes)}
+		Queries: len(r.Outcomes), MachineMS: r.MachineMS}
 	if len(r.Outcomes) == 0 {
 		return s
 	}
 	lats := make([]float64, len(r.Outcomes))
 	dropped, truncated, failed, shed, failedOver := 0, 0, 0, 0, 0
+	legs, hedged, hedgeWon := 0, 0, 0
+	dupMS := 0.0
 	for i, o := range r.Outcomes {
 		lats[i] = o.LatencyMS
 		s.MeanPAtK += o.PAtK
 		s.MeanISNs += float64(o.ActiveISNs)
 		s.MeanCRES += float64(o.DocsSearched)
+		legs += o.ActiveISNs
+		hedged += o.HedgedISNs
+		hedgeWon += o.HedgeWonISNs
+		dupMS += o.DuplicateMS
 		if o.DroppedISNs > 0 {
 			dropped++
 		}
@@ -688,6 +805,15 @@ func Summarize(r RunResult) Summary {
 		if o.Failovers > 0 {
 			failedOver++
 		}
+	}
+	if legs > 0 {
+		s.HedgeLegRate = float64(hedged) / float64(legs)
+	}
+	if hedged > 0 {
+		s.HedgeWinFrac = float64(hedgeWon) / float64(hedged)
+	}
+	if r.TotalBusyMS > 0 {
+		s.DuplicateWorkFrac = dupMS / r.TotalBusyMS
 	}
 	n := float64(len(r.Outcomes))
 	s.MeanLatency = stats.Mean(lats)

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAutoscaleSweepCurves pins the sweep's acceptance claims on the
+// flash-crowd trace: provisioning monotonicity across the fixed-R
+// ladder, and the closed-loop controller holding the p99 SLO on fewer
+// machine-hours than the smallest fixed R that also holds it.
+func TestAutoscaleSweepCurves(t *testing.T) {
+	s := testSetup(t)
+	_, flash := autoscaleTraces(s)
+	rows := runAutoscaleConfigs(s, flash)
+	if len(rows) != autoscaleMaxR+1 {
+		t.Fatalf("got %d rows, want %d", len(rows), autoscaleMaxR+1)
+	}
+	for _, r := range rows {
+		t.Logf("%-12s p99=%.2f miss=%.2f%% machine-s=%.1f powerW=%.2f rows=%.2f replans=%d",
+			r.label, r.p99MS, 100*r.missFrac, r.machineMS/1000, r.powerW, r.meanRows, r.scaleEvents)
+	}
+	fixed, closed := rows[:autoscaleMaxR], rows[autoscaleMaxR]
+
+	// Monotone provisioning: more replicas never raise the flash-crowd
+	// p99 and always bill more machine time.
+	for i := 1; i < len(fixed); i++ {
+		if fixed[i].p99MS > fixed[i-1].p99MS {
+			t.Errorf("fixed-R p99 not monotone: R%d %.2f > R%d %.2f",
+				i+1, fixed[i].p99MS, i, fixed[i-1].p99MS)
+		}
+		if fixed[i].machineMS <= fixed[i-1].machineMS {
+			t.Errorf("fixed-R machine time not increasing: R%d %.0f <= R%d %.0f",
+				i+1, fixed[i].machineMS, i, fixed[i-1].machineMS)
+		}
+	}
+
+	// The regime is real: one row cannot absorb the bursts.
+	if fixed[0].p99MS <= AutoscaleSLOp99MS {
+		t.Fatalf("fixed-R1 holds the SLO (p99 %.2f) — the flash trace is too tame", fixed[0].p99MS)
+	}
+	// The smallest adequate fixed R is the bar the controller must beat.
+	bar := -1
+	for i, r := range fixed {
+		if r.p99MS <= AutoscaleSLOp99MS {
+			bar = i
+			break
+		}
+	}
+	if bar < 0 {
+		t.Fatalf("no fixed R meets the SLO — ladder too short for the trace")
+	}
+
+	// Acceptance: the closed loop holds the SLO on fewer machine-hours
+	// than that fixed fleet, and it actually scaled to do it.
+	if closed.p99MS > AutoscaleSLOp99MS {
+		t.Errorf("closed-loop p99 %.2f misses the %.0f ms SLO", closed.p99MS, float64(AutoscaleSLOp99MS))
+	}
+	if closed.machineMS >= fixed[bar].machineMS {
+		t.Errorf("closed-loop machine time %.0f not below fixed-R%d %.0f",
+			closed.machineMS, bar+1, fixed[bar].machineMS)
+	}
+	if closed.scaleEvents == 0 {
+		t.Error("closed-loop run recorded no scale events")
+	}
+}
+
+// TestHedgingSweepCurves pins the hedging acceptance claim: both modes
+// rescue the straggler-bound tail, and predictive hedging does it at a
+// measurably lower hedge rate and duplicate-work bill than the fixed
+// timer.
+func TestHedgingSweepCurves(t *testing.T) {
+	s := testSetup(t)
+	rows := runHedgingRows(s)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-16s p99=%.2f hedgeRate=%.4f winFrac=%.3f dupFrac=%.4f",
+			r.label, r.p99MS, r.hedgeRate, r.winFrac, r.dupFrac)
+	}
+	plain, fixed, pred := rows[0], rows[1], rows[2]
+
+	if plain.hedgeRate != 0 || plain.dupFrac != 0 {
+		t.Fatalf("unhedged run recorded hedging: %+v", plain)
+	}
+	if fixed.p99MS >= plain.p99MS {
+		t.Errorf("fixed-delay p99 %.2f not below unhedged %.2f", fixed.p99MS, plain.p99MS)
+	}
+	if pred.p99MS >= plain.p99MS {
+		t.Errorf("predictive p99 %.2f not below unhedged %.2f", pred.p99MS, plain.p99MS)
+	}
+	// "Matches" the fixed-delay tail: no worse than 5% over it (the
+	// predictive hedge fires at dispatch, so it is usually ahead).
+	if pred.p99MS > 1.05*fixed.p99MS {
+		t.Errorf("predictive p99 %.2f does not match fixed-delay %.2f", pred.p99MS, fixed.p99MS)
+	}
+	if fixed.hedgeRate == 0 || pred.hedgeRate == 0 {
+		t.Fatalf("a hedging mode never hedged: fixed=%.4f predictive=%.4f",
+			fixed.hedgeRate, pred.hedgeRate)
+	}
+	// Measurably lower: at most 70% of the fixed timer's hedge rate.
+	if pred.hedgeRate > 0.7*fixed.hedgeRate {
+		t.Errorf("predictive hedge rate %.4f not measurably below fixed %.4f",
+			pred.hedgeRate, fixed.hedgeRate)
+	}
+	if pred.dupFrac >= fixed.dupFrac {
+		t.Errorf("predictive duplicate work %.4f not below fixed %.4f",
+			pred.dupFrac, fixed.dupFrac)
+	}
+}
+
+// TestAutoscaleSweepRenders smoke-tests both experiments' table output
+// and their registration.
+func TestAutoscaleSweepRenders(t *testing.T) {
+	s := testSetup(t)
+	var buf bytes.Buffer
+	if err := AutoscaleSweep(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"diurnal", "flash", "closed-loop", "fixed-R1", "machine-s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("autoscale table missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := HedgingSweep(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, want := range []string{"no-hedge", "fixed-6ms", "predictive-40ms", "hedge rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hedging table missing %q:\n%s", want, out)
+		}
+	}
+	if _, ok := ByID("autoscale"); !ok {
+		t.Error("autoscale experiment not registered")
+	}
+	if _, ok := ByID("hedging"); !ok {
+		t.Error("hedging experiment not registered")
+	}
+}

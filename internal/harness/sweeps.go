@@ -31,6 +31,8 @@ func Extras() []Experiment {
 		{"overload", "Extra: bounded ISN queues under 1x-4x load (shed rate, served p99, budget inflation)", Overload},
 		{"predacc", "Extra: rolling predictor-accuracy tracking (obs twin: latency error %, quality hit rate)", PredictorAccuracy},
 		{"anytime", "Extra: anytime truncated answers vs the drop-ISN protocol across a deadline ladder", AnytimeSweep},
+		{"autoscale", "Extra: closed-loop capacity planning vs fixed R=1-3 under diurnal and flash-crowd traffic", AutoscaleSweep},
+		{"hedging", "Extra: fixed-delay vs predictive hedging against an injected straggler replica", HedgingSweep},
 	}
 }
 

@@ -72,6 +72,12 @@ type Meter struct {
 	// so the harness can show how much of a policy's power is boost
 	// energy vs default-frequency work.
 	byFreq map[float64]float64
+	// dynamicIdle switches the idle floor from "IdleWatts for the whole
+	// horizon" to explicitly-integrated machine time (AddIdleMachineMS):
+	// the accounting a fleet whose machine count changes mid-run needs.
+	// model.IdleWatts is then the per-machine-unit idle power.
+	dynamicIdle   bool
+	idleMachineMS float64
 }
 
 // NewMeter creates a meter over model.
@@ -96,12 +102,34 @@ func (mt *Meter) ByFrequency() map[float64]float64 {
 	return out
 }
 
+// SetDynamicIdle switches the meter to integrated machine-time idle
+// accounting: the idle floor becomes IdleWatts × the machine-unit time
+// recorded via AddIdleMachineMS, instead of IdleWatts × horizon. An
+// autoscaled fleet uses this so machines that are scaled away stop
+// burning idle power.
+func (mt *Meter) SetDynamicIdle(on bool) { mt.dynamicIdle = on }
+
+// AddIdleMachineMS records machineUnits machines idling (or serving —
+// the floor is paid either way) for durationMS. Only meaningful in
+// dynamic-idle mode; a machine unit is whatever granularity the caller
+// calibrated IdleWatts for.
+func (mt *Meter) AddIdleMachineMS(machineUnits, durationMS float64) {
+	if durationMS < 0 {
+		panic("power: negative duration")
+	}
+	mt.idleMachineMS += machineUnits * durationMS
+}
+
 // TotalEnergyMJ returns the package energy over a horizon of horizonMS
-// milliseconds: the idle floor for the whole horizon plus accumulated
+// milliseconds: the idle floor for the whole horizon (or, in
+// dynamic-idle mode, for the integrated machine time) plus accumulated
 // busy energy.
 func (mt *Meter) TotalEnergyMJ(horizonMS float64) float64 {
 	if horizonMS < 0 {
 		panic("power: negative horizon")
+	}
+	if mt.dynamicIdle {
+		return mt.model.IdleWatts*mt.idleMachineMS + mt.busyMJ
 	}
 	return mt.model.IdleWatts*horizonMS + mt.busyMJ
 }
@@ -122,6 +150,7 @@ func (mt *Meter) BusyEnergyMJ() float64 { return mt.busyMJ }
 func (mt *Meter) Reset() {
 	mt.busyMJ = 0
 	mt.byFreq = make(map[float64]float64)
+	mt.idleMachineMS = 0
 }
 
 // Model returns the meter's power model.

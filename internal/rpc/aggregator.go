@@ -43,6 +43,15 @@ type Aggregator struct {
 	// window; the first reply wins and the loser is cancelled. Zero
 	// disables hedging.
 	HedgeAfter time.Duration
+	// HedgePredictive switches hedging from fixed-delay timers to
+	// predictor-driven: a search leg whose predicted queue-inclusive
+	// latency (the Eq. 2-corrected LCurrent from the prediction round)
+	// exceeds HedgeThresholdMS is hedged immediately at dispatch, and
+	// unflagged legs are never hedged — no duplicate for requests the
+	// predictor already expects to be fast. HedgeAfter is ignored in
+	// this mode; legs without a prediction never hedge.
+	HedgePredictive  bool
+	HedgeThresholdMS float64
 	// Anytime makes every budgeted search leg use the anytime traversal:
 	// ISNs that would overrun the budget answer with an exact truncated
 	// top-K and a score-bound certificate instead of erroring, and
@@ -231,15 +240,33 @@ type Result struct {
 // nowUS is the span clock for the live path.
 func nowUS() int64 { return time.Now().UnixMicro() }
 
+// hedgeFor returns the hedge timer for one shard's search leg: the
+// fixed HedgeAfter delay in timer mode; in predictive mode, immediate
+// (0) for legs whose predicted queue-inclusive latency crosses the
+// threshold and disabled (-1) for everything else.
+func (a *Aggregator) hedgeFor(predLCurrentMS float64, havePred bool) time.Duration {
+	if a.HedgePredictive {
+		if havePred && a.HedgeThresholdMS > 0 && predLCurrentMS > a.HedgeThresholdMS {
+			return 0
+		}
+		return -1
+	}
+	if a.HedgeAfter > 0 {
+		return a.HedgeAfter
+	}
+	return -1
+}
+
 // searchHedged runs one ISN's search leg, optionally hedging it with a
-// duplicate request on a fresh connection after HedgeAfter. The fresh
-// connection matters: a request queued behind a stuck stream on the
-// shared client would inherit exactly the delay the hedge is trying to
-// escape. Server-side spans from whichever leg won come back for
-// grafting.
-func (a *Aggregator) searchHedged(isn int, sc obs.SpanContext, terms []string, deadline time.Duration) (search.Result, []obs.Span, error) {
+// duplicate request on a fresh connection after hedgeAfter (0 =
+// duplicate immediately — predictive mode's flagged straggler; < 0 =
+// never hedge). The fresh connection matters: a request queued behind
+// a stuck stream on the shared client would inherit exactly the delay
+// the hedge is trying to escape. Server-side spans from whichever leg
+// won come back for grafting.
+func (a *Aggregator) searchHedged(isn int, sc obs.SpanContext, terms []string, deadline, hedgeAfter time.Duration) (search.Result, []obs.Span, error) {
 	primary := a.Clients[isn]
-	if a.HedgeAfter <= 0 || primary.Addr() == "" {
+	if hedgeAfter < 0 || primary.Addr() == "" {
 		return a.clientSearch(primary, sc, terms, deadline)
 	}
 	type outcome struct {
@@ -254,7 +281,7 @@ func (a *Aggregator) searchHedged(isn int, sc obs.SpanContext, terms []string, d
 		ch <- outcome{r, spans, err, false}
 	}()
 
-	timer := time.NewTimer(a.HedgeAfter)
+	timer := time.NewTimer(hedgeAfter)
 	defer timer.Stop()
 	var hedge *Client
 	inflight := 1
@@ -349,7 +376,7 @@ func (a *Aggregator) SearchExhaustive(terms []string) (Result, error) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			leg := a.searchShard(s, tb, searchSpan, terms, 0)
+			leg := a.searchShard(s, tb, searchSpan, terms, 0, a.hedgeFor(0, false))
 			if leg.err != nil {
 				errs[s] = leg.err
 				return
@@ -496,17 +523,26 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 	}
 
 	// Steps 5-7: budget-bounded search on the selected shards, each leg
-	// failing over within its replica group before giving up.
+	// failing over within its replica group before giving up. Predictive
+	// hedging reads each shard's queue-corrected latency prediction: a
+	// leg already expected to straggle gets its duplicate at dispatch,
+	// the rest are never hedged.
+	lcurByShard := make(map[int]float64, len(preds))
+	for _, r := range preds {
+		lcurByShard[r.ISN] = r.LCurrent
+	}
 	searchSpan := tb.StartSpan("search", root.ID(), nowUS())
 	deadline := time.Duration(budget.BudgetMS * float64(time.Millisecond))
 	lists := make([][]search.Hit, len(budget.Selected))
 	legs := make([]searchLeg, len(budget.Selected))
 	for li, asg := range budget.Selected {
 		res.Selected = append(res.Selected, asg.ISN)
+		lcur, havePred := lcurByShard[asg.ISN]
+		hedge := a.hedgeFor(lcur, havePred)
 		wg.Add(1)
 		go func(li int, shard int) {
 			defer wg.Done()
-			leg := a.searchShard(shard, tb, searchSpan, terms, deadline)
+			leg := a.searchShard(shard, tb, searchSpan, terms, deadline, hedge)
 			legs[li] = leg
 			if leg.err != nil {
 				// Straggler or group-wide failure: its hits are lost but

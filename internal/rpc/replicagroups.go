@@ -173,11 +173,12 @@ type searchLeg struct {
 
 // searchShard runs one shard's search leg over its ranked replicas with
 // mid-query failover, composing with hedging (each attempt may itself
-// hedge via searchHedged). Retries inherit the remaining budget, not a
-// fresh one: a failover late in the budget gets only what is left, and
-// when nothing is left the leg is abandoned — degraded Algorithm 1
-// already priced the shard in, so the query survives.
-func (a *Aggregator) searchShard(shard int, tb *obs.TraceBuilder, parent *obs.ActiveSpan, terms []string, deadline time.Duration) searchLeg {
+// hedge via searchHedged; hedge is the per-leg timer from hedgeFor).
+// Retries inherit the remaining budget, not a fresh one: a failover
+// late in the budget gets only what is left, and when nothing is left
+// the leg is abandoned — degraded Algorithm 1 already priced the shard
+// in, so the query survives.
+func (a *Aggregator) searchShard(shard int, tb *obs.TraceBuilder, parent *obs.ActiveSpan, terms []string, deadline, hedge time.Duration) searchLeg {
 	out := searchLeg{client: -1}
 	var absDeadline time.Time
 	if deadline > 0 {
@@ -209,7 +210,7 @@ func (a *Aggregator) searchShard(shard int, tb *obs.TraceBuilder, parent *obs.Ac
 			leg.SetAttr("failover", strconv.Itoa(sent))
 		}
 		legStart := time.Now()
-		r, spans, err := a.searchHedged(ci, leg.Context(), terms, remaining)
+		r, spans, err := a.searchHedged(ci, leg.Context(), terms, remaining, hedge)
 		a.observeBreaker(ci, err)
 		sent++
 		if err != nil {

@@ -5,7 +5,19 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"os"
+)
+
+// Sanity bounds on decoded traces: generous multiples of anything the
+// generators produce, tight enough that a corrupted or adversarial file
+// cannot smuggle absurd queries into a replay (or allocate unbounded
+// memory downstream).
+const (
+	// MaxTermsPerQuery bounds one query's term list.
+	MaxTermsPerQuery = 64
+	// MaxTermLen bounds one term's byte length.
+	MaxTermLen = 1024
 )
 
 // traceWire versions the on-disk format.
@@ -30,13 +42,24 @@ func Load(r io.Reader) ([]Query, error) {
 	if w.Version != wireVersion {
 		return nil, fmt.Errorf("trace: unsupported trace version %d", w.Version)
 	}
-	prev := -1.0
+	prev := 0.0
 	for i, q := range w.Queries {
+		if math.IsNaN(q.ArrivalMS) || math.IsInf(q.ArrivalMS, 0) || q.ArrivalMS < 0 {
+			return nil, fmt.Errorf("trace: query %d has non-finite or negative arrival %v", i, q.ArrivalMS)
+		}
 		if q.ArrivalMS < prev {
 			return nil, fmt.Errorf("trace: arrivals out of order at query %d", i)
 		}
 		if len(q.Terms) == 0 {
 			return nil, fmt.Errorf("trace: query %d has no terms", i)
+		}
+		if len(q.Terms) > MaxTermsPerQuery {
+			return nil, fmt.Errorf("trace: query %d has %d terms (max %d)", i, len(q.Terms), MaxTermsPerQuery)
+		}
+		for _, t := range q.Terms {
+			if len(t) == 0 || len(t) > MaxTermLen {
+				return nil, fmt.Errorf("trace: query %d has a term of %d bytes (want 1..%d)", i, len(t), MaxTermLen)
+			}
 		}
 		prev = q.ArrivalMS
 	}

@@ -52,8 +52,14 @@ type Config struct {
 	Seed uint64
 	// NumQueries is the trace length.
 	NumQueries int
-	// QPS is the mean arrival rate (Poisson process).
+	// QPS is the mean arrival rate (Poisson process). Non-stationary
+	// profiles (Arrivals.Profile) treat it as the base rate their shapes
+	// modulate.
 	QPS float64
+	// Arrivals shapes the arrival process over time. The zero value is
+	// the stationary Poisson process traces always had, so existing
+	// Config literals generate bit-identical traces.
+	Arrivals ArrivalConfig
 }
 
 // DefaultConfig returns the workload used by the harness: 10K queries at
@@ -103,6 +109,9 @@ func Generate(c *textgen.Corpus, cfg Config) []Query {
 	if cfg.QPS <= 0 {
 		panic("trace: QPS must be positive")
 	}
+	if err := cfg.Arrivals.validate(); err != nil {
+		panic(err)
+	}
 	p := profileFor(cfg.Kind)
 	rng := xrand.New(cfg.Seed).SplitName("trace-" + cfg.Kind.String())
 	topicPick := xrand.NewZipf(rng, p.topicZipfS, len(c.TopicTerms))
@@ -110,10 +119,18 @@ func Generate(c *textgen.Corpus, cfg Config) []Query {
 	background := xrand.NewZipf(rng, 1.0, len(c.Vocab))
 
 	meanGapMS := 1000 / cfg.QPS
+	stationary := cfg.Arrivals.Profile == Stationary
 	queries := make([]Query, cfg.NumQueries)
 	now := 0.0
 	for i := range queries {
-		now += rng.ExpFloat64() * meanGapMS
+		if stationary {
+			// The original single-draw path — kept verbatim so stationary
+			// traces are bit-identical to those generated before arrival
+			// profiles existed (every committed figure depends on them).
+			now += rng.ExpFloat64() * meanGapMS
+		} else {
+			now = cfg.Arrivals.nextArrival(rng, cfg.QPS, now)
+		}
 		topic := topicPick.Draw()
 		n := drawLength(rng, p.lengthCDF)
 		terms := make([]string, 0, n)

@@ -1,5 +1,5 @@
-// Command gencorpus regenerates the fuzz seed corpus under
-// internal/rpc/testdata/fuzz. The corpus mirrors the in-code f.Add
+// Command gencorpus regenerates the fuzz seed corpora under
+// internal/{rpc,search,trace}/testdata/fuzz. Each corpus mirrors the in-code f.Add
 // seeds — valid frames, truncations, and injector-style corruptions —
 // but lives on disk so the fuzzer picks it up without running the seed
 // round first, and so wire-format changes show up as corpus diffs.
@@ -21,6 +21,7 @@ import (
 	"cottage/internal/predict"
 	"cottage/internal/rpc"
 	"cottage/internal/search"
+	"cottage/internal/trace"
 )
 
 func encode(vals ...any) []byte {
@@ -111,6 +112,37 @@ func main() {
 		"header":    respValid[:9],
 		"corrupted": corrupt(respValid),
 	})
+	// Trace Save/Load seeds: a valid replay file, its truncation and
+	// corruption, and structurally-valid gob frames carrying exactly the
+	// traces Load's validation exists to reject (out-of-order and
+	// negative arrivals, empty and oversized term lists, giant terms).
+	saveTrace := func(qs []trace.Query) []byte {
+		var buf bytes.Buffer
+		if err := trace.Save(&buf, qs); err != nil {
+			log.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	traceValid := saveTrace([]trace.Query{
+		{ID: 0, Terms: []string{"alpha"}, ArrivalMS: 0},
+		{ID: 1, Terms: []string{"beta", "gamma"}, ArrivalMS: 12.5},
+		{ID: 2, Terms: []string{"delta"}, ArrivalMS: 40},
+	})
+	writeCorpus("internal/trace/testdata/fuzz/FuzzTraceRoundTrip", map[string][]byte{
+		"valid":     traceValid,
+		"truncated": traceValid[:len(traceValid)/2],
+		"header":    traceValid[:3],
+		"corrupted": corrupt(traceValid),
+		"reordered": saveTrace([]trace.Query{
+			{ID: 0, Terms: []string{"late"}, ArrivalMS: 50},
+			{ID: 1, Terms: []string{"early"}, ArrivalMS: 10},
+		}),
+		"negative-arrival": saveTrace([]trace.Query{{Terms: []string{"x"}, ArrivalMS: -4}}),
+		"no-terms":         saveTrace([]trace.Query{{Terms: nil, ArrivalMS: 1}}),
+		"too-many-terms":   saveTrace([]trace.Query{{Terms: make([]string, trace.MaxTermsPerQuery+9), ArrivalMS: 0}}),
+		"giant-term":       saveTrace([]trace.Query{{Terms: []string{strings.Repeat("q", trace.MaxTermLen+1)}, ArrivalMS: 0}}),
+	})
+
 	writeCorpus("internal/search/testdata/fuzz/FuzzAnytimeDeadline", map[string][]byte{
 		// Budget 0: the deadline fires before any range — the empty
 		// truncated answer whose bound must still cover the shard.
@@ -124,5 +156,5 @@ func main() {
 		// Absent-only query on the largest seed the decoder folds to.
 		"absent": anytimeEntry(1023, 24, 100, 1, 0),
 	})
-	fmt.Println("corpus written under internal/rpc/testdata/fuzz and internal/search/testdata/fuzz")
+	fmt.Println("corpus written under internal/{rpc,search,trace}/testdata/fuzz")
 }
