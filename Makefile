@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke overload-smoke obs-smoke chaos-smoke autoscale-smoke bench bench-smoke corpus check clean
+.PHONY: all build vet test race fuzz-smoke overload-smoke obs-smoke chaos-smoke autoscale-smoke anatomy-smoke bench bench-smoke corpus check clean
 
 all: build
 
@@ -63,6 +63,15 @@ chaos-smoke:
 autoscale-smoke:
 	$(GO) test ./internal/harness -run 'TestAutoscaleSweepCurves|TestHedgingSweepCurves' -count=1 -timeout 10m
 
+# Tail-anatomy gate on the twin: per-phase attribution must reconcile
+# with end-to-end latency (>= 95% mean coverage), the experiment output
+# must be byte-identical across GOMAXPROCS, and an SLO burn-rate breach
+# must page and capture a flight-recorder dump. Zero-alloc attribution
+# on the hot path is pinned by the obs/anatomy package tests.
+anatomy-smoke:
+	$(GO) test ./internal/harness -run TestAnatomy -count=1 -timeout 10m
+	$(GO) test ./internal/obs/... -count=1
+
 # Full perf-regression sweep: every figure benchmark plus the pruning
 # and per-query evaluation benches, recorded to $(BENCHOUT) via
 # tools/benchjson so the baseline can be checked in and diffed. ~30 min.
@@ -92,7 +101,7 @@ cover:
 	$(GO) test -cover ./... | $(GO) run ./tools/covergate -floor $(COVERFLOOR) \
 		-require cottage/internal/search,cottage/internal/index,cottage/internal/autoscale
 
-check: vet build race fuzz-smoke overload-smoke obs-smoke chaos-smoke autoscale-smoke bench-smoke cover
+check: vet build race fuzz-smoke overload-smoke obs-smoke chaos-smoke autoscale-smoke anatomy-smoke bench-smoke cover
 
 clean:
 	$(GO) clean ./...

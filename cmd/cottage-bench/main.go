@@ -22,6 +22,7 @@ import (
 
 	"cottage/internal/harness"
 	"cottage/internal/obs"
+	"cottage/internal/obs/anatomy"
 )
 
 func main() {
@@ -114,15 +115,20 @@ func main() {
 	if *debugAddr != "" {
 		// The simulated twin shares the live transport's observability
 		// surface: experiments that replay under an observer (predacc, and
-		// any Run while Obs is attached) land here. Mid-run scrapes see
-		// approximate snapshots; the printed tables stay authoritative.
+		// any Run while Obs is attached) land here, with the same phase
+		// attribution and flight recorder as the live aggregator. Mid-run
+		// scrapes see approximate snapshots; the printed tables stay
+		// authoritative.
 		s.Engine.Obs = obs.NewObserver(len(s.Engine.Shards), 512)
-		dbg, err := obs.StartDebug(*debugAddr, s.Engine.Obs)
+		s.Engine.Obs.Flight = obs.NewFlightRecorder(32, 32, 0)
+		s.Engine.Anatomy = anatomy.NewCollector(1024)
+		dbg, err := obs.StartDebug(*debugAddr, s.Engine.Obs,
+			obs.Endpoint{Path: "/debug/anatomy", Handler: anatomy.Handler(s.Engine.Anatomy)})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer dbg.Close()
-		log.Printf("debug listener on http://%s (/metrics, /debug/traces)", dbg.Addr())
+		log.Printf("debug listener on http://%s (/metrics, /debug/traces, /debug/anatomy, /debug/flight)", dbg.Addr())
 	}
 
 	run := func(e harness.Experiment) {

@@ -31,10 +31,13 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"cottage/internal/core"
 	"cottage/internal/obs"
+	"cottage/internal/obs/anatomy"
+	"cottage/internal/obs/slo"
 	"cottage/internal/replica"
 	"cottage/internal/rpc"
 	"cottage/internal/search"
@@ -63,8 +66,12 @@ func main() {
 		brkCoolMS = flag.Float64("breaker-cooldown-ms", 500, "circuit-breaker cooldown before a half-open probe, in ms")
 		probeMS   = flag.Float64("probe-interval-ms", 0, "background health-probe interval for broken/open ISNs, in ms (0 = off)")
 		anytime   = flag.Bool("anytime", false, "budget-missing ISNs return exact truncated top-K answers with a score bound instead of being dropped")
-		debugAddr = flag.String("debug-addr", "", "HTTP debug listener (/metrics, /healthz, /debug/traces, /debug/accuracy, /debug/pprof); empty = off")
+		debugAddr = flag.String("debug-addr", "", "HTTP debug listener (/metrics, /healthz, /debug/traces, /debug/accuracy, /debug/anatomy, /debug/slo, /debug/flight, /debug/pprof); empty = off")
 		traceOut  = flag.String("trace-out", "", "write the recorded query traces as JSONL to this file on exit")
+		sloLatMS  = flag.Float64("slo-latency-ms", 0, "latency SLO threshold in ms: queries above it burn the error budget and drive multi-window burn-rate alerting (0 = off)")
+		sloTarget = flag.Float64("slo-target", 0.01, "SLO error budget: tolerated bad fraction for the latency and quality objectives (0.01 = 99% SLO)")
+		flightOut = flag.String("flight-out", "", "flight-recorder JSONL dump path: written at the first SLO page, else at exit (empty = off)")
+		pageProf  = flag.String("page-cpuprofile", "", "capture a 5 s CPU profile to this file on the first SLO page (empty = off)")
 	)
 	flag.Parse()
 	if *servers == "" || (*queries == "" && *tracePath == "") {
@@ -131,16 +138,62 @@ func main() {
 		log.Fatal("-hedge-predictive needs -hedge-threshold-ms > 0")
 	}
 	agg.Anytime = *anytime
-	if *debugAddr != "" || *traceOut != "" {
+	if *debugAddr != "" || *traceOut != "" || *flightOut != "" || *sloLatMS > 0 {
 		agg.Obs = obs.NewObserver(len(clients), 512)
+		// Always-on flight recorder: slowest 32 traces per minute plus a
+		// 32-trace reservoir sample, browsable at /debug/flight.
+		agg.Obs.Flight = obs.NewFlightRecorder(32, 32, 60_000_000)
+		agg.Anatomy = anatomy.NewCollector(1024)
+	}
+	var extras []obs.Endpoint
+	if agg.Anatomy != nil {
+		extras = append(extras, obs.Endpoint{Path: "/debug/anatomy", Handler: anatomy.Handler(agg.Anatomy)})
+	}
+	paged := false
+	var profWait sync.WaitGroup
+	defer profWait.Wait() // don't exit mid-capture: the profile flushes on return
+	if *sloLatMS > 0 {
+		mon := slo.New(slo.Config{})
+		agg.SLO = &slo.QuerySLO{
+			LatencyMS: *sloLatMS,
+			Latency:   mon.Objective("latency", *sloTarget),
+			Quality:   mon.Objective("quality", *sloTarget),
+		}
+		mon.OnPage(func(o *slo.Objective) {
+			log.Printf("SLO PAGE: objective %q burning error budget in both windows", o.Name())
+			if paged {
+				return
+			}
+			paged = true
+			if *flightOut != "" {
+				if n, err := agg.Obs.Flight.DumpFile(*flightOut); err != nil {
+					log.Printf("flight dump: %v", err)
+				} else {
+					log.Printf("flight recorder: dumped %d traces to %s", n, *flightOut)
+				}
+			}
+			if *pageProf != "" {
+				profWait.Add(1)
+				go func() {
+					defer profWait.Done()
+					if err := obs.CaptureCPUProfile(*pageProf, 5*time.Second); err != nil {
+						log.Printf("page CPU profile: %v", err)
+					} else {
+						log.Printf("page CPU profile written to %s", *pageProf)
+					}
+				}()
+			}
+		})
+		mon.Register(agg.Obs.Reg)
+		extras = append(extras, obs.Endpoint{Path: "/debug/slo", Handler: slo.Handler(mon)})
 	}
 	if *debugAddr != "" {
-		dbg, err := obs.StartDebug(*debugAddr, agg.Obs)
+		dbg, err := obs.StartDebug(*debugAddr, agg.Obs, extras...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer dbg.Close()
-		log.Printf("debug listener on http://%s (/metrics, /debug/traces, /debug/accuracy)", dbg.Addr())
+		log.Printf("debug listener on http://%s (/metrics, /debug/traces, /debug/accuracy, /debug/anatomy, /debug/slo, /debug/flight)", dbg.Addr())
 	}
 	if *brkN > 0 {
 		agg.EnableBreakers(*brkN, time.Duration(*brkCoolMS*float64(time.Millisecond)))
@@ -256,6 +309,24 @@ func main() {
 		probes, revived := prober.Stats()
 		if probes > 0 {
 			fmt.Printf("health prober: %d probes, %d revivals\n", probes, revived)
+		}
+	}
+	if agg.Anatomy != nil && agg.Anatomy.Observed() > 0 {
+		fmt.Println("\ntail anatomy:")
+		if err := agg.Anatomy.Report().WriteText(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if agg.SLO != nil {
+		fast, slow := agg.SLO.Latency.Burn()
+		fmt.Printf("latency SLO (%.1f ms @ %.3g budget): state=%s burn fast=%.2f slow=%.2f pages=%d\n",
+			*sloLatMS, *sloTarget, agg.SLO.Latency.State(), fast, slow, agg.SLO.Latency.Pages())
+	}
+	if *flightOut != "" && !paged {
+		if nTr, err := agg.Obs.Flight.DumpFile(*flightOut); err != nil {
+			log.Fatal(err)
+		} else {
+			log.Printf("flight recorder: dumped %d traces to %s", nTr, *flightOut)
 		}
 	}
 	if *traceOut != "" {

@@ -22,6 +22,7 @@ import (
 
 	"cottage/internal/cluster"
 	"cottage/internal/index"
+	"cottage/internal/obs"
 	"cottage/internal/predict"
 	"cottage/internal/search"
 	"cottage/internal/textgen"
@@ -43,8 +44,21 @@ func main() {
 		qout   = flag.String("queriesout", "", "also write sample queries (one per line) for cottage-client")
 		tout   = flag.String("traceout", "", "also write a timed query trace (gob) for paced replay")
 		nq     = flag.Int("numqueries", 200, "how many sample queries to write with -queriesout/-traceout")
+		dbgAdr = flag.String("debug-addr", "", "HTTP debug listener during the build (/metrics runtime gauges, /debug/pprof); empty = off")
 	)
 	flag.Parse()
+
+	if *dbgAdr != "" {
+		// Long corpus builds are memory-bound; the listener exposes the Go
+		// runtime gauges (heap, GC pause p99, goroutines) and pprof while
+		// indexing runs.
+		dbg, err := obs.StartDebug(*dbgAdr, obs.NewObserver(1, 8))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("debug listener on http://%s (/metrics, /debug/pprof)", dbg.Addr())
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)

@@ -129,12 +129,16 @@ func main() {
 		// The debug surface reflects the first replica endpoint; siblings
 		// are separate servers and would need their own listeners.
 		srvs[0].Obs = obs.NewObserver(1, 256)
+		// Serve-side flight recorder: keeps the slowest requests per minute
+		// (queue wait + service time in their spans) at /debug/flight even
+		// after they age out of the trace ring.
+		srvs[0].Obs.Flight = obs.NewFlightRecorder(32, 32, 60_000_000)
 		dbg, err := obs.StartDebug(*debugAddr, srvs[0].Obs)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer dbg.Close()
-		log.Printf("debug listener on http://%s (/metrics, /healthz, /debug/traces)", dbg.Addr())
+		log.Printf("debug listener on http://%s (/metrics, /healthz, /debug/traces, /debug/flight)", dbg.Addr())
 	}
 
 	// Graceful lifecycle: first SIGINT/SIGTERM drains in-flight requests

@@ -925,6 +925,21 @@ func (c *Cluster) ResponseAtAggregatorMS(e Execution) float64 {
 	return e.FinishMS + c.Net.AggToISNMS
 }
 
+// FailoverDelayMS is how much later than the original dispatch the
+// winning attempt's request actually left the aggregator — the time the
+// query spent detecting dead/shedding siblings (or waiting for a hedge
+// timer) before the leg that answered was even sent. Derived from the
+// execution's own timestamps: the attempt's send instant is its ISN
+// arrival (StartMS − QueueMS) minus one network hop.
+func (c *Cluster) FailoverDelayMS(e Execution, dispatchMS float64) float64 {
+	sendMS := e.StartMS - e.QueueMS - c.Net.AggToISNMS
+	d := sendMS - dispatchMS
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 // ClientLatencyMS converts an aggregator-side completion time for a query
 // that arrived (at the aggregator) at tMS into the client-observed
 // latency.

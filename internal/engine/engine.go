@@ -29,6 +29,8 @@ import (
 	"cottage/internal/cluster"
 	"cottage/internal/index"
 	"cottage/internal/obs"
+	"cottage/internal/obs/anatomy"
+	"cottage/internal/obs/slo"
 	"cottage/internal/par"
 	"cottage/internal/predict"
 	"cottage/internal/qcache"
@@ -94,6 +96,16 @@ type Engine struct {
 	// Decision.PredCycles; legs without a prediction never hedge.
 	HedgePredictive  bool
 	HedgeThresholdMS float64
+	// Anatomy, when set alongside Obs, receives a per-phase latency
+	// attribution for every executed query (cache hits are skipped —
+	// they have no phases to attribute). Registered on the observer's
+	// registry at Run start.
+	Anatomy *anatomy.Collector
+	// SLO, when set, is fed every query's latency and quality signal
+	// (degraded = any failed/truncated/dropped/shed shard) plus the
+	// fleet's average power, driving burn-rate alerting on the twin's
+	// virtual clock.
+	SLO *slo.QuerySLO
 
 	// runObs caches the current Run's metric handles (resolved once per
 	// Run so the per-query hot path never touches the registry).
@@ -381,6 +393,9 @@ func (e *Engine) Run(p Policy, evs []*Evaluated) RunResult {
 				obs.LatencyBucketsMS()),
 		}
 		e.Cluster.Register(reg) // idempotent: create-or-get
+		if e.Anatomy != nil {
+			e.Anatomy.Register(reg)
+		}
 	}
 	res := RunResult{Policy: p.Name(), Outcomes: make([]Outcome, 0, len(evs))}
 	for _, ev := range evs {
@@ -422,6 +437,9 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 				out.PAtK = 1
 			}
 			e.recordCacheHit(p, ev, out)
+			if e.SLO != nil {
+				e.SLO.ObserveQuery(out.LatencyMS, false)
+			}
 			p.Observe(out.LatencyMS)
 			return out
 		}
@@ -459,6 +477,7 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 	}
 	var lists [][]search.Hit
 	var execs []cluster.Execution // recorded for the trace (observer only)
+	var hedgeWaits []float64      // parallel to execs: hedge-timer wait on won legs
 	var truncBounds map[int]float64
 	aggDone := dispatch
 	anyDropped := false
@@ -496,6 +515,14 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 		}
 		if e.Obs != nil {
 			execs = append(execs, exec)
+			// A won hedge's leg was sent at dispatch+hedgeDelay; that wait
+			// is hedge time, not failover time, so recordQuery needs it to
+			// split the two apart.
+			hw := 0.0
+			if hr.Hedged && hr.Won {
+				hw = hedgeDelay
+			}
+			hedgeWaits = append(hedgeWaits, hw)
 		}
 		out.Failovers += exec.Failovers
 		if exec.Failed || exec.Dropped {
@@ -591,7 +618,13 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 			}
 		}
 	}
-	e.recordQuery(p, ev, d, arrive, dispatch, aggDone, execs, truncBounds, out)
+	e.recordQuery(p, ev, d, arrive, dispatch, aggDone, execs, hedgeWaits, truncBounds, out)
+	if e.SLO != nil {
+		degraded := out.FailedISNs > 0 || out.TruncatedISNs > 0 ||
+			out.DroppedISNs > 0 || out.ShedISNs > 0
+		e.SLO.ObserveQuery(out.LatencyMS, degraded)
+		e.SLO.ObservePower(e.Cluster.AveragePowerWatts())
+	}
 	p.Observe(out.LatencyMS)
 	return out
 }
@@ -614,7 +647,7 @@ func (e *Engine) recordCacheHit(p Policy, ev *Evaluated, out Outcome) {
 	root.SetAttr("cache", "hit")
 	root.SetAttr("query_id", strconv.Itoa(ev.Query.ID))
 	root.End(vtUS(ev.Query.ArrivalMS + out.LatencyMS))
-	e.Obs.Traces.Add(tb.Finish())
+	e.Obs.AddTrace(tb.Finish())
 }
 
 // recordQuery emits the simulated twin's observability for one replayed
@@ -626,7 +659,7 @@ func (e *Engine) recordCacheHit(p Policy, ev *Evaluated, out Outcome) {
 // simulator actually did.
 func (e *Engine) recordQuery(p Policy, ev *Evaluated, d Decision,
 	arrive, dispatch, aggDone float64, execs []cluster.Execution,
-	truncBounds map[int]float64, out Outcome) {
+	hedgeWaits []float64, truncBounds map[int]float64, out Outcome) {
 
 	if e.Obs == nil {
 		return
@@ -650,7 +683,7 @@ func (e *Engine) recordQuery(p Policy, ev *Evaluated, d Decision,
 	bs.End(vtUS(dispatch))
 
 	ss := tb.StartSpan("search", root.ID(), vtUS(dispatch))
-	for _, exec := range execs {
+	for i, exec := range execs {
 		leg := tb.StartSpan("search.isn", ss.ID(), vtUS(dispatch))
 		leg.SetISN(exec.Shard)
 		leg.SetAttr("replica", strconv.Itoa(exec.Replica))
@@ -658,6 +691,20 @@ func (e *Engine) recordQuery(p Policy, ev *Evaluated, d Decision,
 			leg.SetAttr("failovers", strconv.Itoa(exec.Failovers))
 		}
 		leg.SetAttr("freq_ghz", strconv.FormatFloat(exec.Freq, 'g', -1, 64))
+		// Phase attribution attrs: how much of this leg's span was a hedge
+		// timer vs failover detection vs real work. The leg span starts at
+		// dispatch, so the winning attempt's later send shows up here.
+		hw := 0.0
+		if i < len(hedgeWaits) {
+			hw = hedgeWaits[i]
+		}
+		if hw > 0 {
+			leg.SetAttr("hedged", "true")
+			leg.SetAttr("hedge_wait_ms", strconv.FormatFloat(hw, 'g', -1, 64))
+		}
+		if fo := e.Cluster.FailoverDelayMS(exec, dispatch) - hw; fo > 0 {
+			leg.SetAttr("failover_ms", strconv.FormatFloat(fo, 'g', -1, 64))
+		}
 		switch {
 		case exec.Failed:
 			leg.SetAttr("failed", "true")
@@ -683,7 +730,13 @@ func (e *Engine) recordQuery(p Policy, ev *Evaluated, d Decision,
 	ms := tb.StartSpan("merge", root.ID(), vtUS(aggDone))
 	ms.End(vtUS(aggDone))
 	root.End(vtUS(aggDone + e.Cluster.Net.ClientMS))
-	e.Obs.Traces.Add(tb.Finish())
+	tr := tb.Finish()
+	e.Obs.AddTrace(tr)
+	if e.Anatomy != nil {
+		if attr, ok := anatomy.FromTrace(tr); ok {
+			e.Anatomy.Observe(attr)
+		}
+	}
 
 	// Predictor accuracy, when the policy exposed its reports: the
 	// unmargined service-time prediction at the assigned frequency

@@ -1,0 +1,309 @@
+package anatomy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cottage/internal/obs"
+	"cottage/internal/stats"
+)
+
+// Collector aggregates per-query attributions into the tail-anatomy
+// surface: one fixed-bucket histogram per phase (exported as
+// cottage_phase_ms{phase=...}), per-bucket exemplar trace IDs (the last
+// trace to land in each bucket — follow a tail bucket's exemplar into
+// /debug/traces to see the full span tree behind it), and a ring of
+// recent attributions for exact quantiles and tail-ownership analysis.
+//
+// Observe is allocation-free: histogram updates are atomic, exemplar
+// slots are atomic stores, and the ring is preallocated behind a short
+// mutex. Report (the scrape/debug path) allocates freely.
+type Collector struct {
+	bounds  []float64
+	hists   [NumPhases]*obs.Histogram
+	total   *obs.Histogram
+	ex      [NumPhases][]atomic.Uint64
+	exTotal []atomic.Uint64
+
+	observed atomic.Uint64
+
+	mu     sync.Mutex
+	ring   []Attribution
+	next   int
+	filled int
+}
+
+// NewCollector builds a collector whose quantile window holds the last
+// `window` queries (minimum 16). Histograms use the shared latency
+// binning (obs.LatencyBucketsMS).
+func NewCollector(window int) *Collector {
+	if window < 16 {
+		window = 16
+	}
+	c := &Collector{
+		bounds: obs.LatencyBucketsMS(),
+		ring:   make([]Attribution, window),
+	}
+	for p := range c.hists {
+		c.hists[p] = obs.NewHistogram(c.bounds)
+		c.ex[p] = make([]atomic.Uint64, len(c.bounds)+1)
+	}
+	c.total = obs.NewHistogram(c.bounds)
+	c.exTotal = make([]atomic.Uint64, len(c.bounds)+1)
+	return c
+}
+
+// Register exports the collector's histograms and query counter on a
+// registry (idempotent under obs create-or-get semantics). Exemplar
+// trace IDs are not part of the Prometheus text format; they surface in
+// the Report / debug endpoint instead.
+func (c *Collector) Register(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		reg.Register("cottage_phase_ms",
+			"Per-phase latency attribution of each query's end-to-end time.",
+			c.hists[p], obs.L("phase", p.String()))
+	}
+	reg.Register("cottage_anatomy_total_ms",
+		"End-to-end latency as seen by the phase attributor.", c.total)
+	reg.GaugeFunc("cottage_anatomy_queries",
+		"Queries decomposed into phase attributions.",
+		func() float64 { return float64(c.observed.Load()) })
+}
+
+// Observe folds one query's attribution into the collector. Nil-safe,
+// allocation-free.
+func (c *Collector) Observe(a Attribution) {
+	if c == nil {
+		return
+	}
+	for p := 0; p < int(NumPhases); p++ {
+		v := a.Phase[p]
+		c.hists[p].Observe(v)
+		c.ex[p][sort.SearchFloat64s(c.bounds, v)].Store(a.TraceID)
+	}
+	c.total.Observe(a.TotalMS)
+	c.exTotal[sort.SearchFloat64s(c.bounds, a.TotalMS)].Store(a.TraceID)
+	c.observed.Add(1)
+	c.mu.Lock()
+	c.ring[c.next] = a
+	c.next = (c.next + 1) % len(c.ring)
+	if c.filled < len(c.ring) {
+		c.filled++
+	}
+	c.mu.Unlock()
+}
+
+// Observed returns how many attributions the collector has seen.
+func (c *Collector) Observed() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.observed.Load()
+}
+
+// PhaseReport is one phase's row in the anatomy report.
+type PhaseReport struct {
+	Phase  string  `json:"phase"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	// TailMeanMS is the phase's mean over the tail queries (end-to-end
+	// >= p99); TailShare is its fraction of those queries' total time —
+	// "who owns the p99" is the argmax of this column.
+	TailMeanMS float64 `json:"tail_mean_ms"`
+	TailShare  float64 `json:"tail_share"`
+	// ExemplarTrace is a trace ID from the phase's highest occupied
+	// histogram bucket (0 when the phase never fired) — a concrete worst
+	// case to pull from /debug/traces.
+	ExemplarTrace uint64 `json:"exemplar_trace,omitempty"`
+}
+
+// Report is a point-in-time anatomy analysis over the quantile window.
+type Report struct {
+	// Queries counts every attribution ever observed; Window is how many
+	// of the most recent ones back the quantiles below.
+	Queries uint64 `json:"queries"`
+	Window  int    `json:"window"`
+
+	TotalMeanMS float64 `json:"total_mean_ms"`
+	TotalP50MS  float64 `json:"total_p50_ms"`
+	TotalP95MS  float64 `json:"total_p95_ms"`
+	TotalP99MS  float64 `json:"total_p99_ms"`
+
+	Phases []PhaseReport `json:"phases"`
+
+	// TailOwner is the phase with the largest share of tail-query time;
+	// TailCount is how many window queries sit at or above the p99.
+	TailOwner string `json:"tail_owner"`
+	TailCount int    `json:"tail_count"`
+
+	// MeanCoverage / MinCoverage report reconciliation: the fraction of
+	// each query's end-to-end latency covered by named phases (everything
+	// but "other"), averaged / worst-case over the window.
+	MeanCoverage float64 `json:"mean_coverage"`
+	MinCoverage  float64 `json:"min_coverage"`
+
+	// ExemplarTrace is a trace ID from the slowest occupied bucket of
+	// the end-to-end histogram.
+	ExemplarTrace uint64 `json:"exemplar_trace,omitempty"`
+}
+
+// exemplar returns the trace ID stored in the highest occupied bucket
+// of hist, using slots as the per-bucket exemplar store.
+func exemplar(hist *obs.Histogram, slots []atomic.Uint64) uint64 {
+	s := hist.Snapshot()
+	for i := len(s.Counts) - 1; i >= 0; i-- {
+		if s.Counts[i] > 0 {
+			if id := slots[i].Load(); id != 0 {
+				return id
+			}
+		}
+	}
+	return 0
+}
+
+// Report computes the anatomy analysis over the current window.
+func (c *Collector) Report() Report {
+	rep := Report{Queries: c.Observed()}
+	if c == nil {
+		return rep
+	}
+	c.mu.Lock()
+	win := make([]Attribution, c.filled)
+	// Ring order does not matter for quantiles; copy in storage order.
+	copy(win, c.ring[:c.filled])
+	c.mu.Unlock()
+	rep.Window = len(win)
+	if len(win) == 0 {
+		return rep
+	}
+
+	totals := make([]float64, len(win))
+	phaseVals := make([][]float64, NumPhases)
+	for p := range phaseVals {
+		phaseVals[p] = make([]float64, len(win))
+	}
+	minCov, sumCov := 1.0, 0.0
+	for i := range win {
+		totals[i] = win[i].TotalMS
+		for p := 0; p < int(NumPhases); p++ {
+			phaseVals[p][i] = win[i].Phase[p]
+		}
+		cov := 1.0
+		if win[i].TotalMS > 0 {
+			cov = win[i].NamedMS() / win[i].TotalMS
+			if cov > 1 {
+				cov = 1
+			}
+		}
+		sumCov += cov
+		if cov < minCov {
+			minCov = cov
+		}
+	}
+	rep.MeanCoverage = sumCov / float64(len(win))
+	rep.MinCoverage = minCov
+	rep.TotalMeanMS = stats.Mean(totals)
+	rep.TotalP50MS = stats.Percentile(totals, 50)
+	rep.TotalP95MS = stats.Percentile(totals, 95)
+	rep.TotalP99MS = stats.Percentile(totals, 99)
+	rep.ExemplarTrace = exemplar(c.total, c.exTotal)
+
+	// Tail set: window queries at or above the end-to-end p99.
+	tailTotal := 0.0
+	tailPhase := make([]float64, NumPhases)
+	for i := range win {
+		if win[i].TotalMS < rep.TotalP99MS {
+			continue
+		}
+		rep.TailCount++
+		tailTotal += win[i].TotalMS
+		for p := 0; p < int(NumPhases); p++ {
+			tailPhase[p] += win[i].Phase[p]
+		}
+	}
+
+	rep.Phases = make([]PhaseReport, NumPhases)
+	ownerShare := -1.0
+	for p := Phase(0); p < NumPhases; p++ {
+		pr := PhaseReport{
+			Phase:         p.String(),
+			MeanMS:        stats.Mean(phaseVals[p]),
+			P50MS:         stats.Percentile(phaseVals[p], 50),
+			P95MS:         stats.Percentile(phaseVals[p], 95),
+			P99MS:         stats.Percentile(phaseVals[p], 99),
+			ExemplarTrace: exemplar(c.hists[p], c.ex[p]),
+		}
+		if rep.TailCount > 0 {
+			pr.TailMeanMS = tailPhase[p] / float64(rep.TailCount)
+		}
+		if tailTotal > 0 {
+			pr.TailShare = tailPhase[p] / tailTotal
+		}
+		rep.Phases[p] = pr
+		if p != PhaseOther && pr.TailShare > ownerShare {
+			ownerShare = pr.TailShare
+			rep.TailOwner = pr.Phase
+		}
+	}
+	return rep
+}
+
+// WriteText renders the report as the fixed-width table the harness
+// experiment prints. Deterministic for identical reports.
+func (r Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-16s %9s %9s %9s %9s %10s\n",
+		"phase", "mean ms", "p50 ms", "p95 ms", "p99 ms", "tail-share"); err != nil {
+		return err
+	}
+	for _, pr := range r.Phases {
+		if _, err := fmt.Fprintf(w, "%-16s %9.3f %9.3f %9.3f %9.3f %10.3f\n",
+			pr.Phase, pr.MeanMS, pr.P50MS, pr.P95MS, pr.P99MS, pr.TailShare); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-16s %9.3f %9.3f %9.3f %9.3f\n",
+		"total", r.TotalMeanMS, r.TotalP50MS, r.TotalP95MS, r.TotalP99MS); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"p99 owner: %s (%.1f%% of tail latency over %d tail queries); named phases cover %.1f%% of latency (min %.1f%%)\n",
+		r.TailOwner, 100*tailShareOf(r), r.TailCount, 100*r.MeanCoverage, 100*r.MinCoverage)
+	return err
+}
+
+func tailShareOf(r Report) float64 {
+	for _, pr := range r.Phases {
+		if pr.Phase == r.TailOwner {
+			return pr.TailShare
+		}
+	}
+	return 0
+}
+
+// Handler serves the collector's report over HTTP: JSON by default,
+// the fixed-width table with ?format=text — the /debug/anatomy
+// endpoint.
+func Handler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rep := c.Report()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = rep.WriteText(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+}

@@ -1,0 +1,149 @@
+package anatomy
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cottage/internal/obs"
+)
+
+// attrWith builds an attribution whose total is queue+search+network.
+func attrWith(id uint64, queue, search, network float64) Attribution {
+	var a Attribution
+	a.TraceID = id
+	a.Phase[PhaseQueue] = queue
+	a.Phase[PhaseSearch] = search
+	a.Phase[PhaseNetwork] = network
+	a.TotalMS = queue + search + network
+	return a
+}
+
+func TestCollectorReport(t *testing.T) {
+	c := NewCollector(128)
+	// 99 fast queries dominated by search, one slow one dominated by
+	// queue wait — the tail owner must be the queue.
+	for i := 0; i < 99; i++ {
+		c.Observe(attrWith(uint64(i+1), 0.1, 5, 0.4))
+	}
+	c.Observe(attrWith(555, 80, 5, 0.4))
+
+	rep := c.Report()
+	if rep.Queries != 100 || rep.Window != 100 {
+		t.Fatalf("queries=%d window=%d", rep.Queries, rep.Window)
+	}
+	if rep.TailOwner != "admission-queue" {
+		t.Errorf("tail owner = %q, want admission-queue", rep.TailOwner)
+	}
+	if rep.TailCount < 1 {
+		t.Errorf("tail count = %d", rep.TailCount)
+	}
+	if rep.TotalP50MS < 5 || rep.TotalP50MS > 6 {
+		t.Errorf("p50 = %v", rep.TotalP50MS)
+	}
+	// Interpolated p99 sits between the fast cluster (5.5) and the slow
+	// outlier; the tail set is exactly the outlier.
+	if rep.TotalP99MS <= 5.5 {
+		t.Errorf("p99 = %v, want above the fast cluster", rep.TotalP99MS)
+	}
+	if rep.TailCount != 1 {
+		t.Errorf("tail count = %d, want 1", rep.TailCount)
+	}
+	// Every attribution was fully named: coverage is exactly 1.
+	if rep.MeanCoverage != 1 || rep.MinCoverage != 1 {
+		t.Errorf("coverage mean=%v min=%v", rep.MeanCoverage, rep.MinCoverage)
+	}
+	// The slow query sits alone in the top total bucket: its trace ID is
+	// the report exemplar.
+	if rep.ExemplarTrace != 555 {
+		t.Errorf("exemplar = %d, want 555", rep.ExemplarTrace)
+	}
+	if got := rep.Phases[PhaseQueue].ExemplarTrace; got != 555 {
+		t.Errorf("queue exemplar = %d, want 555", got)
+	}
+}
+
+func TestCollectorRegisterExports(t *testing.T) {
+	c := NewCollector(16)
+	reg := obs.NewRegistry()
+	c.Register(reg)
+	c.Register(reg) // idempotent
+	c.Observe(attrWith(1, 1, 2, 3))
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`cottage_phase_ms_bucket{phase="admission-queue"`,
+		`cottage_phase_ms_bucket{phase="search"`,
+		"cottage_anatomy_total_ms_bucket",
+		"cottage_anatomy_queries 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+func TestCollectorNilAndEmpty(t *testing.T) {
+	var c *Collector
+	c.Observe(Attribution{}) // must not panic
+	if c.Observed() != 0 {
+		t.Error("nil collector observed != 0")
+	}
+	rep := NewCollector(16).Report()
+	if rep.Window != 0 || rep.TailCount != 0 {
+		t.Errorf("empty report window=%d tail=%d", rep.Window, rep.TailCount)
+	}
+}
+
+func TestReportWriteTextShape(t *testing.T) {
+	c := NewCollector(16)
+	c.Observe(attrWith(1, 1, 8, 1))
+	var sb strings.Builder
+	if err := c.Report().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + one row per phase + total + owner line.
+	if want := 1 + int(NumPhases) + 1 + 1; len(lines) != want {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), want, out)
+	}
+	if !strings.Contains(out, "p99 owner: search") {
+		t.Errorf("owner line wrong:\n%s", out)
+	}
+}
+
+func TestAnatomyHandler(t *testing.T) {
+	c := NewCollector(16)
+	c.Observe(attrWith(3, 1, 4, 1))
+	h := Handler(c)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/anatomy", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var rep Report
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rep.Window != 1 || len(rep.Phases) != int(NumPhases) {
+		t.Errorf("window=%d phases=%d", rep.Window, len(rep.Phases))
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/anatomy?format=text", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("text content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "p99 owner:") {
+		t.Errorf("text body missing owner line")
+	}
+}

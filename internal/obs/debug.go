@@ -9,13 +9,25 @@ import (
 	"strconv"
 )
 
+// Endpoint is an extra route mounted on the debug mux — how packages
+// that depend on obs (anatomy, slo) expose their handlers without obs
+// importing them back.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
+}
+
 // NewDebugMux builds the debug HTTP surface for an Observer:
 //
 //	/metrics        Prometheus text exposition
 //	/healthz        liveness ("ok")
 //	/debug/traces   recent span trees as JSON (?n= limit, ?format=jsonl)
+//	/debug/flight   flight-recorder holdings (?format=jsonl)
 //	/debug/pprof/*  net/http/pprof
-func NewDebugMux(o *Observer) *http.ServeMux {
+//
+// plus any extra endpoints (e.g. /debug/anatomy via anatomy.Handler,
+// /debug/slo via slo.Handler).
+func NewDebugMux(o *Observer, extras ...Endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -65,11 +77,31 @@ func NewDebugMux(o *Observer) *http.ServeMux {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(snap)
 	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		var fr *FlightRecorder
+		if o != nil {
+			fr = o.Flight
+		}
+		if r.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_, _ = fr.WriteJSONL(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(fr.Snapshot())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extras {
+		if e.Path != "" && e.Handler != nil {
+			mux.Handle(e.Path, e.Handler)
+		}
+	}
 	return mux
 }
 
@@ -80,13 +112,19 @@ type Debug struct {
 }
 
 // StartDebug serves the debug mux on addr (e.g. "127.0.0.1:8080"; pass
-// ":0" for an ephemeral port) in a background goroutine.
-func StartDebug(addr string, o *Observer) (*Debug, error) {
+// ":0" for an ephemeral port) in a background goroutine. Go runtime
+// health gauges (goroutines, heap, GC pauses) are registered on the
+// observer's registry as a side effect — any process with a debug
+// listener reports its own health.
+func StartDebug(addr string, o *Observer, extras ...Endpoint) (*Debug, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	d := &Debug{ln: ln, srv: &http.Server{Handler: NewDebugMux(o)}}
+	if o != nil {
+		RegisterRuntimeMetrics(o.Reg)
+	}
+	d := &Debug{ln: ln, srv: &http.Server{Handler: NewDebugMux(o, extras...)}}
 	go func() { _ = d.srv.Serve(ln) }()
 	return d, nil
 }

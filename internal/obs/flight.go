@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// FlightRecorder is the always-on trace keeper: per time window it
+// retains the slowest-N full traces (current window plus the previous
+// one, so a fresh window never forgets the tail that just happened)
+// and a deterministic reservoir sample of everything else — the
+// "normal" baseline the slow traces are compared against. Overhead is
+// one short mutex per completed query; traces are held by pointer, so
+// the recorder adds no copies beyond what the trace ring already keeps.
+//
+// Dumps are JSONL — one {"kind","dur_us","trace"} object per line —
+// via WriteJSONL, DumpFile, or the /debug/flight endpoint.
+type FlightRecorder struct {
+	mu       sync.Mutex
+	slowN    int
+	resN     int
+	windowUS int64
+
+	winStart int64
+	cur      []flightEntry
+	prev     []flightEntry
+
+	res     []*Trace
+	resSeen uint64
+	rng     uint64
+
+	added uint64
+}
+
+type flightEntry struct {
+	durUS int64
+	t     *Trace
+}
+
+// NewFlightRecorder keeps the slowN slowest traces per window (window
+// in microseconds of trace start time — wall or virtual, whichever
+// clock the traces carry) plus a reservoir of resN others. windowUS <=
+// 0 means one unbounded window.
+func NewFlightRecorder(slowN, resN int, windowUS int64) *FlightRecorder {
+	if slowN < 1 {
+		slowN = 1
+	}
+	if resN < 0 {
+		resN = 0
+	}
+	return &FlightRecorder{
+		slowN:    slowN,
+		resN:     resN,
+		windowUS: windowUS,
+		winStart: -1,
+		rng:      0x9e3779b97f4a7c15, // fixed seed: deterministic sampling
+	}
+}
+
+// xorshift64 advances the reservoir PRNG (deterministic across runs).
+func (f *FlightRecorder) next() uint64 {
+	f.rng ^= f.rng << 13
+	f.rng ^= f.rng >> 7
+	f.rng ^= f.rng << 17
+	return f.rng
+}
+
+// Add considers one completed trace. Nil-safe; safe for concurrent use.
+func (f *FlightRecorder) Add(t *Trace) {
+	if f == nil || t == nil {
+		return
+	}
+	var dur int64
+	if root := t.Root(); root != nil {
+		dur = root.DurUS
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.added++
+	if f.winStart < 0 {
+		f.winStart = t.StartUnixUS
+	}
+	if f.windowUS > 0 && t.StartUnixUS >= f.winStart+f.windowUS {
+		// Rotate: the finished window's slowest become "previous", so a
+		// dump right after rotation still shows the tail just recorded.
+		steps := (t.StartUnixUS - f.winStart) / f.windowUS
+		f.prev, f.cur = f.cur, nil
+		if steps > 1 {
+			f.prev = nil // a whole empty window elapsed in between
+		}
+		f.winStart += steps * f.windowUS
+	}
+	if len(f.cur) < f.slowN {
+		f.cur = append(f.cur, flightEntry{dur, t})
+		return
+	}
+	// Displace the window's current fastest "slow" trace if this one is
+	// slower; the displaced (or this) trace falls through to the
+	// reservoir of normals.
+	minI := 0
+	for i := 1; i < len(f.cur); i++ {
+		if f.cur[i].durUS < f.cur[minI].durUS {
+			minI = i
+		}
+	}
+	sample := t
+	if dur > f.cur[minI].durUS {
+		sample = f.cur[minI].t
+		f.cur[minI] = flightEntry{dur, t}
+	}
+	if f.resN == 0 {
+		return
+	}
+	f.resSeen++
+	if len(f.res) < f.resN {
+		f.res = append(f.res, sample)
+		return
+	}
+	if j := f.next() % f.resSeen; j < uint64(f.resN) {
+		f.res[j] = sample
+	}
+}
+
+// Snapshot is the recorder's current holdings.
+type FlightSnapshot struct {
+	// Added counts every trace ever offered to the recorder.
+	Added uint64 `json:"added"`
+	// Slowest holds the retained tail traces (current + previous
+	// window), slowest first.
+	Slowest []*Trace `json:"slowest"`
+	// Reservoir holds the deterministic sample of normal traces.
+	Reservoir []*Trace `json:"reservoir"`
+}
+
+// Snapshot copies the recorder's current state.
+func (f *FlightRecorder) Snapshot() FlightSnapshot {
+	if f == nil {
+		return FlightSnapshot{Slowest: []*Trace{}, Reservoir: []*Trace{}}
+	}
+	f.mu.Lock()
+	entries := make([]flightEntry, 0, len(f.cur)+len(f.prev))
+	entries = append(entries, f.cur...)
+	entries = append(entries, f.prev...)
+	res := append([]*Trace(nil), f.res...)
+	added := f.added
+	f.mu.Unlock()
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].durUS > entries[j].durUS })
+	slow := make([]*Trace, len(entries))
+	for i, e := range entries {
+		slow[i] = e.t
+	}
+	if res == nil {
+		res = []*Trace{}
+	}
+	return FlightSnapshot{Added: added, Slowest: slow, Reservoir: res}
+}
+
+// flightLine is one JSONL dump record.
+type flightLine struct {
+	Kind  string `json:"kind"` // "slow" or "sample"
+	DurUS int64  `json:"dur_us"`
+	Trace *Trace `json:"trace"`
+}
+
+func rootDurUS(t *Trace) int64 {
+	if root := t.Root(); root != nil {
+		return root.DurUS
+	}
+	return 0
+}
+
+// WriteJSONL streams the recorder's holdings, slow traces first, one
+// JSON object per line. Returns the number of lines written.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) (int, error) {
+	snap := f.Snapshot()
+	enc := json.NewEncoder(w)
+	lines := 0
+	for _, t := range snap.Slowest {
+		if err := enc.Encode(flightLine{Kind: "slow", DurUS: rootDurUS(t), Trace: t}); err != nil {
+			return lines, err
+		}
+		lines++
+	}
+	for _, t := range snap.Reservoir {
+		if err := enc.Encode(flightLine{Kind: "sample", DurUS: rootDurUS(t), Trace: t}); err != nil {
+			return lines, err
+		}
+		lines++
+	}
+	return lines, nil
+}
+
+// DumpFile writes the JSONL dump to path, returning the line count.
+func (f *FlightRecorder) DumpFile(path string) (int, error) {
+	file, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, werr := f.WriteJSONL(file)
+	if cerr := file.Close(); werr == nil {
+		werr = cerr
+	}
+	return n, werr
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// flightTrace builds a single-span trace starting at startUS lasting
+// durUS.
+func flightTrace(id uint64, startUS, durUS int64) *Trace {
+	return &Trace{ID: id, StartUnixUS: startUS, Spans: []Span{
+		{Trace: id, ID: 1, Parent: 0, Name: "query", ISN: -1, StartUS: startUS, DurUS: durUS},
+	}}
+}
+
+func TestFlightKeepsSlowest(t *testing.T) {
+	f := NewFlightRecorder(3, 2, 0)
+	for i := int64(1); i <= 10; i++ {
+		f.Add(flightTrace(uint64(i), i*1000, i*100)) // durations 100..1000
+	}
+	snap := f.Snapshot()
+	if snap.Added != 10 {
+		t.Fatalf("added = %d", snap.Added)
+	}
+	if len(snap.Slowest) != 3 {
+		t.Fatalf("slowest = %d traces", len(snap.Slowest))
+	}
+	// Slowest first: traces 10, 9, 8.
+	for i, want := range []uint64{10, 9, 8} {
+		if snap.Slowest[i].ID != want {
+			t.Errorf("slowest[%d] = trace %d, want %d", i, snap.Slowest[i].ID, want)
+		}
+	}
+	if len(snap.Reservoir) != 2 {
+		t.Errorf("reservoir = %d traces, want 2", len(snap.Reservoir))
+	}
+}
+
+func TestFlightWindowRotation(t *testing.T) {
+	f := NewFlightRecorder(2, 0, 1000)
+	f.Add(flightTrace(1, 0, 500))
+	f.Add(flightTrace(2, 100, 900))
+	// Next window: the first window's slowest become "previous".
+	f.Add(flightTrace(3, 1500, 50))
+	snap := f.Snapshot()
+	if len(snap.Slowest) != 3 {
+		t.Fatalf("slowest after rotation = %d, want current+previous = 3", len(snap.Slowest))
+	}
+	// A whole empty window elapsing drops the previous window.
+	f.Add(flightTrace(4, 5000, 10))
+	snap = f.Snapshot()
+	if len(snap.Slowest) != 1 {
+		t.Fatalf("slowest after gap = %d, want 1", len(snap.Slowest))
+	}
+	if snap.Slowest[0].ID != 4 {
+		t.Errorf("survivor = trace %d, want 4", snap.Slowest[0].ID)
+	}
+}
+
+func TestFlightDeterministicSampling(t *testing.T) {
+	run := func() []uint64 {
+		f := NewFlightRecorder(2, 3, 0)
+		for i := int64(1); i <= 100; i++ {
+			f.Add(flightTrace(uint64(i), i, 100-i))
+		}
+		var ids []uint64
+		for _, tr := range f.Snapshot().Reservoir {
+			ids = append(ids, tr.ID)
+		}
+		return ids
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("reservoir sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reservoir not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestFlightWriteJSONL(t *testing.T) {
+	f := NewFlightRecorder(2, 2, 0)
+	for i := int64(1); i <= 6; i++ {
+		f.Add(flightTrace(uint64(i), i, i*10))
+	}
+	var sb strings.Builder
+	n, err := f.WriteJSONL(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if n != len(lines) || n != 4 { // 2 slow + 2 sampled
+		t.Fatalf("n=%d lines=%d, want 4", n, len(lines))
+	}
+	if !strings.Contains(lines[0], `"kind":"slow"`) {
+		t.Errorf("first line not slow: %s", lines[0])
+	}
+	if !strings.Contains(lines[n-1], `"kind":"sample"`) {
+		t.Errorf("last line not sample: %s", lines[n-1])
+	}
+}
+
+func TestFlightDumpFile(t *testing.T) {
+	f := NewFlightRecorder(2, 0, 0)
+	f.Add(flightTrace(1, 0, 100))
+	path := t.TempDir() + "/flight.jsonl"
+	n, err := f.DumpFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("dumped %d lines, want 1", n)
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Add(flightTrace(1, 0, 1))
+	snap := f.Snapshot()
+	if snap.Added != 0 || len(snap.Slowest) != 0 || len(snap.Reservoir) != 0 {
+		t.Errorf("nil snapshot %+v", snap)
+	}
+	var sb strings.Builder
+	if n, err := f.WriteJSONL(&sb); n != 0 || err != nil {
+		t.Errorf("nil WriteJSONL = %d, %v", n, err)
+	}
+}
+
+func TestObserverAddTraceFeedsFlight(t *testing.T) {
+	o := NewObserver(2, 4)
+	o.Flight = NewFlightRecorder(2, 0, 0)
+	o.AddTrace(flightTrace(9, 0, 123))
+	if o.Traces.Total() != 1 {
+		t.Error("ring missed the trace")
+	}
+	if snap := o.Flight.Snapshot(); snap.Added != 1 {
+		t.Error("flight recorder missed the trace")
+	}
+	var nilObs *Observer
+	nilObs.AddTrace(flightTrace(1, 0, 1)) // must not panic
+}

@@ -27,14 +27,18 @@ import (
 	"time"
 )
 
-// Observer bundles the three observability surfaces a component needs:
-// the metrics registry, the trace ring buffer, and the rolling
-// predictor-accuracy tracker. A nil *Observer disables all recording;
-// every integration point checks for nil before touching it.
+// Observer bundles the observability surfaces a component needs: the
+// metrics registry, the trace ring buffer, the rolling
+// predictor-accuracy tracker, and (optionally) a flight recorder fed
+// alongside the ring. A nil *Observer disables all recording; every
+// integration point checks for nil before touching it.
 type Observer struct {
 	Reg    *Registry
 	Traces *Recorder
 	Acc    *Accuracy
+	// Flight, when set, additionally keeps the slowest traces per window
+	// plus a reservoir sample (see FlightRecorder). Feed it via AddTrace.
+	Flight *FlightRecorder
 }
 
 // NewObserver builds an Observer with numISNs predictor-accuracy slots
@@ -47,7 +51,20 @@ func NewObserver(numISNs, ringSize int) *Observer {
 		Acc:    NewAccuracy(numISNs),
 	}
 	o.Acc.Register(o.Reg)
+	o.Reg.Register("cottage_trace_spans_dropped_total",
+		"Grafted spans dropped by the per-trace span cap (process-wide).",
+		&droppedSpans)
 	return o
+}
+
+// AddTrace records a completed trace in the ring buffer and, when a
+// flight recorder is attached, offers it there too. Nil-safe.
+func (o *Observer) AddTrace(t *Trace) {
+	if o == nil {
+		return
+	}
+	o.Traces.Add(t)
+	o.Flight.Add(t)
 }
 
 // ID generation: a process-seeded SplitMix64 stream. IDs are unique

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"errors"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// memSampler caches runtime.ReadMemStats behind a minimum interval:
+// ReadMemStats stops the world, so three gauges scraped together must
+// not pay for it three times (nor at all on a tight scrape loop).
+type memSampler struct {
+	mu       sync.Mutex
+	last     time.Time
+	ms       runtime.MemStats
+	minEvery time.Duration
+}
+
+func (s *memSampler) stats() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.last) >= s.minEvery {
+		runtime.ReadMemStats(&s.ms)
+		s.last = now
+	}
+	return s.ms
+}
+
+// gcPauseP99MS computes the p99 of the runtime's recent GC pause ring.
+func gcPauseP99MS(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	copy(pauses, ms.PauseNs[:n])
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := (99*n + 99) / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return float64(pauses[idx]) / 1e6
+}
+
+// RegisterRuntimeMetrics exports Go process health on a registry:
+// goroutine count, heap in use, GC pause p99 and GC cycle count —
+// /metrics covers the process, not just the application counters.
+// Idempotent (create-or-get), called automatically by StartDebug.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	s := &memSampler{minEvery: time.Second}
+	reg.GaugeFunc("cottage_go_goroutines",
+		"Live goroutines.", func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("cottage_go_heap_inuse_bytes",
+		"Heap bytes in use (runtime.MemStats.HeapInuse, sampled at most 1/s).",
+		func() float64 { ms := s.stats(); return float64(ms.HeapInuse) })
+	reg.GaugeFunc("cottage_go_gc_pause_p99_ms",
+		"p99 of recent GC stop-the-world pauses.",
+		func() float64 { ms := s.stats(); return gcPauseP99MS(&ms) })
+	reg.GaugeFunc("cottage_go_gc_total",
+		"Completed GC cycles.",
+		func() float64 { ms := s.stats(); return float64(ms.NumGC) })
+}
+
+// ErrProfileActive is returned when a CPU capture is already running —
+// pprof allows only one, and a burn-rate flap must not stack captures.
+var ErrProfileActive = errors.New("obs: cpu profile capture already active")
+
+var cpuProfiling atomic.Bool
+
+// CaptureCPUProfile records a CPU profile to path for dur and returns
+// once the profile is flushed (the breach-triggered capture: an SLO
+// page spawns this in a goroutine and goes back to serving; the caller
+// owns the goroutine so it can wait for the flush before exiting). At
+// most one capture runs at a time; a second request during a capture
+// returns ErrProfileActive.
+func CaptureCPUProfile(path string, dur time.Duration) error {
+	if !cpuProfiling.CompareAndSwap(false, true) {
+		return ErrProfileActive
+	}
+	defer cpuProfiling.Store(false)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	time.Sleep(dur)
+	pprof.StopCPUProfile()
+	return f.Close()
+}

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestCaptureCPUProfile(t *testing.T) {
+	path := t.TempDir() + "/cpu.pprof"
+	done := make(chan error, 1)
+	go func() { done <- CaptureCPUProfile(path, 150*time.Millisecond) }()
+	// A second capture while the first runs must be refused, not queued.
+	time.Sleep(30 * time.Millisecond)
+	if err := CaptureCPUProfile(path+".2", time.Millisecond); !errors.Is(err, ErrProfileActive) {
+		t.Errorf("concurrent capture = %v, want ErrProfileActive", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous contract: the profile is flushed by the time it returns.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Error("profile file is empty after capture returned")
+	}
+	// And the slot is free again.
+	if err := CaptureCPUProfile(path, time.Millisecond); err != nil {
+		t.Errorf("capture after release: %v", err)
+	}
+}

@@ -31,6 +31,11 @@ type Trace struct {
 	ID          uint64 `json:"id"`
 	StartUnixUS int64  `json:"start_unix_us"`
 	Spans       []Span `json:"spans"`
+	// DroppedSpans counts grafted spans the builder's span cap refused —
+	// a trace that hit the bound under failover+hedge fan-out is still
+	// complete on the aggregator side, just missing some server-side
+	// children.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
 }
 
 // Find returns the first span with the given name, or nil.
@@ -109,21 +114,52 @@ type ReportRecord struct {
 	ScoreBound float64 `json:"score_bound,omitempty"`
 }
 
+// DefaultMaxSpans is the per-trace cap on grafted (server-side) spans.
+// The builder's own spans are structurally bounded by the query's
+// fan-out, but grafted serve-spans arrive one batch per attempt — under
+// failover+hedge churn a single hot trace could otherwise grow a ring
+// entry without bound.
+const DefaultMaxSpans = 512
+
+// droppedSpans counts cap-refused grafts process-wide; NewObserver
+// registers it as cottage_trace_spans_dropped_total.
+var droppedSpans Counter
+
+// DroppedSpanTotal returns the process-wide count of spans refused by
+// trace span caps.
+func DroppedSpanTotal() uint64 { return droppedSpans.Value() }
+
 // TraceBuilder accumulates one query's spans. All methods are safe on a
 // nil receiver (no-ops), so call sites need no Obs-enabled branching.
 // Span appends take one short mutex acquisition — the builder is per
 // query, so contention is bounded by that query's own fan-out.
 type TraceBuilder struct {
-	mu    sync.Mutex
-	trace uint64
-	start int64
-	spans []Span
+	mu      sync.Mutex
+	trace   uint64
+	start   int64
+	max     int
+	dropped int
+	spans   []Span
 }
 
 // NewTraceBuilder opens a trace. startUnixUS is informational (the ring
 // buffer's notion of when the query ran); span times are independent.
 func NewTraceBuilder(startUnixUS int64) *TraceBuilder {
-	return &TraceBuilder{trace: NewID(), start: startUnixUS}
+	return &TraceBuilder{trace: NewID(), start: startUnixUS, max: DefaultMaxSpans}
+}
+
+// SetMaxSpans overrides the grafted-span cap (<= 0 restores the
+// default). Call before recording.
+func (b *TraceBuilder) SetMaxSpans(n int) {
+	if b == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultMaxSpans
+	}
+	b.mu.Lock()
+	b.max = n
+	b.mu.Unlock()
 }
 
 // TraceID returns the trace's ID, or 0 on a nil builder.
@@ -149,7 +185,10 @@ func (b *TraceBuilder) StartSpan(name string, parent uint64, startUS int64) *Act
 // AddSpans grafts externally recorded spans (e.g. the server-side spans
 // an RPC response carried back) into the trace. Spans from a different
 // trace are re-homed: that happens when a hedged retry re-sent the
-// request and the server echoed stale IDs.
+// request and the server echoed stale IDs. Grafts beyond the builder's
+// span cap are dropped and counted (Trace.DroppedSpans and the
+// process-wide cottage_trace_spans_dropped_total) — the builder's own
+// spans are never capped, so the aggregator-side tree stays intact.
 func (b *TraceBuilder) AddSpans(spans []Span) {
 	if b == nil || len(spans) == 0 {
 		return
@@ -157,6 +196,11 @@ func (b *TraceBuilder) AddSpans(spans []Span) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for _, s := range spans {
+		if len(b.spans) >= b.max {
+			b.dropped++
+			droppedSpans.Inc()
+			continue
+		}
 		s.Trace = b.trace
 		b.spans = append(b.spans, s)
 	}
@@ -172,7 +216,7 @@ func (b *TraceBuilder) Finish() *Trace {
 	defer b.mu.Unlock()
 	spans := append([]Span(nil), b.spans...)
 	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartUS < spans[j].StartUS })
-	return &Trace{ID: b.trace, StartUnixUS: b.start, Spans: spans}
+	return &Trace{ID: b.trace, StartUnixUS: b.start, Spans: spans, DroppedSpans: b.dropped}
 }
 
 // ActiveSpan is an open span. All methods are nil-safe no-ops.

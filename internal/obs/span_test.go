@@ -146,3 +146,44 @@ func TestRecorderJSONL(t *testing.T) {
 		t.Fatalf("JSONL ids = %v, want [1 3]", ids)
 	}
 }
+
+func TestAddSpansCapDropsGrafts(t *testing.T) {
+	tb := NewTraceBuilder(0)
+	tb.SetMaxSpans(4)
+	root := tb.StartSpan("query", 0, 0)
+	before := DroppedSpanTotal()
+	// Graft more serve-spans than the cap allows.
+	for i := 0; i < 10; i++ {
+		tb.AddSpans([]Span{{ID: NewID(), Parent: root.ID(), Name: "serve.search", StartUS: int64(i), DurUS: 1}})
+	}
+	// The builder's own spans are never capped: the root still lands.
+	root.End(100)
+	tr := tb.Finish()
+	if got := len(tr.Spans); got != 5 { // 4 grafts + root
+		t.Fatalf("kept %d spans, want 5", got)
+	}
+	if tr.DroppedSpans != 6 {
+		t.Fatalf("DroppedSpans = %d, want 6", tr.DroppedSpans)
+	}
+	if got := DroppedSpanTotal() - before; got != 6 {
+		t.Fatalf("process-wide drop counter advanced %d, want 6", got)
+	}
+	if tr.Root() == nil {
+		t.Fatal("root span was dropped")
+	}
+}
+
+func TestSetMaxSpansDefaults(t *testing.T) {
+	tb := NewTraceBuilder(0)
+	tb.SetMaxSpans(-1) // restores the default
+	spans := make([]Span, DefaultMaxSpans+5)
+	for i := range spans {
+		spans[i] = Span{ID: NewID(), Name: "serve.search"}
+	}
+	tb.AddSpans(spans)
+	if tr := tb.Finish(); len(tr.Spans) != DefaultMaxSpans || tr.DroppedSpans != 5 {
+		t.Fatalf("kept %d dropped %d, want %d/5", len(tr.Spans), tr.DroppedSpans, DefaultMaxSpans)
+	}
+	var nilB *TraceBuilder
+	nilB.SetMaxSpans(10) // nil-safe
+}

@@ -47,6 +47,10 @@ type Limiter struct {
 	// fields they describe.
 	admitted obs.Counter
 	shed     obs.Counter
+	// waitHist, when Register attached one, records every admitted
+	// request's queue wait (0 for fast-path admissions) — the live
+	// counterpart of the anatomy report's admission-queue phase.
+	waitHist *obs.Histogram
 }
 
 // LimiterStats is a snapshot of a Limiter's counters and occupancy.
@@ -110,6 +114,9 @@ func (l *Limiter) Acquire(maxWait time.Duration) error {
 	if l.inflight < l.limit && len(l.queue) == 0 {
 		l.inflight++
 		l.admitted.Inc()
+		if h := l.waitHist; h != nil {
+			h.Observe(0)
+		}
 		l.mu.Unlock()
 		return nil
 	}
@@ -154,6 +161,9 @@ func (l *Limiter) grantLocked() {
 		}
 		l.inflight++
 		l.admitted.Inc()
+		if h := l.waitHist; h != nil {
+			h.Observe(float64(now.Sub(w.enqueued).Microseconds()) / 1000)
+		}
 		w.ready <- nil
 	}
 }
@@ -235,6 +245,9 @@ func (l *Limiter) Register(reg *obs.Registry, labels ...obs.Label) {
 		"Requests granted an admission slot.", &l.admitted, labels...)
 	reg.Register("cottage_limiter_shed_total",
 		"Requests rejected with ErrOverloaded.", &l.shed, labels...)
+	l.waitHist = reg.Histogram("cottage_admission_wait_ms",
+		"Admission-queue wait per admitted request (0 = fast path).",
+		obs.LatencyBucketsMS(), labels...)
 	reg.GaugeFunc("cottage_limiter_inflight",
 		"Requests currently holding a slot.", func() float64 {
 			l.mu.Lock()

@@ -13,6 +13,8 @@ import (
 	"cottage/internal/cluster"
 	"cottage/internal/core"
 	"cottage/internal/obs"
+	"cottage/internal/obs/anatomy"
+	"cottage/internal/obs/slo"
 	"cottage/internal/overload"
 	"cottage/internal/replica"
 	"cottage/internal/search"
@@ -77,6 +79,14 @@ type Aggregator struct {
 	// ISN-side spans grafted in), latency/budget histograms, and rolling
 	// predictor accuracy. Set before concurrent use.
 	Obs *obs.Observer
+	// Anatomy, when set alongside Obs, receives every completed query's
+	// per-phase latency attribution (registered on the observer's
+	// registry at first use). Set before concurrent use.
+	Anatomy *anatomy.Collector
+	// SLO, when set, is fed every query's end-to-end latency and quality
+	// signal (degraded = any failed or truncated shard) for burn-rate
+	// alerting. Set before concurrent use.
+	SLO *slo.QuerySLO
 
 	hedges           obs.Counter
 	hedgeWins        obs.Counter
@@ -136,6 +146,9 @@ func (a *Aggregator) initObs() {
 			if b != nil {
 				b.Register(reg, obs.L("isn", strconv.Itoa(i)))
 			}
+		}
+		if a.Anatomy != nil {
+			a.Anatomy.Register(reg)
 		}
 	})
 }
@@ -257,6 +270,15 @@ func (a *Aggregator) hedgeFor(predLCurrentMS float64, havePred bool) time.Durati
 	return -1
 }
 
+// hedgeInfo reports what the hedging layer did for one search leg — the
+// phase-attribution input: a won hedge's timer wait sat on the query's
+// critical path.
+type hedgeInfo struct {
+	hedged bool  // a duplicate request was issued
+	won    bool  // the duplicate's answer was used
+	waitUS int64 // timer wait before the duplicate went out
+}
+
 // searchHedged runs one ISN's search leg, optionally hedging it with a
 // duplicate request on a fresh connection after hedgeAfter (0 =
 // duplicate immediately — predictive mode's flagged straggler; < 0 =
@@ -264,10 +286,12 @@ func (a *Aggregator) hedgeFor(predLCurrentMS float64, havePred bool) time.Durati
 // a stuck stream on the shared client would inherit exactly the delay
 // the hedge is trying to escape. Server-side spans from whichever leg
 // won come back for grafting.
-func (a *Aggregator) searchHedged(isn int, sc obs.SpanContext, terms []string, deadline, hedgeAfter time.Duration) (search.Result, []obs.Span, error) {
+func (a *Aggregator) searchHedged(isn int, sc obs.SpanContext, terms []string, deadline, hedgeAfter time.Duration) (search.Result, []obs.Span, hedgeInfo, error) {
+	var hi hedgeInfo
 	primary := a.Clients[isn]
 	if hedgeAfter < 0 || primary.Addr() == "" {
-		return a.clientSearch(primary, sc, terms, deadline)
+		r, spans, err := a.clientSearch(primary, sc, terms, deadline)
+		return r, spans, hi, err
 	}
 	type outcome struct {
 		r     search.Result
@@ -296,6 +320,8 @@ func (a *Aggregator) searchHedged(isn int, sc obs.SpanContext, terms []string, d
 			hedge = hc
 			hc.SetTimeout(primary.timeout)
 			a.hedges.Inc()
+			hi.hedged = true
+			hi.waitUS = hedgeAfter.Microseconds()
 			inflight++
 			go func() {
 				r, spans, err := a.clientSearch(hc, sc, terms, deadline)
@@ -328,8 +354,9 @@ func (a *Aggregator) searchHedged(isn int, sc obs.SpanContext, terms []string, d
 	}
 	if first.err == nil && first.hedge {
 		a.hedgeWins.Inc()
+		hi.won = true
 	}
-	return first.r, first.spans, first.err
+	return first.r, first.spans, hi, first.err
 }
 
 // clientSearch issues one search round trip on c, anytime-flagged when
@@ -342,15 +369,34 @@ func (a *Aggregator) clientSearch(c *Client, sc obs.SpanContext, terms []string,
 }
 
 // finishTrace seals and records a query's trace, stamping its ID into
-// the result. No-op without an observer (nil builder).
+// the result and feeding the phase-attribution collector. No-op without
+// an observer (nil builder).
 func (a *Aggregator) finishTrace(tb *obs.TraceBuilder, root *obs.ActiveSpan, res *Result) {
 	if tb == nil {
 		return
 	}
 	root.End(nowUS())
 	tr := tb.Finish()
-	a.Obs.Traces.Add(tr)
+	a.Obs.AddTrace(tr)
 	res.TraceID = tr.ID
+	if a.Anatomy != nil {
+		if attr, ok := anatomy.FromTrace(tr); ok {
+			a.Anatomy.Observe(attr)
+		}
+	}
+}
+
+// observeSLO feeds one completed query into the burn-rate monitor:
+// latency from the measured elapsed time, quality degraded when any
+// shard's hits are missing (failed) or truncated. Call it after
+// finishTrace, so a page triggered by this query finds its trace
+// already in the flight recorder.
+func (a *Aggregator) observeSLO(res *Result) {
+	if a.SLO == nil {
+		return
+	}
+	degraded := len(res.Failed) > 0 || len(res.Truncated) > 0
+	a.SLO.ObserveQuery(float64(res.Elapsed.Microseconds())/1000, degraded)
 }
 
 // SearchExhaustive queries every ISN with no budget and merges. Failed
@@ -407,6 +453,7 @@ func (a *Aggregator) SearchExhaustive(terms []string) (Result, error) {
 		h.Observe(float64(res.Elapsed.Microseconds()) / 1000)
 	}
 	a.finishTrace(tb, root, &res)
+	a.observeSLO(&res)
 	return res, nil
 }
 
@@ -519,6 +566,7 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 	if len(budget.Selected) == 0 {
 		res.Elapsed = time.Since(start)
 		a.finishTrace(tb, root, &res)
+		a.observeSLO(&res)
 		return res, nil
 	}
 
@@ -620,5 +668,6 @@ func (a *Aggregator) SearchCottage(terms []string) (Result, error) {
 		}
 	}
 	a.finishTrace(tb, root, &res)
+	a.observeSLO(&res)
 	return res, nil
 }

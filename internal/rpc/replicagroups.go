@@ -210,7 +210,7 @@ func (a *Aggregator) searchShard(shard int, tb *obs.TraceBuilder, parent *obs.Ac
 			leg.SetAttr("failover", strconv.Itoa(sent))
 		}
 		legStart := time.Now()
-		r, spans, err := a.searchHedged(ci, leg.Context(), terms, remaining, hedge)
+		r, spans, hi, err := a.searchHedged(ci, leg.Context(), terms, remaining, hedge)
 		a.observeBreaker(ci, err)
 		sent++
 		if err != nil {
@@ -223,6 +223,14 @@ func (a *Aggregator) searchShard(shard int, tb *obs.TraceBuilder, parent *obs.Ac
 			spans[si].ISN = shard
 		}
 		tb.AddSpans(spans)
+		if hi.hedged {
+			leg.SetAttr("hedged", "true")
+			// Only a winning hedge's timer wait sat on the critical path —
+			// phase attribution charges it to hedge-wait, not search.
+			if hi.won && hi.waitUS > 0 {
+				leg.SetAttr("hedge_wait_us", strconv.FormatInt(hi.waitUS, 10))
+			}
+		}
 		if r.Terminated {
 			leg.SetAttr("truncated", "true")
 			leg.SetAttr("score_bound", strconv.FormatFloat(r.ScoreBound, 'g', -1, 64))

@@ -430,6 +430,12 @@ func (s *Server) serve(req *Request) *Response {
 			},
 		}
 		resp.Spans = append(resp.Spans, sp)
+		// Also record the span locally (re-rooted: the parent lives on the
+		// aggregator) so the server's own /debug/traces and flight recorder
+		// see its slowest requests without a client-side dump.
+		local := sp
+		local.Parent = 0
+		s.Obs.AddTrace(&obs.Trace{ID: req.Trace, StartUnixUS: sp.StartUS, Spans: []obs.Span{local}})
 	}
 	return resp
 }
