@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke overload-smoke obs-smoke chaos-smoke autoscale-smoke anatomy-smoke bench bench-smoke corpus check clean
+.PHONY: all build vet test race fuzz-smoke overload-smoke obs-smoke chaos-smoke autoscale-smoke anatomy-smoke integrity-smoke bench bench-smoke corpus check clean
 
 all: build
 
@@ -32,6 +32,7 @@ fuzz-smoke:
 	$(GO) test ./internal/replica/ -run '^$$' -fuzz FuzzReplicaSelect -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/search/ -run '^$$' -fuzz FuzzAnytimeDeadline -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/index/ -run '^$$' -fuzz FuzzShardDecodeV4 -fuzztime $(FUZZTIME)
 
 # The overload sweep (bounded admission queues at 1x-4x load) on the
 # quick-scale setup: shed rates grow with load while the admitted p99
@@ -72,6 +73,16 @@ anatomy-smoke:
 	$(GO) test ./internal/harness -run TestAnatomy -count=1 -timeout 10m
 	$(GO) test ./internal/obs/... -count=1
 
+# End-to-end data-integrity gate: bit-flip rot over real shard bytes is
+# always refused at load (1-bit through 256-bit densities), the
+# query-time checksum gate serves zero corrupted postings while
+# localizing rot to the block, and the replicated twin holds P@10
+# through scheduled rot/quarantine/repair cycles with typed bounces
+# only (never a silently lost query). Byte-determinism across
+# GOMAXPROCS is pinned alongside.
+integrity-smoke:
+	$(GO) test -race ./internal/harness -run 'TestIntegrity' -count=1 -timeout 10m
+
 # Full perf-regression sweep: every figure benchmark plus the pruning
 # and per-query evaluation benches, recorded to $(BENCHOUT) via
 # tools/benchjson so the baseline can be checked in and diffed. ~30 min.
@@ -92,16 +103,18 @@ corpus:
 	$(GO) run ./tools/gencorpus
 
 # Per-package statement coverage with a hard floor on the query
-# evaluation core and the capacity planner: the anytime/block-max
-# machinery is exactness-critical and the autoscale loop sizes the
-# fleet, so internal/{search,index,autoscale} must stay at
+# evaluation core, the capacity planner, and the integrity supervisor:
+# the anytime/block-max machinery is exactness-critical, the autoscale
+# loop sizes the fleet, and the scrub/quarantine/repair plane is the
+# last line against serving rotted postings, so
+# internal/{search,index,autoscale,integrity} must stay at
 # >= $(COVERFLOOR)%.
 COVERFLOOR ?= 85
 cover:
 	$(GO) test -cover ./... | $(GO) run ./tools/covergate -floor $(COVERFLOOR) \
-		-require cottage/internal/search,cottage/internal/index,cottage/internal/autoscale
+		-require cottage/internal/search,cottage/internal/index,cottage/internal/autoscale,cottage/internal/integrity
 
-check: vet build race fuzz-smoke overload-smoke obs-smoke chaos-smoke autoscale-smoke anatomy-smoke bench-smoke cover
+check: vet build race fuzz-smoke overload-smoke obs-smoke chaos-smoke autoscale-smoke anatomy-smoke integrity-smoke bench-smoke cover
 
 clean:
 	$(GO) clean ./...

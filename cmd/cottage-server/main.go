@@ -15,10 +15,12 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -26,6 +28,7 @@ import (
 
 	"cottage/internal/faults"
 	"cottage/internal/index"
+	"cottage/internal/integrity"
 	"cottage/internal/obs"
 	"cottage/internal/overload"
 	"cottage/internal/predict"
@@ -48,7 +51,9 @@ func main() {
 		queueLen  = flag.Int("queue-depth", 64, "admission control: queued searches behind the in-flight cap")
 		aimd      = flag.Bool("aimd", false, "adapt -max-inflight AIMD-style (additive increase, halve on shed)")
 		drainTO   = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain window on SIGINT/SIGTERM")
-		debugAddr = flag.String("debug-addr", "", "HTTP debug listener (/metrics, /healthz, /debug/traces, /debug/pprof); empty = off")
+		debugAddr = flag.String("debug-addr", "", "HTTP debug listener (/metrics, /healthz, /debug/traces, /debug/integrity, /debug/pprof); empty = off")
+		scrubBPS  = flag.Int("scrub-bps", 4<<20, "integrity: background scrub pace in bytes/sec (0 disables integrity supervision)")
+		repairSrc = flag.String("repair-peer", "", "integrity: comma-separated sibling replica address(es) to fetch verified shard bytes from on quarantine (fallback: re-read -shard from disk)")
 	)
 	flag.Parse()
 	if *shardPath == "" {
@@ -88,12 +93,25 @@ func main() {
 		log.Fatalf("unknown strategy %q", *strategy)
 	}
 
+	// The observer is created up front (when a debug listener is asked
+	// for) so the integrity managers can mirror their counters onto it.
+	var observer *obs.Observer
+	if *debugAddr != "" {
+		observer = obs.NewObserver(1, 256)
+		// Serve-side flight recorder: keeps the slowest requests per minute
+		// (queue wait + service time in their spans) at /debug/flight even
+		// after they age out of the trace ring.
+		observer.Flight = obs.NewFlightRecorder(32, 32, 60_000_000)
+	}
+
 	// One server per listen address: the shard and predictor are shared
 	// (read-only), but each replica endpoint gets its own admission
-	// limiter and fault schedule, just like separately started processes.
+	// limiter, fault schedule and integrity manager, just like separately
+	// started processes.
 	addrs := strings.Split(*listen, ",")
 	srvs := make([]*rpc.Server, len(addrs))
 	listeners := make([]net.Listener, len(addrs))
+	var managers []*integrity.Manager
 	for i, addr := range addrs {
 		addr = strings.TrimSpace(addr)
 		l, err := net.Listen("tcp", addr)
@@ -102,6 +120,25 @@ func main() {
 		}
 		log.Printf("serving on %s", l.Addr())
 		srv := &rpc.Server{Shard: shard, Pred: pred, Strategy: strat}
+		if *scrubBPS > 0 {
+			// Integrity supervision: the query-time checksum gate plus a
+			// paced background scrubber; a detected mismatch quarantines
+			// this endpoint (typed CodeQuarantined to the coordinator) and
+			// repair re-fetches verified bytes from a sibling replica,
+			// falling back to re-reading the shard file.
+			mcfg := integrity.Config{
+				ShardID:          shard.ID,
+				Replica:          i,
+				ScrubBytesPerSec: *scrubBPS,
+				Fetch:            repairFetch(*repairSrc, *shardPath),
+			}
+			if observer != nil {
+				mcfg.Metrics = integrity.NewMetrics(observer.Reg, obs.L("replica", strconv.Itoa(i)))
+			}
+			mgr := integrity.NewManager(mcfg, shard)
+			srv.Integrity = mgr
+			managers = append(managers, mgr)
+		}
 		if *inflight > 0 {
 			lim := overload.NewLimiter(*inflight, *queueLen, nil)
 			if *aimd {
@@ -125,20 +162,33 @@ func main() {
 		}
 		srvs[i], listeners[i] = srv, l
 	}
+	stopIntegrity := make(chan struct{})
+	defer close(stopIntegrity)
+	if len(managers) > 0 {
+		// Background scrub/repair loops, one per endpoint, stopped during
+		// shutdown. The wall-clock tick only paces the loop; each step
+		// scrubs tick*scrub-bps bytes.
+		for _, m := range managers {
+			go m.RunLoop(stopIntegrity, 200*time.Millisecond)
+		}
+		first := managers[0]
+		log.Printf("integrity supervision on: scrub %d B/s (full sweep every %.1f s), repair from %q",
+			*scrubBPS, float64(first.ScrubEpochMS())/1000, *repairSrc)
+	}
 	if *debugAddr != "" {
 		// The debug surface reflects the first replica endpoint; siblings
 		// are separate servers and would need their own listeners.
-		srvs[0].Obs = obs.NewObserver(1, 256)
-		// Serve-side flight recorder: keeps the slowest requests per minute
-		// (queue wait + service time in their spans) at /debug/flight even
-		// after they age out of the trace ring.
-		srvs[0].Obs.Flight = obs.NewFlightRecorder(32, 32, 60_000_000)
-		dbg, err := obs.StartDebug(*debugAddr, srvs[0].Obs)
+		srvs[0].Obs = observer
+		var extras []obs.Endpoint
+		if len(managers) > 0 {
+			extras = append(extras, obs.Endpoint{Path: "/debug/integrity", Handler: integrity.Handler(managers[0].Snapshot)})
+		}
+		dbg, err := obs.StartDebug(*debugAddr, observer, extras...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer dbg.Close()
-		log.Printf("debug listener on http://%s (/metrics, /healthz, /debug/traces, /debug/flight)", dbg.Addr())
+		log.Printf("debug listener on http://%s (/metrics, /healthz, /debug/traces, /debug/flight, /debug/integrity)", dbg.Addr())
 	}
 
 	// Graceful lifecycle: first SIGINT/SIGTERM drains in-flight requests
@@ -187,4 +237,47 @@ func main() {
 		shed += srv.Shed()
 	}
 	log.Printf("served %d search requests, shed %d", served, shed)
+}
+
+// repairFetch builds the verified-bytes source a quarantined endpoint
+// repairs from: each -repair-peer sibling in order (shard transfer over
+// the rpc fetch verb, re-verified checksum-by-checksum on decode), then
+// the local shard file as a last resort. The manager re-validates
+// whatever comes back before swapping it in, so a rotted source can
+// never be promoted.
+func repairFetch(peers, shardPath string) func() (*index.Shard, error) {
+	var addrs []string
+	for _, a := range strings.Split(peers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return func() (*index.Shard, error) {
+		var firstErr error
+		for _, addr := range addrs {
+			c, err := rpc.Dial(addr)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("peer %s: %w", addr, err)
+				}
+				continue
+			}
+			s, err := c.FetchShard()
+			c.Close()
+			if err == nil {
+				return s, nil
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("peer %s: %w", addr, err)
+			}
+		}
+		s, err := index.LoadFile(shardPath)
+		if err != nil {
+			if firstErr != nil {
+				return nil, fmt.Errorf("%v; disk fallback: %w", firstErr, err)
+			}
+			return nil, err
+		}
+		return s, nil
+	}
 }

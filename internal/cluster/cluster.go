@@ -167,6 +167,19 @@ type ISN struct {
 	// offAtMS is when a deactivated node actually powers down: the later
 	// of the deactivation instant and its queue drain. +Inf while active.
 	offAtMS float64
+	// corruptAtMS is when silent at-rest rot lands on this node's shard
+	// copy (+Inf = clean); corruptFrac positions the rot as a fraction of
+	// the copy's postings, which makes the scrubber's detection instant
+	// computable. quarantined/quarantinedAtMS/repairAtMS are the
+	// quarantine state machine (see integrity.go).
+	corruptAtMS     float64
+	corruptFrac     float64
+	quarantined     bool
+	quarantinedAtMS float64
+	repairAtMS      float64
+	// rotQueue is this node's slice of the cluster's scheduled rot
+	// events (Cluster.Rot), consumed as virtual time advances.
+	rotQueue []faults.CorruptionEvent
 	// defectMS is a rolling estimate of this node's per-request latency
 	// defect — observed service time beyond what the cost model predicts
 	// (injected straggler delay, chaos slowdowns). It is the twin's
@@ -233,6 +246,21 @@ type Cluster struct {
 	// control admits over-queue requests that can still start before
 	// their deadline instead of shedding them outright.
 	Anytime bool
+	// ScrubEpochMS is how long the background scrubber takes to sweep one
+	// node's whole shard copy (0 = scrubbing off): injected rot the
+	// queries never touch is still detected within one epoch. RepairMS is
+	// detection-to-readmission time for a quarantined copy (0 = no
+	// repair, quarantine is permanent). See integrity.go.
+	ScrubEpochMS float64
+	RepairMS     float64
+	// Rot, when set, is a virtual-time at-rest corruption schedule
+	// (faults.CorruptionSchedule): each event lands silent rot on one
+	// node as the clock reaches its instant. Like Faults it survives
+	// Reset — the schedule is dealt into per-node queues at Reset, so
+	// consecutive runs replay it identically.
+	Rot []faults.CorruptionEvent
+	// integ accumulates the corruption/repair ledger (integrity.go).
+	integ integrityTotals
 	// dynamic enables machine-time power accounting (Config
 	// .DynamicMachines): the idle floor integrates over each node's
 	// actual powered-on interval instead of charging the full R× fleet
@@ -278,6 +306,11 @@ type Config struct {
 	MaxQueueMS float64
 	// Anytime enables truncated (best-so-far) answers on deadline misses.
 	Anytime bool
+	// ScrubEpochMS sets the background scrubber's full-sweep time per
+	// node (0 = off); RepairMS sets detection-to-readmission repair time
+	// for quarantined copies (0 = no repair). See integrity.go.
+	ScrubEpochMS float64
+	RepairMS     float64
 	// DynamicMachines switches power accounting to integrated machine
 	// time so SetActiveReplicas can scale replica rows up and down
 	// mid-run: only powered-on nodes pay the idle floor, and MachineMS
@@ -323,6 +356,8 @@ func New(cfg Config) *Cluster {
 		FailTimeoutMS: cfg.FailTimeoutMS,
 		MaxQueueMS:    cfg.MaxQueueMS,
 		Anytime:       cfg.Anytime,
+		ScrubEpochMS:  cfg.ScrubEpochMS,
+		RepairMS:      cfg.RepairMS,
 		dynamic:       cfg.DynamicMachines,
 		topo:          replica.Topology{Shards: cfg.NumISNs, R: r},
 	}
@@ -344,8 +379,10 @@ func New(cfg Config) *Cluster {
 		if shard < len(cfg.SpeedFactors) && cfg.SpeedFactors[shard] > 0 {
 			speed = cfg.SpeedFactors[shard]
 		}
-		c.ISNs = append(c.ISNs, &ISN{ID: i, SpeedFactor: speed,
-			freeAtMS: make([]float64, workers), active: true, offAtMS: math.Inf(1)})
+		n := &ISN{ID: i, SpeedFactor: speed,
+			freeAtMS: make([]float64, workers), active: true, offAtMS: math.Inf(1)}
+		n.resetIntegrityState()
+		c.ISNs = append(c.ISNs, n)
 	}
 	return c
 }
@@ -439,14 +476,16 @@ func (c *Cluster) rankShard(shard int, tMS float64) []int {
 	group := c.topo.Group(shard)
 	cands := make([]replica.Candidate, len(group))
 	for i, n := range group {
+		c.syncIntegrity(n, tMS)
 		cands[i] = replica.Candidate{
 			ID: n,
 			// A deactivated (scaled-away) replica is as unselectable as a
 			// dead one: it is draining toward power-off and takes no new
 			// work.
-			Failed:    c.nodeDead(n) || !c.ISNs[n].active,
-			Healthy:   true,
-			ServiceMS: c.QueueDelayMS(n, tMS),
+			Failed:      c.nodeDead(n) || !c.ISNs[n].active,
+			Quarantined: c.ISNs[n].quarantined,
+			Healthy:     true,
+			ServiceMS:   c.QueueDelayMS(n, tMS),
 		}
 	}
 	return replica.Rank(cands)
@@ -510,12 +549,18 @@ func (c *Cluster) ShardPredictedLegMS(shard int, tMS, predictedCycles, f float64
 // SetExtraDelayMS injects a per-request virtual-time slowdown on an ISN.
 func (c *Cluster) SetExtraDelayMS(isn int, ms float64) { c.ISNs[isn].ExtraDelayMS = ms }
 
-// ClearFaults removes all injected failures and slowdowns.
+// ClearFaults removes all injected failures, slowdowns and pending
+// (undetected) corruption; quarantined nodes are re-admitted on the
+// spot. The accumulated integrity ledger is statistics, not fault
+// state, so it survives (Reset clears it).
 func (c *Cluster) ClearFaults() {
 	for _, node := range c.ISNs {
 		node.Failed = false
 		node.ExtraDelayMS = 0
+		node.resetIntegrityState()
+		node.rotQueue = nil
 	}
+	c.Rot = nil
 }
 
 // EffectiveCycles returns the cycle cost of a request on ISN isn,
@@ -704,6 +749,13 @@ type Execution struct {
 	// reached the aggregator, which notices the severed stream after one
 	// network round trip and can fail over.
 	Dropped bool
+	// CorruptReject marks a request bounced by the node's integrity
+	// plane: its shard copy is quarantined (or the request itself
+	// tripped the query-time checksum gate on fresh rot). Like Shed, the
+	// aggregator hears the typed rejection after one hop and fails over;
+	// the corrupted copy never contributes hits — the twin's
+	// CodeQuarantined.
+	CorruptReject bool
 	// Shard and Replica locate the execution in the replica topology
 	// (Shard == ISN and Replica == 0 on the unreplicated node-level path).
 	Shard   int
@@ -733,6 +785,20 @@ func (c *Cluster) Execute(isn int, tMS, cycles, f, deadlineMS float64) Execution
 		// The request is lost; the node does no work and burns no power.
 		c.observe(arrive)
 		return Execution{ISN: isn, Shard: shard, Replica: rep, StartMS: arrive, FinishMS: arrive, Freq: f, Failed: true}
+	}
+	// Integrity gate: a quarantined copy refuses the request outright,
+	// and undetected rot is caught the moment a query reads the bad
+	// block — the checksum verifies before any scoring, so a corrupted
+	// posting is never served. Either way the aggregator gets a typed
+	// rejection after one hop (no index work, no power) and fails over.
+	c.syncIntegrity(isn, arrive)
+	if !node.quarantined && node.corruptAtMS <= arrive {
+		c.quarantineNode(isn, arrive, false)
+	}
+	if node.quarantined {
+		c.integ.corruptRejects++
+		c.observe(arrive)
+		return Execution{ISN: isn, Shard: shard, Replica: rep, StartMS: arrive, FinishMS: arrive, Freq: f, CorruptReject: true}
 	}
 	// Per-request chaos from the seeded schedule: a crashed plan loses
 	// the request like a dead node; a drop or corrupt verdict lets the
@@ -828,17 +894,29 @@ func (c *Cluster) ExecuteShard(shard int, tMS, cycles, f, deadlineMS float64) Ex
 	if len(order) == 0 {
 		arrive := tMS + c.Net.AggToISNMS
 		c.observe(arrive)
-		return Execution{
+		ex := Execution{
 			ISN: c.topo.Node(shard, 0), Shard: shard, Replica: 0,
-			StartMS: arrive, FinishMS: arrive, Freq: f, Failed: true,
+			StartMS: arrive, FinishMS: arrive, Freq: f,
 		}
+		// An empty group can mean two very different things: every
+		// replica dead (silence, then a reset — Failed) or every live
+		// replica quarantined mid-repair (a typed CodeQuarantined bounce
+		// after one hop — the aggregator knows precisely why the shard's
+		// contribution is missing, and that it is temporary).
+		if c.groupQuarantined(shard) {
+			ex.CorruptReject = true
+			c.integ.corruptRejects++
+		} else {
+			ex.Failed = true
+		}
+		return ex
 	}
 	sendMS := tMS
 	var last Execution
 	for attempt, node := range order {
 		e := c.Execute(node, sendMS, cycles, f, deadlineMS)
 		e.Failovers = attempt
-		if !e.Failed && !e.Shed && !e.Dropped {
+		if !e.Failed && !e.Shed && !e.Dropped && !e.CorruptReject {
 			return e
 		}
 		last = e
@@ -884,7 +962,7 @@ func (c *Cluster) ExecuteShardHedged(shard int, tMS, cycles, f, deadlineMS, hedg
 	if hedgeDelayMS < 0 || math.IsInf(hedgeDelayMS, 1) {
 		return primary, hr
 	}
-	if primary.Failed || primary.Shed || primary.Dropped {
+	if primary.Failed || primary.Shed || primary.Dropped || primary.CorruptReject {
 		// ExecuteShard already burned through the group's failover legs;
 		// there is no healthier sibling left for a hedge to reach.
 		return primary, hr
@@ -906,7 +984,7 @@ func (c *Cluster) ExecuteShardHedged(shard int, tMS, cycles, f, deadlineMS, hedg
 	}
 	hr.Hedged = true
 	hedge := c.Execute(hedgeNode, hedgeAt, cycles, f, deadlineMS)
-	if hedge.Failed || hedge.Shed || hedge.Dropped {
+	if hedge.Failed || hedge.Shed || hedge.Dropped || hedge.CorruptReject {
 		hr.DuplicateMS = hedge.ServiceMS
 		return primary, hr
 	}
@@ -988,8 +1066,11 @@ func (c *Cluster) Reset() {
 		n.active = true
 		n.offAtMS = math.Inf(1)
 		n.defectMS = 0
+		n.resetIntegrityState()
 	}
+	c.dealRot()
 	c.Meter.Reset()
+	c.integ = integrityTotals{}
 	c.nowMS = 0
 	c.accruedToMS = 0
 	c.machineNodeMS = 0

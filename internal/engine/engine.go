@@ -329,9 +329,16 @@ type Outcome struct {
 	// rejection, so — unlike a failure — no timeout is burned, but the
 	// shard's contribution is lost.
 	ShedISNs int
+	// CorruptISNs counts participants whose whole replica group bounced
+	// the request on integrity grounds (quarantined copies, fresh rot
+	// tripping the query-time checksum gate): typed rejections, so the
+	// aggregator hears back after one hop — like Shed — but the shard's
+	// contribution is lost. Single bounces that a sibling absorbed show
+	// up in Failovers, not here.
+	CorruptISNs int
 	// Failovers counts mid-query replica failovers across all legs: how
 	// many times a leg's first-choice replica lost the request (crash,
-	// drop, shed) and a sibling absorbed the retry.
+	// drop, shed, integrity bounce) and a sibling absorbed the retry.
 	Failovers int
 	// HedgedISNs counts legs that sent a duplicate to a sibling replica;
 	// HedgeWonISNs counts those where the duplicate's response arrived
@@ -542,6 +549,16 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 			}
 			continue
 		}
+		if exec.CorruptReject {
+			// Every replica bounced on integrity grounds: typed rejection
+			// after one hop, contribution lost, and — by construction —
+			// not one corrupted posting in the merge.
+			out.CorruptISNs++
+			if resp := e.Cluster.ResponseAtAggregatorMS(exec); resp > aggDone {
+				aggDone = resp
+			}
+			continue
+		}
 		out.ActiveISNs++
 		if e.Scaler != nil && exec.Completed {
 			e.Scaler.RecordService(exec.Shard, exec.ServiceMS)
@@ -621,7 +638,7 @@ func (e *Engine) runOne(p Policy, ev *Evaluated) Outcome {
 	e.recordQuery(p, ev, d, arrive, dispatch, aggDone, execs, hedgeWaits, truncBounds, out)
 	if e.SLO != nil {
 		degraded := out.FailedISNs > 0 || out.TruncatedISNs > 0 ||
-			out.DroppedISNs > 0 || out.ShedISNs > 0
+			out.DroppedISNs > 0 || out.ShedISNs > 0 || out.CorruptISNs > 0
 		e.SLO.ObserveQuery(out.LatencyMS, degraded)
 		e.SLO.ObservePower(e.Cluster.AveragePowerWatts())
 	}
@@ -807,6 +824,9 @@ type Summary struct {
 	// ShedFrac is the share of queries that had at least one participant
 	// shed by admission control (bounded queues under overload).
 	ShedFrac float64
+	// CorruptFrac is the share of queries that lost at least one shard
+	// to an integrity bounce (every replica of the shard quarantined).
+	CorruptFrac float64
 	// FailoverFrac is the share of queries where at least one leg failed
 	// over to a sibling replica mid-query.
 	FailoverFrac float64
@@ -831,7 +851,7 @@ func Summarize(r RunResult) Summary {
 		return s
 	}
 	lats := make([]float64, len(r.Outcomes))
-	dropped, truncated, failed, shed, failedOver := 0, 0, 0, 0, 0
+	dropped, truncated, failed, shed, corrupt, failedOver := 0, 0, 0, 0, 0, 0
 	legs, hedged, hedgeWon := 0, 0, 0
 	dupMS := 0.0
 	for i, o := range r.Outcomes {
@@ -854,6 +874,9 @@ func Summarize(r RunResult) Summary {
 		}
 		if o.ShedISNs > 0 {
 			shed++
+		}
+		if o.CorruptISNs > 0 {
+			corrupt++
 		}
 		if o.Failovers > 0 {
 			failedOver++
@@ -880,6 +903,7 @@ func Summarize(r RunResult) Summary {
 	s.TruncatedFrac = float64(truncated) / n
 	s.FailedFrac = float64(failed) / n
 	s.ShedFrac = float64(shed) / n
+	s.CorruptFrac = float64(corrupt) / n
 	s.FailoverFrac = float64(failedOver) / n
 	return s
 }

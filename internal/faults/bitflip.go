@@ -1,0 +1,89 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"cottage/internal/xrand"
+)
+
+// At-rest corruption: the faults a wire checksum can never see. Disks
+// rot, DMA engines misfire, and a bit flipped under a stored shard is
+// silent until something reads and verifies the bytes. This file gives
+// the harness and the simulated twin one deterministic source for such
+// events — FlipBits mutates real encoded bytes (the harness's
+// zero-corrupted-postings proof runs real verification against them),
+// and CorruptionSchedule deals virtual-time rot events for the cluster
+// twin the same way the Injector deals per-request chaos.
+
+// FlipBits flips n distinct bits of data in place, drawn from seed's
+// deterministic stream, and returns the flipped bit offsets ascending.
+// n is clamped to the number of bits available. The same (len(data),
+// n, seed) always flips the same offsets, so a corruption scenario
+// replays exactly.
+func FlipBits(data []byte, n int, seed uint64) []int {
+	total := len(data) * 8
+	if n > total {
+		n = total
+	}
+	if n <= 0 || total == 0 {
+		return nil
+	}
+	r := xrand.New(seed).SplitName("bitflip")
+	chosen := make(map[int]struct{}, n)
+	offsets := make([]int, 0, n)
+	for len(offsets) < n {
+		bit := r.Intn(total)
+		if _, dup := chosen[bit]; dup {
+			continue
+		}
+		chosen[bit] = struct{}{}
+		offsets = append(offsets, bit)
+		data[bit/8] ^= 1 << (bit % 8)
+	}
+	sort.Ints(offsets)
+	return offsets
+}
+
+// CorruptionEvent is one scheduled at-rest rot: at TimeMS (virtual
+// time), Node's shard copy gains a flipped bit at OffsetFrac of the way
+// through its postings. OffsetFrac is what makes scrub-detection
+// latency deterministic: the scrubber's cursor reaches that fraction of
+// the shard at a computable instant.
+type CorruptionEvent struct {
+	TimeMS     float64
+	Node       int
+	OffsetFrac float64
+}
+
+// CorruptionSchedule deals a deterministic Poisson-process rot schedule:
+// each of nodes draws exponential inter-arrival gaps at ratePerNodeSec
+// events per second from its own seeded stream, truncated at horizonMS.
+// Events come back sorted by time (ties by node). The same (seed,
+// nodes, horizonMS, rate) always yields the same schedule, machine
+// independent — the integrity sweep's rate ladder depends on it.
+func CorruptionSchedule(seed uint64, nodes int, horizonMS, ratePerNodeSec float64) []CorruptionEvent {
+	if nodes <= 0 || horizonMS <= 0 || ratePerNodeSec <= 0 {
+		return nil
+	}
+	meanGapMS := 1000 / ratePerNodeSec
+	var evs []CorruptionEvent
+	for n := 0; n < nodes; n++ {
+		r := xrand.New(seed).SplitName(fmt.Sprintf("rot-%d", n))
+		t := 0.0
+		for {
+			t += r.ExpFloat64() * meanGapMS
+			if t >= horizonMS {
+				break
+			}
+			evs = append(evs, CorruptionEvent{TimeMS: t, Node: n, OffsetFrac: r.Float64()})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].TimeMS != evs[j].TimeMS {
+			return evs[i].TimeMS < evs[j].TimeMS
+		}
+		return evs[i].Node < evs[j].Node
+	})
+	return evs
+}

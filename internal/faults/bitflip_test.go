@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestFlipBitsDeterministicAndDistinct(t *testing.T) {
+	orig := make([]byte, 64)
+	for i := range orig {
+		orig[i] = byte(i * 7)
+	}
+
+	a := append([]byte(nil), orig...)
+	b := append([]byte(nil), orig...)
+	offA := FlipBits(a, 10, 42)
+	offB := FlipBits(b, 10, 42)
+
+	if len(offA) != 10 {
+		t.Fatalf("flipped %d bits, want 10", len(offA))
+	}
+	if !sort.IntsAreSorted(offA) {
+		t.Fatalf("offsets not sorted: %v", offA)
+	}
+	for i := range offA {
+		if offA[i] != offB[i] {
+			t.Fatalf("same seed diverged: %v vs %v", offA, offB)
+		}
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different mutations")
+	}
+
+	// XOR against the original must show exactly the reported bits set.
+	flipped := 0
+	for i := range a {
+		d := a[i] ^ orig[i]
+		for bit := 0; bit < 8; bit++ {
+			if d&(1<<bit) != 0 {
+				flipped++
+				want := i*8 + bit
+				j := sort.SearchInts(offA, want)
+				if j >= len(offA) || offA[j] != want {
+					t.Fatalf("bit %d flipped but not reported", want)
+				}
+			}
+		}
+	}
+	if flipped != 10 {
+		t.Fatalf("%d bits actually changed, want 10 (duplicates would cancel)", flipped)
+	}
+
+	// A different seed picks different offsets.
+	c := append([]byte(nil), orig...)
+	offC := FlipBits(c, 10, 43)
+	same := len(offC) == len(offA)
+	for i := 0; same && i < len(offA); i++ {
+		same = offA[i] == offC[i]
+	}
+	if same {
+		t.Fatal("different seeds chose identical offsets")
+	}
+}
+
+func TestFlipBitsClampsAndEmpty(t *testing.T) {
+	small := []byte{0xFF}
+	off := FlipBits(small, 100, 1)
+	if len(off) != 8 {
+		t.Fatalf("clamp: flipped %d bits of a 1-byte buffer, want 8", len(off))
+	}
+	if small[0] != 0x00 {
+		t.Fatalf("flipping every bit of 0xFF should give 0x00, got %#x", small[0])
+	}
+	if got := FlipBits(nil, 5, 1); got != nil {
+		t.Fatalf("FlipBits(nil) = %v, want nil", got)
+	}
+	if got := FlipBits([]byte{1}, 0, 1); got != nil {
+		t.Fatalf("FlipBits(n=0) = %v, want nil", got)
+	}
+}
+
+func TestCorruptionScheduleDeterministicSortedBounded(t *testing.T) {
+	a := CorruptionSchedule(7, 4, 60_000, 0.5)
+	b := CorruptionSchedule(7, 4, 60_000, 0.5)
+	if len(a) == 0 {
+		t.Fatal("expected events at 0.5/node/s over 60 s")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same inputs, %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i, ev := range a {
+		if ev.TimeMS <= 0 || ev.TimeMS >= 60_000 {
+			t.Fatalf("event %d at %v ms outside (0, horizon)", i, ev.TimeMS)
+		}
+		if ev.Node < 0 || ev.Node >= 4 {
+			t.Fatalf("event %d on node %d", i, ev.Node)
+		}
+		if ev.OffsetFrac < 0 || ev.OffsetFrac >= 1 {
+			t.Fatalf("event %d offset %v outside [0, 1)", i, ev.OffsetFrac)
+		}
+		if i > 0 && a[i].TimeMS < a[i-1].TimeMS {
+			t.Fatalf("events not time-sorted at %d", i)
+		}
+	}
+}
+
+func TestCorruptionScheduleRateScales(t *testing.T) {
+	slow := len(CorruptionSchedule(7, 8, 120_000, 0.25))
+	fast := len(CorruptionSchedule(7, 8, 120_000, 2.5))
+	// 10x the rate: expect roughly 10x the events; 4x is a loose floor
+	// that never flakes with a fixed seed.
+	if fast < slow*4 {
+		t.Fatalf("rate ladder broken: %d events at 0.25/s vs %d at 2.5/s", slow, fast)
+	}
+	// Expected count at 2.5/node/s * 120s * 8 nodes = 2400; allow wide slack.
+	if math.Abs(float64(fast)-2400) > 600 {
+		t.Fatalf("fast schedule has %d events, want ~2400", fast)
+	}
+}
+
+func TestCorruptionScheduleDegenerate(t *testing.T) {
+	if got := CorruptionSchedule(1, 0, 1000, 1); got != nil {
+		t.Fatalf("nodes=0: %v", got)
+	}
+	if got := CorruptionSchedule(1, 2, 0, 1); got != nil {
+		t.Fatalf("horizon=0: %v", got)
+	}
+	if got := CorruptionSchedule(1, 2, 1000, 0); got != nil {
+		t.Fatalf("rate=0: %v", got)
+	}
+}

@@ -34,6 +34,7 @@ func Extras() []Experiment {
 		{"autoscale", "Extra: closed-loop capacity planning vs fixed R=1-3 under diurnal and flash-crowd traffic", AutoscaleSweep},
 		{"hedging", "Extra: fixed-delay vs predictive hedging against an injected straggler replica", HedgingSweep},
 		{"anatomy", "Extra: tail-latency anatomy (per-phase p50/p95/p99 attribution, p99 ownership under anytime/hedging, SLO burn-rate paging demo)", Anatomy},
+		{"integrity", "Extra: end-to-end data integrity (bit-flip detection ladder, query-time gate, quarantine/repair economics at R=2)", IntegritySweep},
 	}
 }
 

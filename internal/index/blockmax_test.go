@@ -126,6 +126,12 @@ func TestValidateCatchesBlockCorruption(t *testing.T) {
 				t.Fatal("no multi-block term in test shard")
 			}
 			c.mutate(ti)
+			// Reseal so the checksum layer agrees with the mutated bytes:
+			// this pins the *structural* overlay checks, which must catch
+			// semantic corruption a buggy writer could produce with
+			// perfectly consistent checksums. Checksum detection itself is
+			// pinned in integrity_test.go.
+			s.SealIntegrity()
 			err := s.Validate()
 			if err == nil {
 				t.Fatalf("corruption %q passed Validate", c.name)
@@ -168,6 +174,10 @@ func TestValidateCatchesShardCorruption(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			s := buildTestShard(t)
 			c.mutate(s)
+			// Reseal: the structural checks must catch these even when the
+			// checksums are self-consistent (see integrity_test.go for the
+			// checksum-mismatch paths).
+			s.SealIntegrity()
 			err := s.Validate()
 			if err == nil {
 				t.Fatalf("corruption %q passed Validate", c.name)

@@ -36,6 +36,10 @@ type TermInfo struct {
 	// and serialized with the shard; dynamic pruning and anytime
 	// traversal depend on it.
 	Blocks []Block
+	// Sums[i] is the CRC32C of Blocks[i]'s postings in canonical byte
+	// form (wire v4, see integrity.go). Sealed by SealIntegrity; the
+	// query-time and scrub-time verifiers compare against it.
+	Sums []uint32
 }
 
 // Shard is one ISN's index: a self-contained searchable partition. Shards
@@ -58,6 +62,13 @@ type Shard struct {
 	// StatsK is the K used for the K-th-score statistics (top-K oriented
 	// features). The paper evaluates P@10, so the default is 10.
 	StatsK int
+
+	// Digest is the whole-shard CRC32C over document metadata and the
+	// per-block checksums (wire v4, see integrity.go).
+	Digest uint32
+	// integ is the lazy query-time verification memo; nil only for
+	// shards that predate SealIntegrity (never after Finalize or load).
+	integ *integState
 }
 
 // BM25Params are the classic Okapi BM25 constants.
@@ -209,6 +220,7 @@ func (b *Builder) Finalize() *Shard {
 		ti.Stats, scores = computeTermStats(s, ti, b.statsK)
 		ti.Blocks = buildBlocks(ti.Postings, scores)
 	}
+	s.SealIntegrity()
 	return s
 }
 
@@ -246,6 +258,15 @@ func Seek(ps []Posting, doc uint32) int {
 // error for the first violation found. Tests and the indexer binary call
 // it after builds and after deserialization.
 func (s *Shard) Validate() error {
+	// Checksums first: when the shard is sealed, a corrupted region fails
+	// with a localized *CorruptionError (which term, which block) before
+	// the structural checks below can misattribute it as, say, an
+	// out-of-order postings list.
+	if s.integ != nil {
+		if err := s.VerifyIntegrity(); err != nil {
+			return err
+		}
+	}
 	if s.NumDocs != len(s.DocLens) || s.NumDocs != len(s.GlobalIDs) {
 		return fmt.Errorf("index: doc metadata length mismatch (%d docs, %d lens, %d globals)",
 			s.NumDocs, len(s.DocLens), len(s.GlobalIDs))

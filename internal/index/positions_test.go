@@ -95,6 +95,12 @@ func TestValidateCatchesPositionCorruption(t *testing.T) {
 				t.Fatal("term missing")
 			}
 			c.mutate(ti)
+			// Re-seal so the checksums match the mutated content: this
+			// test targets the structural invariants, which back up the
+			// digest when the builder itself produced bad positional
+			// data. (Unsealed mutation is rot; the digest catches it
+			// first — see TestDigestCoversPositions.)
+			s.SealIntegrity()
 			err := s.Validate()
 			if err == nil {
 				t.Fatalf("corruption %q passed Validate", c.name)
@@ -103,6 +109,25 @@ func TestValidateCatchesPositionCorruption(t *testing.T) {
 				t.Fatalf("corruption %q: error %q does not mention %q", c.name, err, c.errFrag)
 			}
 		})
+	}
+}
+
+// TestDigestCoversPositions: unsealed mutation of a positional list is
+// rot, and the whole-shard digest catches it even though no posting
+// byte changed.
+func TestDigestCoversPositions(t *testing.T) {
+	s := buildPositionalShard(t)
+	ti, ok := s.Lookup("to")
+	if !ok {
+		t.Fatal("term missing")
+	}
+	ti.Positions[0][0]++
+	err := s.VerifyIntegrity()
+	if !IsCorruption(err) {
+		t.Fatalf("position rot: got %v, want digest mismatch", err)
+	}
+	if !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("position rot surfaced as %q, want whole-shard digest", err)
 	}
 }
 

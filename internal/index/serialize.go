@@ -30,12 +30,28 @@ type shardWire struct {
 	Positions [][][]uint32
 	// Blocks[term] is the term's block-max overlay (wire v3).
 	Blocks [][]Block
+	// BlockSums[term][block] is the per-block CRC32C and Digest the
+	// whole-shard digest (wire v4, see integrity.go). Both are gob
+	// zero-valued when decoding a v3 file and synthesized on upgrade.
+	BlockSums [][]uint32
+	Digest    uint32
 }
 
-const wireVersion = 3
+const wireVersion = 4
+
+// wireVersionV3 is the pre-checksum format, still accepted by ReadShard:
+// integrity metadata is synthesized on upgrade so every loaded shard is
+// scrubbable and query-time verified regardless of its on-disk vintage.
+const wireVersionV3 = 3
 
 // Encode serializes the shard with encoding/gob.
 func (s *Shard) Encode(w io.Writer) error {
+	if !s.HasChecksums() {
+		// Shards built before the integrity plane (hand-constructed in
+		// tests, mostly) are sealed on first write so no v4 file ever
+		// lacks checksums.
+		s.SealIntegrity()
+	}
 	wire := shardWire{
 		Version:   wireVersion,
 		ID:        s.ID,
@@ -45,6 +61,7 @@ func (s *Shard) Encode(w io.Writer) error {
 		GlobalIDs: s.GlobalIDs,
 		BM25:      s.BM25,
 		StatsK:    s.StatsK,
+		Digest:    s.Digest,
 	}
 	positional := s.HasPositions()
 	if positional {
@@ -57,6 +74,7 @@ func (s *Shard) Encode(w io.Writer) error {
 		wire.PostingCounts = append(wire.PostingCounts, len(t.Postings))
 		wire.PostingBlobs = append(wire.PostingBlobs, EncodePostings(t.Postings))
 		wire.Blocks = append(wire.Blocks, t.Blocks)
+		wire.BlockSums = append(wire.BlockSums, t.Sums)
 		if positional {
 			wire.Positions = append(wire.Positions, t.Positions)
 		}
@@ -71,14 +89,17 @@ func ReadShard(r io.Reader) (*Shard, error) {
 	if err := gob.NewDecoder(r).Decode(&w); err != nil {
 		return nil, fmt.Errorf("index: decoding shard: %w", err)
 	}
-	if w.Version != wireVersion {
-		return nil, fmt.Errorf("index: unsupported shard format version %d (want %d)", w.Version, wireVersion)
+	if w.Version != wireVersion && w.Version != wireVersionV3 {
+		return nil, fmt.Errorf("index: unsupported shard format version %d (want %d or %d)", w.Version, wireVersionV3, wireVersion)
 	}
 	if len(w.TermTexts) != len(w.TermStats) ||
 		len(w.TermTexts) != len(w.PostingCounts) ||
 		len(w.TermTexts) != len(w.PostingBlobs) ||
 		len(w.TermTexts) != len(w.Blocks) {
 		return nil, fmt.Errorf("index: inconsistent term arrays in shard file")
+	}
+	if w.Version == wireVersion && len(w.BlockSums) != len(w.TermTexts) {
+		return nil, fmt.Errorf("index: v4 shard has %d checksum arrays for %d terms", len(w.BlockSums), len(w.TermTexts))
 	}
 	s := &Shard{
 		ID:        w.ID,
@@ -97,6 +118,9 @@ func ReadShard(r io.Reader) (*Shard, error) {
 			return nil, fmt.Errorf("index: term %q: %w", w.TermTexts[i], err)
 		}
 		s.Terms[i] = TermInfo{Text: w.TermTexts[i], Postings: ps, Stats: w.TermStats[i], Blocks: w.Blocks[i]}
+		if w.Version == wireVersion {
+			s.Terms[i].Sums = w.BlockSums[i]
+		}
 		if w.Positions != nil {
 			if len(w.Positions) != len(w.TermTexts) {
 				return nil, fmt.Errorf("index: positional arrays inconsistent in shard file")
@@ -105,6 +129,20 @@ func ReadShard(r io.Reader) (*Shard, error) {
 		}
 		s.dict[w.TermTexts[i]] = int32(i)
 	}
+	if w.Version == wireVersionV3 {
+		// Pre-checksum file: synthesize integrity metadata on upgrade.
+		// There is nothing to verify against, but from here on the shard
+		// is protected like a native v4 one.
+		s.SealIntegrity()
+	} else {
+		s.Digest = w.Digest
+		// Build the verification memo from the stored sums — NOT
+		// SealIntegrity, which would recompute them and mask corruption.
+		s.initIntegState()
+	}
+	// Validate verifies the stored checksums eagerly (digest, then every
+	// block) before the structural invariants — a rotted file fails here
+	// with a localized *CorruptionError.
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("index: loaded shard failed validation: %w", err)
 	}

@@ -40,7 +40,7 @@ func TestReadShardRejectsCorruptWire(t *testing.T) {
 		mutate  func(w *shardWire)
 		errFrag string
 	}{
-		{"old version", func(w *shardWire) { w.Version = wireVersion - 1 }, "format version"},
+		{"old version", func(w *shardWire) { w.Version = wireVersionV3 - 1 }, "format version"},
 		{"future version", func(w *shardWire) { w.Version = wireVersion + 1 }, "format version"},
 		{"missing blocks", func(w *shardWire) { w.Blocks = w.Blocks[:1] }, "inconsistent term arrays"},
 		{"missing stats", func(w *shardWire) { w.TermStats = w.TermStats[:1] }, "inconsistent term arrays"},

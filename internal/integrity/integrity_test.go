@@ -1,0 +1,408 @@
+package integrity
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cottage/internal/index"
+	"cottage/internal/obs"
+	"cottage/internal/xrand"
+)
+
+// buildShard makes a small multi-term, multi-block sealed shard.
+func buildShard(t testing.TB, id int) *index.Shard {
+	t.Helper()
+	b := index.NewBuilder(id, index.DefaultBM25(), 10)
+	rng := xrand.New(uint64(41 + id))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	zipf := xrand.NewZipf(rng, 1.0, len(vocab))
+	for d := 0; d < 300; d++ {
+		terms := make(map[string]int)
+		n := 15 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			terms[vocab[zipf.Draw()]]++
+		}
+		b.Add(int64(5000+d), terms, n)
+	}
+	s := b.Finalize()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("shard invalid: %v", err)
+	}
+	return s
+}
+
+// corruptOneBlock flips a posting in the first multi-block term and
+// returns (term text, block index).
+func corruptOneBlock(t testing.TB, s *index.Shard) (string, int) {
+	t.Helper()
+	for i := range s.Terms {
+		ti := &s.Terms[i]
+		if len(ti.Blocks) > 1 {
+			lo, _ := ti.BlockSpan(1)
+			ti.Postings[lo].TF ^= 1
+			s.ResetVerification()
+			return ti.Text, 1
+		}
+	}
+	t.Fatal("no multi-block term")
+	return "", 0
+}
+
+func TestLedgerStateMachine(t *testing.T) {
+	l := NewLedger(0)
+	if l.State(3, 1) != Healthy || l.IsQuarantined(3, 1) {
+		t.Fatal("fresh replica not healthy")
+	}
+	l.RecordMismatch(3, 1, 100, "query", "block 1")
+	if !l.Quarantine(3, 1, 100, "block 1") {
+		t.Fatal("first quarantine rejected")
+	}
+	if l.Quarantine(3, 1, 150, "again") {
+		t.Fatal("double quarantine accepted")
+	}
+	if got := l.State(3, 1); got != Quarantined {
+		t.Fatalf("state = %v, want quarantined", got)
+	}
+	// Repair that fails returns to quarantined; MTTR keeps counting
+	// from the first detection.
+	l.StartRepair(3, 1, 200)
+	if got := l.State(3, 1); got != Repairing {
+		t.Fatalf("state = %v, want repairing", got)
+	}
+	if !l.IsQuarantined(3, 1) {
+		t.Fatal("repairing replica must still be out of service")
+	}
+	l.FailRepair(3, 1, 250, "peer down")
+	if got := l.State(3, 1); got != Quarantined {
+		t.Fatalf("state after failed repair = %v", got)
+	}
+	l.StartRepair(3, 1, 300)
+	l.Readmit(3, 1, 600)
+	if got := l.State(3, 1); got != Healthy {
+		t.Fatalf("state after readmit = %v", got)
+	}
+	snap := l.Snapshot()
+	if snap.Mismatches != 1 || snap.Quarantines != 1 || snap.Repairs != 1 {
+		t.Fatalf("totals = %+v", snap)
+	}
+	if snap.MeanMTTRMS != 500 { // quarantined at 100, readmitted at 600
+		t.Fatalf("MTTR = %d, want 500", snap.MeanMTTRMS)
+	}
+	if len(snap.Replicas) != 1 || snap.Replicas[0].State != Healthy || snap.Replicas[0].Repairs != 1 {
+		t.Fatalf("replica status = %+v", snap.Replicas)
+	}
+	// Transition guards: out-of-order calls are no-ops.
+	l.StartRepair(3, 1, 700) // healthy: no-op
+	l.FailRepair(3, 1, 700, "x")
+	l.Readmit(3, 1, 700)
+	if got := l.Snapshot(); got.Repairs != 1 || l.State(3, 1) != Healthy {
+		t.Fatalf("guards leaked transitions: %+v", got)
+	}
+}
+
+func TestLedgerEventRingWraps(t *testing.T) {
+	l := NewLedger(4)
+	for i := 0; i < 7; i++ {
+		l.RecordMismatch(0, 0, int64(i), "scrub", fmt.Sprintf("e%d", i))
+	}
+	snap := l.Snapshot()
+	if len(snap.Events) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(snap.Events))
+	}
+	for i, ev := range snap.Events {
+		if want := fmt.Sprintf("e%d", i+3); ev.Detail != want {
+			t.Fatalf("event %d = %q, want %q (oldest-first)", i, ev.Detail, want)
+		}
+	}
+	if snap.Mismatches != 7 {
+		t.Fatalf("mismatch total %d survived the ring, want 7", snap.Mismatches)
+	}
+}
+
+func TestScrubberPacing(t *testing.T) {
+	s := buildShard(t, 1)
+	sc := &Scrubber{BytesPerSec: 1000}
+	// First step anchors the clock — nothing scrubbed.
+	if res := sc.Step(s, 0); res.Scrubbed != 0 || res.Err != nil {
+		t.Fatalf("anchor step scrubbed %d", res.Scrubbed)
+	}
+	// 1 second at 1000 B/s = 1000 bytes ≈ one 64-posting block (512 B)
+	// plus change; strictly fewer blocks than the whole shard.
+	res := sc.Step(s, 1000)
+	if res.Scrubbed == 0 || res.Scrubbed >= s.TotalBlocks() {
+		t.Fatalf("paced step scrubbed %d of %d blocks", res.Scrubbed, s.TotalBlocks())
+	}
+	// Enough elapsed time covers the full shard and wraps the epoch.
+	total := int64(s.PostingBytes())
+	sc.Step(s, 1000+total) // one full shard's worth of budget
+	sc.Step(s, 2000+2*total)
+	if sc.Epochs() == 0 {
+		t.Fatalf("no epoch completed after %d bytes of budget", 2*total)
+	}
+	// Budget carry is capped: a huge idle gap can't scrub more than one
+	// pass worth in a single step.
+	before := sc.Epochs()
+	res = sc.Step(s, 100_000_000)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if sc.Epochs() > before+2 {
+		t.Fatalf("idle gap scrubbed %d epochs in one step", sc.Epochs()-before)
+	}
+}
+
+func TestScrubberFindsRotAcrossEpochs(t *testing.T) {
+	s := buildShard(t, 2)
+	sc := &Scrubber{BytesPerSec: 64_000}
+	sc.Step(s, 0)
+	// Clean first pass.
+	if res := sc.Step(s, sc.EpochMS(s)+1000); res.Err != nil {
+		t.Fatalf("clean shard scrubbed dirty: %v", res.Err)
+	}
+	// Rot lands after the first pass; the next epoch must find it even
+	// though every block was previously verified.
+	term, block := corruptOneBlock(t, s)
+	var found error
+	now := sc.EpochMS(s) + 1000
+	for i := 0; i < 100 && found == nil; i++ {
+		now += 500
+		if res := sc.Step(s, now); res.Err != nil {
+			found = res.Err
+		}
+	}
+	var ce *index.CorruptionError
+	if !errors.As(found, &ce) {
+		t.Fatalf("scrub missed post-verification rot: %v", found)
+	}
+	if ce.Term != term || ce.Block != block {
+		t.Fatalf("mislocalized: %+v, want term %q block %d", ce, term, block)
+	}
+}
+
+func TestScrubberDisabledAndNil(t *testing.T) {
+	s := buildShard(t, 3)
+	sc := &Scrubber{BytesPerSec: 0}
+	if res := sc.Step(s, 1000); res.Scrubbed != 0 {
+		t.Fatal("disabled scrubber scrubbed")
+	}
+	if sc.EpochMS(s) != 0 || sc.EpochMS(nil) != 0 {
+		t.Fatal("disabled scrubber reports an epoch")
+	}
+	sc = &Scrubber{BytesPerSec: 1000}
+	if res := sc.Step(nil, 1000); res.Scrubbed != 0 {
+		t.Fatal("nil shard scrubbed")
+	}
+}
+
+func TestManagerQueryGateQuarantines(t *testing.T) {
+	s := buildShard(t, 4)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	m := NewManager(Config{ShardID: 4, Replica: 0, Metrics: met}, s)
+
+	if m.Shard() != s || m.State() != Healthy {
+		t.Fatal("healthy manager hides its shard")
+	}
+	if err := m.VerifyQuery([]string{"alpha"}, 10); err != nil {
+		t.Fatalf("clean query gated: %v", err)
+	}
+	term, _ := corruptOneBlock(t, s)
+	err := m.VerifyQuery([]string{term}, 20)
+	if !index.IsCorruption(err) {
+		t.Fatalf("gate missed corruption: %v", err)
+	}
+	if m.State() != Quarantined {
+		t.Fatalf("state = %v, want quarantined", m.State())
+	}
+	if m.Shard() != nil {
+		t.Fatal("quarantined manager still serves its shard")
+	}
+	// Quarantined replicas are not scrubbed.
+	if n := m.ScrubStep(1000); n != 0 {
+		t.Fatalf("quarantined replica scrubbed %d blocks", n)
+	}
+	if met.Mismatches.Value() != 1 || met.Quarantines.Value() != 1 {
+		t.Fatalf("metrics: mismatches=%d quarantines=%d",
+			met.Mismatches.Value(), met.Quarantines.Value())
+	}
+}
+
+func TestManagerRepairReadmits(t *testing.T) {
+	s := buildShard(t, 5)
+	met := NewMetrics(obs.NewRegistry())
+	fails := 1
+	m := NewManager(Config{
+		ShardID: 5, Replica: 1, ScrubBytesPerSec: 1 << 20, Metrics: met,
+		Fetch: func() (*index.Shard, error) {
+			if fails > 0 {
+				fails--
+				return nil, errors.New("peer unavailable")
+			}
+			return buildShard(t, 5), nil
+		},
+	}, s)
+
+	// Repair on a healthy replica is a no-op.
+	if err := m.Repair(0, nil); err != nil {
+		t.Fatalf("healthy repair: %v", err)
+	}
+	term, _ := corruptOneBlock(t, s)
+	if err := m.VerifyQuery([]string{term}, 100); !index.IsCorruption(err) {
+		t.Fatalf("corruption missed: %v", err)
+	}
+	// First attempt fails (peer down) — still quarantined.
+	if err := m.Repair(200, nil); err == nil {
+		t.Fatal("failed fetch reported success")
+	}
+	if m.State() != Quarantined || m.Shard() != nil {
+		t.Fatal("failed repair re-admitted the replica")
+	}
+	// Second attempt succeeds: fresh shard swaps in, state is healthy,
+	// scrubbing resumes, MTTR covers detection → readmission.
+	if err := m.Repair(600, nil); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if m.State() != Healthy || m.Shard() == nil {
+		t.Fatal("repair did not re-admit")
+	}
+	if err := m.VerifyQuery([]string{term}, 700); err != nil {
+		t.Fatalf("repaired shard still gated: %v", err)
+	}
+	snap := m.Snapshot()
+	if snap.Repairs != 1 || snap.MeanMTTRMS != 500 {
+		t.Fatalf("repair accounting: %+v", snap)
+	}
+	if met.Repairs.Value() != 1 {
+		t.Fatalf("repairs counter = %d", met.Repairs.Value())
+	}
+	if m.ScrubStep(1000) != 0 { // anchor
+		t.Fatal("anchor step scrubbed")
+	}
+	if m.ScrubStep(2000) == 0 {
+		t.Fatal("scrub did not resume after repair")
+	}
+}
+
+func TestManagerRepairRejectsCorruptTransfer(t *testing.T) {
+	s := buildShard(t, 6)
+	m := NewManager(Config{ShardID: 6, Replica: 0}, s)
+	term, _ := corruptOneBlock(t, s)
+	if err := m.VerifyQuery([]string{term}, 10); !index.IsCorruption(err) {
+		t.Fatalf("corruption missed: %v", err)
+	}
+	// The repair source itself hands back rotten bytes: re-validation
+	// must reject them and the replica stays out of service.
+	err := m.Repair(20, func() (*index.Shard, error) {
+		bad := buildShard(t, 6)
+		corruptOneBlock(t, bad)
+		return bad, nil
+	})
+	if !index.IsCorruption(err) {
+		t.Fatalf("corrupt transfer accepted: %v", err)
+	}
+	if m.State() != Quarantined {
+		t.Fatalf("state = %v after corrupt transfer", m.State())
+	}
+	// No repair source configured at all: typed failure, still out.
+	if err := m.Repair(30, nil); err == nil || !strings.Contains(err.Error(), "no repair source") {
+		t.Fatalf("got %v, want no-repair-source error", err)
+	}
+}
+
+func TestManagerScrubDetects(t *testing.T) {
+	s := buildShard(t, 7)
+	m := NewManager(Config{ShardID: 7, Replica: 0, ScrubBytesPerSec: 1 << 20}, s)
+	m.ScrubStep(0) // anchor
+	epoch := m.ScrubEpochMS()
+	if epoch <= 0 {
+		t.Fatalf("epoch = %d", epoch)
+	}
+	corruptOneBlock(t, s)
+	now := int64(0)
+	for i := 0; i < 200 && m.State() == Healthy; i++ {
+		now += 100
+		m.ScrubStep(now)
+	}
+	if m.State() != Quarantined {
+		t.Fatal("scrub never found the rot")
+	}
+	ev := m.Snapshot().Events
+	if len(ev) == 0 || ev[0].Source != "scrub" {
+		t.Fatalf("detection not attributed to scrub: %+v", ev)
+	}
+}
+
+func TestHandlerServesSnapshot(t *testing.T) {
+	l := NewLedger(0)
+	l.RecordMismatch(2, 1, 50, "frame", "payload crc")
+	l.Quarantine(2, 1, 50, "payload crc")
+	h := Handler(l.Snapshot)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/integrity", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if snap.Quarantines != 1 || len(snap.Replicas) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if !strings.Contains(rr.Body.String(), `"quarantined"`) {
+		t.Fatal("state not rendered by name")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for st, want := range map[State]string{Healthy: "healthy", Quarantined: "quarantined",
+		Repairing: "repairing", State(9): "state(9)"} {
+		if st.String() != want {
+			t.Fatalf("%d → %q, want %q", int(st), st.String(), want)
+		}
+	}
+}
+
+// TestRunLoopScrubsAndRepairs drives the wall-clock wrapper end to end:
+// the loop's scrub finds planted rot, quarantines, and self-repairs.
+func TestRunLoopScrubsAndRepairs(t *testing.T) {
+	s := buildShard(t, 8)
+	corruptOneBlock(t, s)
+	m := NewManager(Config{
+		ShardID: 8, Replica: 0, ScrubBytesPerSec: 64 << 20,
+		Fetch: func() (*index.Shard, error) { return buildShard(t, 8), nil },
+	}, s)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { defer close(done); m.RunLoop(stop, time.Millisecond) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := m.Snapshot()
+		if snap.Repairs >= 1 && m.State() == Healthy {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	<-done
+	snap := m.Snapshot()
+	if snap.Quarantines != 1 || snap.Repairs < 1 || m.State() != Healthy {
+		t.Fatalf("loop did not heal: %+v (state %v)", snap, m.State())
+	}
+}
+
+func TestNilMetricsSafe(t *testing.T) {
+	var m *Metrics
+	m.scrubbed(3)
+	m.mismatch()
+	m.quarantine()
+	m.repair()
+	if NewMetrics(nil) != nil {
+		t.Fatal("NewMetrics(nil) registered counters")
+	}
+}

@@ -18,6 +18,13 @@ type Candidate struct {
 	// crash, operator removal). Failed replicas are never selected, no
 	// matter what — the selector's one hard guarantee.
 	Failed bool
+	// Quarantined marks a replica whose shard copy failed an integrity
+	// check (checksum mismatch, typed decode failure). Like Failed, it
+	// is excluded outright — strictly below breaker-open in preference,
+	// because an open breaker can still admit a probe while a replica
+	// known to serve corrupt bytes must never be chosen until repair
+	// re-admits it.
+	Quarantined bool
 	// Breaker is the replica's circuit-breaker position. Closed ranks
 	// first, half-open next (one probe may be admitted), open last —
 	// open replicas stay in the order as a last resort because an open
@@ -65,9 +72,9 @@ func breakerRank(s overload.State) int {
 }
 
 // Rank orders a replica group's candidates best-first and returns their
-// IDs. Failed replicas are excluded entirely; an empty (or all-failed)
-// group yields an empty slice, never a panic. The ranking rule, most
-// significant first:
+// IDs. Failed and Quarantined replicas are excluded entirely; an empty
+// (or all-failed) group yields an empty slice, never a panic. The
+// ranking rule, most significant first:
 //
 //  1. breaker state: closed < half-open < open,
 //  2. transport health: healthy before broken,
@@ -81,7 +88,7 @@ func breakerRank(s overload.State) int {
 func Rank(cands []Candidate) []int {
 	live := make([]Candidate, 0, len(cands))
 	for _, c := range cands {
-		if c.Failed {
+		if c.Failed || c.Quarantined {
 			continue
 		}
 		live = append(live, c)

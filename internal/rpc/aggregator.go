@@ -12,6 +12,7 @@ import (
 
 	"cottage/internal/cluster"
 	"cottage/internal/core"
+	"cottage/internal/integrity"
 	"cottage/internal/obs"
 	"cottage/internal/obs/anatomy"
 	"cottage/internal/obs/slo"
@@ -95,6 +96,8 @@ type Aggregator struct {
 	failoversSearch  obs.Counter
 	tracker          *replica.Tracker // per-client EWMA leg time (nil until EnableReplicaGroups)
 	prober           *Prober
+	qOnce            sync.Once
+	quarantine       *integrity.Ledger // coordinator-side quarantine (lazy; see quarantine.go)
 
 	obsOnce    sync.Once
 	latCottage *obs.Histogram
@@ -184,6 +187,15 @@ func (a *Aggregator) observeBreaker(i int, err error) {
 		// Shed by admission control: the ISN answered, so the transport
 		// is healthy. Neither a success (the work didn't run) nor a
 		// failure (the node isn't sick) — the breaker doesn't move.
+	case IsShardCorrupt(err):
+		// The replica answered: transport healthy, data bad. Quarantine
+		// (the coordinator ledger), not the breaker, takes it out of
+		// rotation — opening the breaker too would double-penalize and
+		// misattribute a data fault as node death.
+	case IsCorruptFrame(err):
+		// Bytes were mangled in transit and *detected*: the peer is
+		// alive and a fresh connection is expected to be clean. A lying
+		// wire is not a dead node, so the breaker stays put.
 	case IsTransient(err):
 		b.OnFailure()
 	default:

@@ -91,30 +91,49 @@ func (p *Prober) run() {
 }
 
 // sweep probes every currently-unhealthy ISN concurrently and waits for
-// the results, so a sweep never overlaps the next tick's.
+// the results, so a sweep never overlaps the next tick's. "Unhealthy"
+// covers two independent axes: transport (broken connection, breaker
+// not closed) and data (coordinator-side quarantine). A quarantined but
+// reachable replica is probed too — its ping carries the remote
+// data-plane status, and the first ping reporting the copy healthy
+// again re-admits the replica into selection (closing the repair loop
+// and stamping its MTTR).
 func (p *Prober) sweep() {
 	var wg sync.WaitGroup
 	now := time.Now()
 	for i, c := range p.agg.Clients {
-		unhealthy := c.Broken()
+		transportDown := c.Broken()
 		if b := p.agg.breaker(i); b != nil && b.State() != overload.Closed {
-			unhealthy = true
+			transportDown = true
 		}
-		if !unhealthy {
+		quarantined := p.agg.clientQuarantined(i)
+		if !transportDown && !quarantined {
 			p.unhealthySince[i] = time.Time{}
 			continue
 		}
-		if p.unhealthySince[i].IsZero() {
+		if transportDown && p.unhealthySince[i].IsZero() {
 			p.unhealthySince[i] = now
 		}
 		wg.Add(1)
-		go func(i int, c *Client) {
+		go func(i int, c *Client, transportDown bool) {
 			defer wg.Done()
-			if err := c.Ping(); err != nil {
+			remoteQuarantined, err := c.PingStatus()
+			if err != nil {
 				p.probesFail.Inc()
 				return
 			}
 			p.probesOK.Inc()
+			if !remoteQuarantined {
+				// Repair completed (or the quarantine was never real on the
+				// server); return the replica to rotation. No-op when the
+				// ledger never quarantined this client.
+				p.agg.readmitClient(i)
+			}
+			if !transportDown {
+				// Pure data-plane probe: no breaker to close, no outage to
+				// account — quarantine bookkeeping (MTTR) lives in the ledger.
+				return
+			}
 			if b := p.agg.breaker(i); b != nil {
 				b.OnSuccess()
 			}
@@ -133,7 +152,7 @@ func (p *Prober) sweep() {
 				p.revivalMS.Observe(float64(time.Since(down).Microseconds()) / 1000)
 			}
 			p.unhealthySince[i] = time.Time{}
-		}(i, c)
+		}(i, c, transportDown)
 	}
 	wg.Wait()
 }

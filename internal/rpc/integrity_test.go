@@ -1,0 +1,388 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cottage/internal/index"
+	"cottage/internal/integrity"
+	"cottage/internal/overload"
+	"cottage/internal/search"
+)
+
+// --- frame layer ---
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	msgs := [][]byte{
+		[]byte("alpha"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 4096),
+		[]byte("omega"),
+	}
+	for _, m := range msgs {
+		if n, err := fw.Write(m); err != nil || n != len(m) {
+			t.Fatalf("write %d bytes: n=%d err=%v", len(m), n, err)
+		}
+	}
+	fr := newFrameReader(&buf)
+	var got bytes.Buffer
+	if _, err := io.Copy(&got, fr); err != io.EOF && err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	want := bytes.Join(msgs, nil)
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("round trip lost bytes: got %d, want %d", got.Len(), len(want))
+	}
+	if fr.Err() != nil && fr.Err() != io.EOF {
+		t.Fatalf("clean stream left sticky error %v", fr.Err())
+	}
+}
+
+func TestFrameReaderDetectsCorruptPayload(t *testing.T) {
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	if _, err := fw.Write([]byte("the payload under test")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8] ^= 0x01 // first payload byte
+
+	fr := newFrameReader(bytes.NewReader(raw))
+	_, err := fr.Read(make([]byte, 64))
+	if !IsCorruptFrame(err) {
+		t.Fatalf("flipped payload bit: got %v, want ErrCorruptFrame", err)
+	}
+	// Sticky: the stream cannot be resynchronized after a lie.
+	if _, err2 := fr.Read(make([]byte, 64)); !IsCorruptFrame(err2) {
+		t.Fatalf("second read after corruption: got %v, want sticky ErrCorruptFrame", err2)
+	}
+	if fr.Err() == nil || !IsCorruptFrame(fr.Err()) {
+		t.Fatalf("Err() = %v, want sticky ErrCorruptFrame", fr.Err())
+	}
+}
+
+func TestFrameReaderRejectsImpossibleLength(t *testing.T) {
+	var head [8]byte
+	binary.LittleEndian.PutUint32(head[0:4], maxFramePayload+1)
+	fr := newFrameReader(bytes.NewReader(head[:]))
+	_, err := fr.Read(make([]byte, 8))
+	if !IsBadFrame(err) {
+		t.Fatalf("absurd length: got %v, want ErrBadFrame", err)
+	}
+}
+
+func TestFrameReaderTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf)
+	if _, err := fw.Write([]byte("will be cut short")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:12] // header + 4 of 17 payload bytes
+	fr := newFrameReader(bytes.NewReader(raw))
+	if _, err := fr.Read(make([]byte, 64)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated payload: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestWrapDecodeErrClassification(t *testing.T) {
+	if wrapDecodeErr("x", nil) != nil {
+		t.Fatal("nil must stay nil")
+	}
+	if err := wrapDecodeErr("x", io.EOF); err != io.EOF {
+		t.Fatalf("EOF must pass through, got %v", err)
+	}
+	if err := wrapDecodeErr("x", ErrCorruptFrame); !IsCorruptFrame(err) {
+		t.Fatalf("frame identity lost: %v", err)
+	}
+	if err := wrapDecodeErr("x", io.ErrShortBuffer); !IsBadFrame(err) {
+		t.Fatalf("gob garbage must become ErrBadFrame, got %v", err)
+	}
+}
+
+// TestServerAnswersCodeCorruptOnMangledRequest speaks the wire protocol
+// by hand: a request whose payload CRC is wrong must be answered with a
+// typed CodeCorrupt response (then the connection closes) — never
+// silently dropped, never misdecoded.
+func TestServerAnswersCodeCorruptOnMangledRequest(t *testing.T) {
+	sh := buildShard(t, 71)
+	addr, stop := startServer(t, sh, nil)
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Encode a valid framed request, then flip a bit in the final
+	// frame's payload (the Request value; earlier frames are gob type
+	// descriptors and must stay intact for the decoder to reach it).
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(newFrameWriter(&buf))
+	if err := enc.Encode(&Request{ID: 1, Kind: KindSearch, Terms: []string{"ga"}, K: 5}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0x40
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	dec := gob.NewDecoder(newFrameReader(conn))
+	resp, err := DecodeResponse(dec)
+	if err != nil {
+		t.Fatalf("expected a typed response before close, got %v", err)
+	}
+	if resp.Code != CodeCorrupt {
+		t.Fatalf("code = %v, want CodeCorrupt", resp.Code)
+	}
+}
+
+// flipProxy forwards client<->server bytes, flipping one payload byte
+// of the first server->client burst exactly once — a deterministic
+// stand-in for faults.Corrupt aimed at the response path.
+func flipProxy(t *testing.T, backend string) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flipped atomic.Bool
+	go func() {
+		for {
+			cc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			sc, err := net.Dial("tcp", backend)
+			if err != nil {
+				cc.Close()
+				continue
+			}
+			go func() { io.Copy(sc, cc); sc.Close() }()
+			go func() {
+				defer cc.Close()
+				defer sc.Close()
+				if flipped.CompareAndSwap(false, true) {
+					buf := make([]byte, 64<<10)
+					n, err := sc.Read(buf)
+					if err != nil {
+						return
+					}
+					// Flip a payload byte when the burst carries one; fall
+					// back to the last byte available (still detected, as a
+					// header lie instead).
+					if n > 8 {
+						buf[8] ^= 0x20
+					} else {
+						buf[n-1] ^= 0x20
+					}
+					if _, err := cc.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+				io.Copy(cc, sc)
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+// TestClientDetectsResponseCorruptionTyped drives a corrupted response
+// through the client: without retries the error is typed (a detected
+// frame-layer lie, transient), and with retries the very next attempt
+// on a fresh connection succeeds with intact results.
+func TestClientDetectsResponseCorruptionTyped(t *testing.T) {
+	sh := buildShard(t, 72)
+	want := search.MaxScore(sh, []string{"ga", "gb"}, 5)
+	backend, stopSrv := startServer(t, sh, nil)
+	defer stopSrv()
+	addr, stopProxy := flipProxy(t, backend)
+	defer stopProxy()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(2 * time.Second)
+	c.SetRetryPolicy(RetryPolicy{Max: 0})
+
+	_, err = c.Search([]string{"ga", "gb"}, 5, 0)
+	if err == nil {
+		t.Fatal("corrupted response must not decode cleanly")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("detected corruption must be transient, got %v", err)
+	}
+	if !IsCorruptFrame(err) && !IsBadFrame(err) {
+		t.Fatalf("detected corruption must keep frame identity, got %v", err)
+	}
+
+	c.SetRetryPolicy(RetryPolicy{Max: 3, Backoff: time.Millisecond})
+	r, err := c.Search([]string{"ga", "gb"}, 5, 0)
+	if err != nil {
+		t.Fatalf("fresh connection after corruption: %v", err)
+	}
+	if len(r.Hits) != len(want.Hits) {
+		t.Fatalf("got %d hits, want %d", len(r.Hits), len(want.Hits))
+	}
+	for i := range r.Hits {
+		if r.Hits[i] != want.Hits[i] {
+			t.Fatalf("hit %d differs after recovery", i)
+		}
+	}
+}
+
+// --- quarantine, failover, repair ---
+
+// findTerm returns the shard's TermInfo for text, for in-place rot.
+func findTerm(tb testing.TB, sh *index.Shard, text string) *index.TermInfo {
+	tb.Helper()
+	for i := range sh.Terms {
+		if sh.Terms[i].Text == text {
+			return &sh.Terms[i]
+		}
+	}
+	tb.Fatalf("term %q not in shard", text)
+	return nil
+}
+
+// startIntegrityServer launches a Server supervised by an integrity
+// manager for the given shard.
+func startIntegrityServer(tb testing.TB, mgr *integrity.Manager) (addr string, stop func()) {
+	tb.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv := &Server{Strategy: search.StrategyMaxScore, Integrity: mgr}
+	go srv.Serve(l)
+	return l.Addr().String(), func() { l.Close() }
+}
+
+// TestQuarantineFailoverAndRepair is the integrity plane end to end
+// over real sockets: replica 0's shard rots in memory, the first query
+// touching the bad block quarantines it server-side, the aggregator
+// fails over to replica 1 and quarantines it coordinator-side (breaker
+// untouched), FetchShard repairs replica 0 from the healthy sibling,
+// and the prober re-admits it into selection.
+func TestQuarantineFailoverAndRepair(t *testing.T) {
+	sh0 := buildShard(t, 73)
+	sh1 := buildShard(t, 73) // same seed: true replicas
+	want := search.MaxScore(sh1, []string{"ga", "gb"}, 5)
+
+	mgr := integrity.NewManager(integrity.Config{ShardID: 0, Replica: 0, ScrubBytesPerSec: 1 << 20}, sh0)
+	addr0, stop0 := startIntegrityServer(t, mgr)
+	defer stop0()
+	addr1, stop1 := startServer(t, sh1, nil)
+	defer stop1()
+
+	c0, err := Dial(addr0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	c1, err := Dial(addr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	agg := NewAggregator([]*Client{c0, c1}, 5)
+	if err := agg.EnableReplicaGroups([][]int{{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	agg.EnableBreakers(3, time.Second)
+
+	// Rot replica 0's copy before any traffic: flip a term frequency in
+	// a queried term's postings and clear the verification memo (the
+	// load-time pass already verified these blocks). With no service
+	// measurements yet, ranking falls back to ID order, so the first
+	// query leg goes to the corrupt replica — the hardest case.
+	ti := findTerm(t, sh0, "ga")
+	ti.Postings[0].TF ^= 1
+	sh0.ResetVerification()
+
+	// The query still succeeds — served by replica 1 — and never
+	// includes a score computed from the flipped posting.
+	res, err := agg.SearchExhaustive([]string{"ga", "gb"})
+	if err != nil {
+		t.Fatalf("query during corruption must fail over, got %v", err)
+	}
+	if len(res.Hits) != len(want.Hits) {
+		t.Fatalf("failover: got %d hits, want %d", len(res.Hits), len(want.Hits))
+	}
+	for i := range res.Hits {
+		if res.Hits[i] != want.Hits[i] {
+			t.Fatalf("failover hit %d differs — corrupt posting leaked into scoring", i)
+		}
+	}
+
+	// Server side quarantined itself; coordinator marked it too.
+	if st := mgr.State(); st == integrity.Healthy {
+		t.Fatal("server-side manager still Healthy after detection")
+	}
+	if !agg.clientQuarantined(0) {
+		t.Fatal("coordinator did not quarantine replica 0")
+	}
+	if got := agg.rankShard(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("rankShard = %v, want [1] while replica 0 is quarantined", got)
+	}
+	// Data fault, not node death: the breaker must not have moved.
+	if st := agg.Breakers[0].State(); st != overload.Closed {
+		t.Fatalf("breaker state = %v, want Closed (corruption is breaker-neutral)", st)
+	}
+	// Quarantined replica refuses to serve and says so on ping.
+	if _, err := c0.Search([]string{"ga"}, 5, 0); !IsShardCorrupt(err) {
+		t.Fatalf("direct search on quarantined replica: got %v, want ErrShardCorrupt", err)
+	}
+	q, err := c0.PingStatus()
+	if err != nil || !q {
+		t.Fatalf("PingStatus = (%v, %v), want (true, nil)", q, err)
+	}
+
+	// Repair from the healthy sibling over the wire. The fetched bytes
+	// re-verify end-to-end before the swap.
+	if err := mgr.Repair(time.Now().UnixMilli(), func() (*index.Shard, error) {
+		return c1.FetchShard()
+	}); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if st := mgr.State(); st != integrity.Healthy {
+		t.Fatalf("state after repair = %v, want Healthy", st)
+	}
+	if q, err := c0.PingStatus(); err != nil || q {
+		t.Fatalf("PingStatus after repair = (%v, %v), want (false, nil)", q, err)
+	}
+	if _, err := c0.Search([]string{"ga"}, 5, 0); err != nil {
+		t.Fatalf("repaired replica must serve again: %v", err)
+	}
+
+	// The prober notices the repaired copy and re-admits it.
+	agg.StartProber(2 * time.Millisecond)
+	defer agg.StopProber()
+	deadline := time.Now().Add(2 * time.Second)
+	for agg.clientQuarantined(0) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if agg.clientQuarantined(0) {
+		t.Fatal("prober never re-admitted the repaired replica")
+	}
+	if got := agg.rankShard(0); len(got) != 2 {
+		t.Fatalf("rankShard after readmit = %v, want both replicas", got)
+	}
+	snap := agg.IntegrityLedger().Snapshot()
+	if snap.Repairs == 0 {
+		t.Fatal("coordinator ledger recorded no repair")
+	}
+}

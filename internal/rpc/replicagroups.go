@@ -88,11 +88,12 @@ func (a *Aggregator) rankShard(shard int) []int {
 			acc = a.Obs.Acc.EWMAAbsErrPct(ci)
 		}
 		cands[i] = replica.Candidate{
-			ID:        ci,
-			Breaker:   st,
-			Healthy:   !a.Clients[ci].Broken(),
-			ServiceMS: a.tracker.ServiceMS(ci),
-			AccErrPct: acc,
+			ID:          ci,
+			Quarantined: a.clientQuarantined(ci),
+			Breaker:     st,
+			Healthy:     !a.Clients[ci].Broken(),
+			ServiceMS:   a.tracker.ServiceMS(ci),
+			AccErrPct:   acc,
 		}
 	}
 	return replica.Rank(cands)
@@ -136,6 +137,9 @@ func (a *Aggregator) predictShard(shard int, tb *obs.TraceBuilder, parent *obs.A
 		a.observeBreaker(ci, err)
 		sent++
 		if err != nil {
+			if IsShardCorrupt(err) {
+				a.noteCorrupt(shard, ci, err)
+			}
 			leg.SetAttr("error", err.Error())
 			leg.End(nowUS())
 			lastErr = fmt.Errorf("replica %d: %w", ci, err)
@@ -214,6 +218,9 @@ func (a *Aggregator) searchShard(shard int, tb *obs.TraceBuilder, parent *obs.Ac
 		a.observeBreaker(ci, err)
 		sent++
 		if err != nil {
+			if IsShardCorrupt(err) {
+				a.noteCorrupt(shard, ci, err)
+			}
 			leg.SetAttr("error", err.Error())
 			leg.End(nowUS())
 			lastErr = fmt.Errorf("replica %d: %w", ci, err)

@@ -14,6 +14,7 @@
 package rpc
 
 import (
+	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -26,6 +27,7 @@ import (
 
 	"cottage/internal/faults"
 	"cottage/internal/index"
+	"cottage/internal/integrity"
 	"cottage/internal/obs"
 	"cottage/internal/overload"
 	"cottage/internal/predict"
@@ -47,6 +49,12 @@ const (
 	// KindPhrase asks the ISN for an exact-phrase evaluation (requires a
 	// positional shard).
 	KindPhrase
+	// KindFetchShard asks the ISN for its full serialized shard — the
+	// repair transfer verb. The response carries the checksummed wire v4
+	// bytes; the fetching side re-reads and re-verifies them end to end
+	// (index.ReadShard validates eagerly), so a transfer corrupted in
+	// flight can never be re-admitted.
+	KindFetchShard
 )
 
 // String implements fmt.Stringer (span names, metrics labels).
@@ -60,6 +68,8 @@ func (k Kind) String() string {
 		return "ping"
 	case KindPhrase:
 		return "phrase"
+	case KindFetchShard:
+		return "fetchshard"
 	default:
 		return fmt.Sprintf("kind%d", int(k))
 	}
@@ -104,6 +114,17 @@ const (
 	// CodeBadRequest: the request decoded but failed validation.
 	// Retrying the same bytes can never succeed.
 	CodeBadRequest
+	// CodeCorrupt: the request's frame arrived with a failed payload CRC
+	// — the bytes were mangled in transit, not by the sender. Transient
+	// and breaker-neutral: the client resends on a fresh connection.
+	// (The server closes the stream after answering; a desynced gob
+	// session cannot be trusted further.)
+	CodeCorrupt
+	// CodeQuarantined: this replica's shard copy failed an integrity
+	// check and is out of service until repaired. Not transient for this
+	// replica — the client fails the leg over to a sibling — and
+	// breaker-neutral: the node is healthy, its data is not.
+	CodeQuarantined
 )
 
 // Response is the wire response.
@@ -130,33 +151,70 @@ type Response struct {
 	// them into the query's trace so ISN-side timing lands in the same
 	// tree as the fan-out that caused it.
 	Spans []obs.Span
+	// ShardBytes carries the serialized (wire v4, checksummed) shard on
+	// KindFetchShard responses.
+	ShardBytes []byte
+	// Quarantined rides on KindPing responses: true while this replica's
+	// shard copy is out of service (integrity quarantine or no shard
+	// loaded). Ping itself still succeeds — the transport is healthy —
+	// so the aggregator's prober can tell "node dead" from "data bad"
+	// and re-admit the replica the moment repair completes.
+	Quarantined bool
+}
+
+// wrapDecodeErr types a decode failure so callers can classify without
+// string matching: transport conditions (closed/timed-out connections,
+// clean or truncated EOFs) pass through untouched, frame-layer errors
+// keep their ErrCorruptFrame/ErrBadFrame identity, and everything else
+// — gob garbage that framed and checksummed cleanly, so it was *sent*
+// malformed rather than mangled in transit — becomes ErrBadFrame.
+// Retry/breaker logic can then stop treating a garbled payload as node
+// death: the peer is reachable, its bytes are not trustworthy.
+func wrapDecodeErr(what string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return err
+	}
+	if IsCorruptFrame(err) || IsBadFrame(err) {
+		return err
+	}
+	return fmt.Errorf("%w: %s: %v", ErrBadFrame, what, err)
 }
 
 // DecodeRequest reads one Request from a gob stream. A corrupted or
 // truncated frame yields an error, never a panic: gob's decoder can
 // panic on adversarial type descriptors, and a server must not be
 // killable by one bad frame, so the recover here is a load-bearing part
-// of the wire contract (fuzzed in fuzz_test.go).
+// of the wire contract (fuzzed in fuzz_test.go). Non-transport failures
+// come back typed (ErrCorruptFrame for checksum mismatches under the
+// frame layer, ErrBadFrame for undecodable payloads).
 func DecodeRequest(dec *gob.Decoder) (req Request, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("rpc: decode request: %v", r)
+			err = wrapDecodeErr("decode request", fmt.Errorf("%v", r))
 		}
 	}()
-	err = dec.Decode(&req)
+	err = wrapDecodeErr("decode request", dec.Decode(&req))
 	return req, err
 }
 
 // DecodeResponse reads one Response from a gob stream with the same
-// panic-to-error guarantee as DecodeRequest (the client side of the
-// contract: a corrupting ISN must not take the aggregator down).
+// panic-to-error and typed-error guarantees as DecodeRequest (the
+// client side of the contract: a corrupting ISN must not take the
+// aggregator down).
 func DecodeResponse(dec *gob.Decoder) (resp Response, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("rpc: decode response: %v", r)
+			err = wrapDecodeErr("decode response", fmt.Errorf("%v", r))
 		}
 	}()
-	err = dec.Decode(&resp)
+	err = wrapDecodeErr("decode response", dec.Decode(&resp))
 	return resp, err
 }
 
@@ -165,6 +223,13 @@ type Server struct {
 	Shard    *index.Shard
 	Pred     *predict.ISNPredictor // optional; KindPredict fails without it
 	Strategy search.Strategy
+	// Integrity, when set, supervises the shard: search/phrase requests
+	// pass the lazy checksum gate (a mismatched block is never scored),
+	// a detected corruption quarantines this replica (search answers
+	// CodeQuarantined until repair re-admits it), and repair swaps in a
+	// freshly verified shard. The manager's shard takes precedence over
+	// the bare Shard field. Set before Serve.
+	Integrity *integrity.Manager
 	// Faults, when set, injects prediction-level failures (timeouts,
 	// slowdowns) keyed by FaultISN — the application-layer complement of
 	// faults.WrapListener, which mangles the transport underneath. Both
@@ -350,12 +415,20 @@ func (s *Server) handle(conn net.Conn) {
 		s.trackConn(conn, false)
 		s.handlers.Done()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	fr := newFrameReader(conn)
+	dec := gob.NewDecoder(fr)
+	enc := gob.NewEncoder(newFrameWriter(conn))
 	for {
 		req, err := DecodeRequest(dec)
 		if err != nil {
-			return // connection closed, corrupted, or draining; drop it
+			if IsCorruptFrame(err) || IsCorruptFrame(fr.Err()) {
+				// The request's bytes were mangled in transit — detected,
+				// not guessed. Answer typed so the client retries breaker-
+				// neutrally, then drop the connection: the gob session
+				// behind a lying frame cannot be resynchronized.
+				_ = enc.Encode(&Response{Code: CodeCorrupt, Err: "corrupt request frame"})
+			}
+			return // closed, garbled, or draining; drop it
 		}
 		resp := s.serve(&req)
 		if resp == nil {
@@ -368,6 +441,15 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// shard returns the serving shard: the integrity manager's (nil while
+// quarantined) when supervision is on, the static field otherwise.
+func (s *Server) shard() *index.Shard {
+	if s.Integrity != nil {
+		return s.Integrity.Shard()
+	}
+	return s.Shard
 }
 
 // serve runs one request through validation and admission control, then
@@ -387,12 +469,18 @@ func (s *Server) serve(req *Request) *Response {
 			s.shed.Inc()
 			if req.Anytime && req.Kind == KindSearch && req.DeadlineUS > 0 {
 				if rem := time.Duration(req.DeadlineUS)*time.Microsecond - time.Since(arrived); rem > 0 {
-					// Shed with budget remaining: degrade to a truncated
-					// anytime answer instead of an outright rejection.
-					// The traversal stops at the remaining budget, so the
-					// work stays bounded — early termination is itself
-					// the load shedding the limiter wants.
-					return s.anytimeSearch(req, time.Now().Add(rem))
+					if sh := s.shard(); sh != nil {
+						if bad := s.gate(req); bad != nil {
+							return bad
+						}
+						// Shed with budget remaining: degrade to a truncated
+						// anytime answer instead of an outright rejection.
+						// The traversal stops at the remaining budget, so the
+						// work stays bounded — early termination is itself
+						// the load shedding the limiter wants.
+						return s.anytimeSearch(sh, req, time.Now().Add(rem))
+					}
+					return quarantinedResp(req.ID)
 				}
 			}
 			return &Response{ID: req.ID, Code: CodeOverloaded, Err: err.Error()}
@@ -464,16 +552,48 @@ func (s *Server) pendingDepth() int {
 	return s.Limit.Pending()
 }
 
+// quarantinedResp is the typed answer for every data-plane request
+// while this replica's shard copy is out of service.
+func quarantinedResp(id uint64) *Response {
+	return &Response{ID: id, Code: CodeQuarantined, Err: "shard replica quarantined"}
+}
+
+// gate runs the query-time integrity check for a data-plane request:
+// every block of every query term is lazily verified before evaluation,
+// so a mismatched block is never scored. A detected corruption
+// quarantines the replica and answers CodeQuarantined — the
+// aggregator's failover serves the query from a sibling.
+func (s *Server) gate(req *Request) *Response {
+	if s.Integrity == nil {
+		return nil
+	}
+	if err := s.Integrity.VerifyQuery(req.Terms, time.Now().UnixMilli()); err != nil {
+		return &Response{ID: req.ID, Code: CodeQuarantined, Err: err.Error()}
+	}
+	return nil
+}
+
 func (s *Server) dispatch(req *Request) *Response {
 	resp := &Response{ID: req.ID}
 	switch req.Kind {
 	case KindPing:
+		// Ping is transport health only — it succeeds even while the
+		// shard copy is quarantined — but it reports the data-plane state
+		// so the prober can drive coordinator-side readmission.
+		resp.Quarantined = s.shard() == nil
 	case KindSearch:
+		sh := s.shard()
+		if sh == nil {
+			return quarantinedResp(req.ID)
+		}
+		if bad := s.gate(req); bad != nil {
+			return bad
+		}
 		start := time.Now()
 		if req.Anytime && req.DeadlineUS > 0 {
-			return s.anytimeSearch(req, start.Add(time.Duration(req.DeadlineUS)*time.Microsecond))
+			return s.anytimeSearch(sh, req, start.Add(time.Duration(req.DeadlineUS)*time.Microsecond))
 		}
-		r := search.Eval(s.Strategy, s.Shard, req.Terms, req.K)
+		r := search.Eval(s.Strategy, sh, req.Terms, req.K)
 		if req.DeadlineUS > 0 && time.Since(start).Microseconds() > req.DeadlineUS {
 			resp.Err = "deadline exceeded"
 			return resp
@@ -494,19 +614,44 @@ func (s *Server) dispatch(req *Request) *Response {
 			resp.Err = "no predictor loaded"
 			return resp
 		}
+		sh := s.shard()
+		if sh == nil {
+			return quarantinedResp(req.ID)
+		}
 		s.mu.Lock()
-		resp.Pred = s.Pred.Predict(s.Shard, req.Terms)
+		resp.Pred = s.Pred.Predict(sh, req.Terms)
 		s.mu.Unlock()
 		resp.QueueDepth = s.pendingDepth()
 		resp.AvgServiceUS = s.avgServiceUS.Load()
 	case KindPhrase:
-		r, err := search.Phrase(s.Shard, req.Terms, req.K)
+		sh := s.shard()
+		if sh == nil {
+			return quarantinedResp(req.ID)
+		}
+		if bad := s.gate(req); bad != nil {
+			return bad
+		}
+		r, err := search.Phrase(sh, req.Terms, req.K)
 		if err != nil {
 			resp.Err = err.Error()
 			return resp
 		}
 		resp.Hits = r.Hits
 		resp.Stats = r.Stats
+	case KindFetchShard:
+		// Repair transfer: hand out this replica's shard bytes, but only
+		// from a healthy copy — a quarantined replica must never be a
+		// repair source.
+		sh := s.shard()
+		if sh == nil {
+			return quarantinedResp(req.ID)
+		}
+		var buf bytes.Buffer
+		if err := sh.Encode(&buf); err != nil {
+			resp.Err = fmt.Sprintf("encode shard: %v", err)
+			return resp
+		}
+		resp.ShardBytes = buf.Bytes()
 	default:
 		resp.Err = fmt.Sprintf("unknown request kind %d", req.Kind)
 	}
@@ -516,8 +661,8 @@ func (s *Server) dispatch(req *Request) *Response {
 // anytimeSearch evaluates a search with the deadline-aware anytime
 // traversal: the wall clock is the injected budget, and the response
 // carries the termination flag and the score-bound quality certificate.
-func (s *Server) anytimeSearch(req *Request, deadline time.Time) *Response {
-	r := search.Anytime(s.Shard, req.Terms, req.K, func(search.ExecStats) bool {
+func (s *Server) anytimeSearch(sh *index.Shard, req *Request, deadline time.Time) *Response {
+	r := search.Anytime(sh, req.Terms, req.K, func(search.ExecStats) bool {
 		return !time.Now().Before(deadline)
 	})
 	return &Response{
@@ -555,7 +700,8 @@ type Client struct {
 	conn    net.Conn
 	enc     *gob.Encoder
 	dec     *gob.Decoder
-	broken  bool // the stream desynced; reconnect before reuse
+	fr      *frameReader // decode-side frame layer, for typed error inspection
+	broken  bool         // the stream desynced; reconnect before reuse
 	next    uint64
 	timeout time.Duration
 	retry   RetryPolicy
@@ -578,7 +724,8 @@ func Dial(addr string) (*Client, error) {
 // the client cannot reconnect, so transport faults are terminal even
 // under a retry policy.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	fr := newFrameReader(conn)
+	return &Client{conn: conn, enc: gob.NewEncoder(newFrameWriter(conn)), dec: gob.NewDecoder(fr), fr: fr}
 }
 
 // Offline returns a client for an address that could not be dialed yet.
@@ -638,6 +785,19 @@ var ErrOverloaded = overload.ErrOverloaded
 // IsOverloaded reports whether err is a server-shed rejection.
 func IsOverloaded(err error) bool { return errors.Is(err, ErrOverloaded) }
 
+// ErrShardCorrupt is the client-visible form of a CodeQuarantined
+// response: the replica's shard copy failed an integrity check and is
+// out of service until repaired. Not transient — retrying the same
+// replica returns the same answer until its repair completes — and
+// breaker-neutral: the node answered, its data is what failed. The
+// aggregator fails the leg over to a sibling and ranks the replica out
+// of selection (replica.Candidate.Quarantined) until it heals.
+var ErrShardCorrupt = errors.New("rpc: shard replica quarantined")
+
+// IsShardCorrupt reports whether err is a quarantined-replica
+// rejection.
+func IsShardCorrupt(err error) bool { return errors.Is(err, ErrShardCorrupt) }
+
 // Broken reports whether the client's connection is currently marked
 // broken (it will redial on the next call). The health prober uses this
 // to pick probe targets.
@@ -661,8 +821,9 @@ func (c *Client) reconnect() error {
 		return fmt.Errorf("rpc: redial %s: %w", c.addr, err)
 	}
 	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
+	c.fr = newFrameReader(conn)
+	c.enc = gob.NewEncoder(newFrameWriter(conn))
+	c.dec = gob.NewDecoder(c.fr)
 	c.broken = false
 	return nil
 }
@@ -733,6 +894,13 @@ func (c *Client) callOnce(req *Request) (*Response, error) {
 	resp, err := DecodeResponse(c.dec)
 	if err != nil {
 		c.broken = true
+		if frErr := c.fr.Err(); frErr != nil && (IsCorruptFrame(frErr) || IsBadFrame(frErr)) {
+			// The frame layer, not the transport, rejected the bytes:
+			// detected corruption (or garbage) on the response path.
+			// Transient — resend on a fresh connection — but typed, so
+			// breaker logic can stay neutral about a mangled wire.
+			return nil, errTransient{fmt.Errorf("rpc: receive: %w", frErr)}
+		}
 		if errors.Is(err, io.EOF) {
 			return nil, errTransient{fmt.Errorf("rpc: server closed connection")}
 		}
@@ -750,6 +918,19 @@ func (c *Client) callOnce(req *Request) (*Response, error) {
 		// Transient, so the retry loop backs off and tries again.
 		return nil, errTransient{fmt.Errorf("rpc: %s: %w", c.addr, ErrOverloaded)}
 	}
+	if resp.Code == CodeCorrupt {
+		// The server detected our request frame was mangled in transit
+		// and will drop the connection: reconnect and resend. Transient
+		// and typed (breaker-neutral — nobody is dead, a wire lied).
+		c.broken = true
+		return nil, errTransient{fmt.Errorf("rpc: %s: %w", c.addr, ErrCorruptFrame)}
+	}
+	if resp.Code == CodeQuarantined {
+		// The replica's shard copy is out of service. The connection is
+		// fine (do NOT mark broken) and retrying here is pointless until
+		// repair completes — surface typed so the caller fails over.
+		return nil, fmt.Errorf("rpc: %s: %w: %s", c.addr, ErrShardCorrupt, resp.Err)
+	}
 	if resp.Err != "" {
 		// Application-level error: the transport is fine, don't retry.
 		return nil, fmt.Errorf("rpc: server error: %s", resp.Err)
@@ -759,8 +940,21 @@ func (c *Client) callOnce(req *Request) (*Response, error) {
 
 // Ping checks liveness.
 func (c *Client) Ping() error {
-	_, err := c.call(&Request{Kind: KindPing})
+	_, err := c.PingStatus()
 	return err
+}
+
+// PingStatus is Ping plus the replica's data-plane state: quarantined
+// is true while the remote shard copy is out of service (integrity
+// quarantine, repair in flight, or no shard loaded). The transport
+// verdict and the data verdict are deliberately separate — a node can
+// be perfectly reachable and still not trustworthy to serve.
+func (c *Client) PingStatus() (quarantined bool, err error) {
+	resp, err := c.call(&Request{Kind: KindPing})
+	if err != nil {
+		return false, err
+	}
+	return resp.Quarantined, nil
 }
 
 // Search evaluates a query on the remote shard.
@@ -824,6 +1018,28 @@ type QueueInfo struct {
 func (c *Client) PredictLoad(terms []string) (predict.Prediction, QueueInfo, error) {
 	pred, load, _, err := c.PredictLoadSpan(obs.SpanContext{}, terms)
 	return pred, load, err
+}
+
+// FetchShard pulls the remote ISN's full shard image for replica
+// repair. The bytes travel wire-v4 (per-block CRCs and digest intact)
+// inside checksummed frames, and ReadShard re-verifies end-to-end on
+// decode — a shard corrupted at the source, in transit, or by a buggy
+// peer cannot be re-admitted. A quarantined source refuses to serve
+// (CodeQuarantined → ErrShardCorrupt), so repair never copies from a
+// replica that is itself lying.
+func (c *Client) FetchShard() (*index.Shard, error) {
+	resp, err := c.call(&Request{Kind: KindFetchShard})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.ShardBytes) == 0 {
+		return nil, fmt.Errorf("rpc: %s: fetchshard: empty shard payload", c.addr)
+	}
+	s, err := index.ReadShard(bytes.NewReader(resp.ShardBytes))
+	if err != nil {
+		return nil, fmt.Errorf("rpc: %s: fetchshard: %w", c.addr, err)
+	}
+	return s, nil
 }
 
 // PredictLoadSpan is PredictLoad with trace propagation (see

@@ -37,7 +37,7 @@ func ValidateRequest(req *Request) error {
 		if req.K > MaxK {
 			return fmt.Errorf("%w: K=%d exceeds limit %d", ErrBadRequest, req.K, MaxK)
 		}
-	case KindPredict, KindPing:
+	case KindPredict, KindPing, KindFetchShard:
 	default:
 		return fmt.Errorf("%w: unknown request kind %d", ErrBadRequest, req.Kind)
 	}

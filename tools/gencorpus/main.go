@@ -1,5 +1,5 @@
 // Command gencorpus regenerates the fuzz seed corpora under
-// internal/{rpc,search,trace}/testdata/fuzz. Each corpus mirrors the in-code f.Add
+// internal/{rpc,search,trace,index}/testdata/fuzz. Each corpus mirrors the in-code f.Add
 // seeds — valid frames, truncations, and injector-style corruptions —
 // but lives on disk so the fuzzer picks it up without running the seed
 // round first, and so wire-format changes show up as corpus diffs.
@@ -18,6 +18,8 @@ import (
 	"strconv"
 	"strings"
 
+	"cottage/internal/faults"
+	"cottage/internal/index"
 	"cottage/internal/predict"
 	"cottage/internal/rpc"
 	"cottage/internal/search"
@@ -156,5 +158,42 @@ func main() {
 		// Absent-only query on the largest seed the decoder folds to.
 		"absent": anytimeEntry(1023, 24, 100, 1, 0),
 	})
-	fmt.Println("corpus written under internal/{rpc,search,trace}/testdata/fuzz")
+
+	// Shard decode seeds (wire v4): a valid checksummed file, its
+	// truncation, bit-flip rot at three densities (the at-rest corruption
+	// the CRC32C plane exists to refuse), and a pre-checksum v3 file for
+	// the synthesize-on-upgrade path. Mirrors FuzzShardDecodeV4's f.Add
+	// seeds in internal/index/fuzz_test.go.
+	b := index.NewBuilder(3, index.DefaultBM25(), 10)
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for d := 0; d < 60; d++ {
+		terms := make(map[string]int, len(vocab))
+		for i, v := range vocab {
+			if tf := (d + i) % 4; tf > 0 {
+				terms[v] = tf
+			}
+		}
+		b.Add(int64(1000+d), terms, 12)
+	}
+	shard := b.Finalize()
+	var shardBuf bytes.Buffer
+	if err := shard.Encode(&shardBuf); err != nil {
+		log.Fatal(err)
+	}
+	shardV4 := shardBuf.Bytes()
+	rot := func(n int) []byte {
+		m := bytes.Clone(shardV4)
+		faults.FlipBits(m, n, uint64(77+n))
+		return m
+	}
+	writeCorpus("internal/index/testdata/fuzz/FuzzShardDecodeV4", map[string][]byte{
+		"valid":     shardV4,
+		"truncated": shardV4[:len(shardV4)/2],
+		"header":    shardV4[:11],
+		"rot-1":     rot(1),
+		"rot-16":    rot(16),
+		"rot-256":   rot(256),
+	})
+
+	fmt.Println("corpus written under internal/{rpc,search,trace,index}/testdata/fuzz")
 }
