@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke overload-smoke obs-smoke chaos-smoke autoscale-smoke anatomy-smoke integrity-smoke bench bench-smoke corpus check clean
+.PHONY: all build vet test race fuzz-smoke overload-smoke obs-smoke chaos-smoke autoscale-smoke anatomy-smoke integrity-smoke bench bench-smoke bench-compare corpus check clean
 
 all: build
 
@@ -32,7 +32,8 @@ fuzz-smoke:
 	$(GO) test ./internal/replica/ -run '^$$' -fuzz FuzzReplicaSelect -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/search/ -run '^$$' -fuzz FuzzAnytimeDeadline -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzTraceRoundTrip -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/index/ -run '^$$' -fuzz FuzzShardDecodeV4 -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/index/ -run '^$$' -fuzz FuzzShardDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/index/ -run '^$$' -fuzz FuzzPackedPostingsDecode -fuzztime $(FUZZTIME)
 
 # The overload sweep (bounded admission queues at 1x-4x load) on the
 # quick-scale setup: shed rates grow with load while the admitted p99
@@ -85,11 +86,35 @@ integrity-smoke:
 
 # Full perf-regression sweep: every figure benchmark plus the pruning
 # and per-query evaluation benches, recorded to $(BENCHOUT) via
-# tools/benchjson so the baseline can be checked in and diffed. ~30 min.
-BENCHOUT ?= BENCH_PR5.json
+# tools/benchjson so the baseline can be checked in and diffed. Each
+# benchmark runs $(BENCHCOUNT) times and benchjson keeps the fastest —
+# minimum-of-N is what makes a tight regression gate usable on a
+# shared, noisy machine.
+BENCHOUT ?= BENCH_PR10.json
+BENCHBASE ?= BENCH_PR10.json
+BENCHCOUNT ?= 3
+MAXREGRESS ?= 5%
 bench:
 	$(GO) test -run '^$$' -bench 'Fig|Table1|Pruning|EvaluateQuery|Ablation|Oracle' \
-		-benchmem -timeout 60m . | tee /dev/stderr | $(GO) run ./tools/benchjson -o $(BENCHOUT)
+		-benchmem -count $(BENCHCOUNT) -timeout 60m . | tee /dev/stderr | $(GO) run ./tools/benchjson -o $(BENCHOUT)
+
+# Same-machine perf-regression gate on the query-evaluation hot path:
+# re-measure the pruning and per-query benches now (min of
+# $(BENCHCOUNT)) and fail if any is more than $(MAXREGRESS) slower
+# than the committed $(BENCHBASE) sweep. Fresh-run-vs-baseline is the
+# only sound shape for an ns/op gate — diffing two checked-in sweeps
+# recorded on different days conflates code changes with machine
+# drift (observed at up to +47% on benches the code never touched).
+# Cross-PR sweep diffs stay available as an analysis tool:
+#   go run ./tools/benchjson -compare BENCH_PR5.json BENCH_PR10.json
+# The gate run takes more samples than the recorded sweep so its
+# minimum is at least as likely to hit the machine's floor as the
+# baseline's was — the bias a noise-tolerant gate wants.
+GATECOUNT ?= 5
+bench-compare:
+	$(GO) test -run '^$$' -bench 'Pruning|EvaluateQuery' -count $(GATECOUNT) -timeout 30m . \
+		| $(GO) run ./tools/benchjson -o /tmp/cottage-bench-head.json
+	$(GO) run ./tools/benchjson -compare -max-regress $(MAXREGRESS) $(BENCHBASE) /tmp/cottage-bench-head.json
 
 # Quick perf sanity on the two predictor hot paths (the ones with hard
 # ns/op acceptance bars); keeps check fast while catching gross
@@ -104,17 +129,18 @@ corpus:
 
 # Per-package statement coverage with a hard floor on the query
 # evaluation core, the capacity planner, and the integrity supervisor:
-# the anytime/block-max machinery is exactness-critical, the autoscale
-# loop sizes the fleet, and the scrub/quarantine/repair plane is the
-# last line against serving rotted postings, so
-# internal/{search,index,autoscale,integrity} must stay at
+# the anytime/block-max machinery is exactness-critical, the SIMD
+# unpack kernels feed every evaluator, the autoscale loop sizes the
+# fleet, and the scrub/quarantine/repair plane is the last line
+# against serving rotted postings, so
+# internal/{search,index,simdpack,autoscale,integrity} must stay at
 # >= $(COVERFLOOR)%.
 COVERFLOOR ?= 85
 cover:
 	$(GO) test -cover ./... | $(GO) run ./tools/covergate -floor $(COVERFLOOR) \
-		-require cottage/internal/search,cottage/internal/index,cottage/internal/autoscale,cottage/internal/integrity
+		-require cottage/internal/search,cottage/internal/index,cottage/internal/simdpack,cottage/internal/autoscale,cottage/internal/integrity
 
-check: vet build race fuzz-smoke overload-smoke obs-smoke chaos-smoke autoscale-smoke anatomy-smoke integrity-smoke bench-smoke cover
+check: vet build race fuzz-smoke overload-smoke obs-smoke chaos-smoke autoscale-smoke anatomy-smoke integrity-smoke bench-smoke bench-compare cover
 
 clean:
 	$(GO) clean ./...

@@ -46,6 +46,7 @@ func main() {
 		nq     = flag.Int("numqueries", 200, "how many sample queries to write with -queriesout/-traceout")
 		dbgAdr = flag.String("debug-addr", "", "HTTP debug listener during the build (/metrics runtime gauges, /debug/pprof); empty = off")
 		verify = flag.Bool("verify", false, "verify existing shard files in -out instead of building (exit 1 on corruption)")
+		mstats = flag.Bool("memstats", false, "report postings memory per shard after the build (packed bytes/posting vs the 8-byte flat layout)")
 	)
 	flag.Parse()
 
@@ -115,6 +116,10 @@ func main() {
 		log.Printf("wrote %s (%d docs, %d terms)", path, s.NumDocs, s.NumTerms())
 	}
 
+	if *mstats {
+		memStats(shards)
+	}
+
 	if *qout != "" {
 		if corpus == nil {
 			log.Fatal("-queriesout requires the synthetic corpus (omit -input)")
@@ -173,6 +178,29 @@ func main() {
 			}
 			log.Printf("wrote %s", path)
 		}
+	}
+}
+
+// memStats reports resident postings bytes per shard under the packed
+// block layout against the 8-byte-per-posting flat {doc, tf} layout it
+// replaced, so compression claims can be checked on a real build.
+func memStats(shards []*index.Shard) {
+	totPacked, totPostings := 0, 0
+	for _, s := range shards {
+		packed, n := s.PackedPostingBytes(), s.NumPostings()
+		if n == 0 {
+			continue
+		}
+		totPacked += packed
+		totPostings += n
+		flat := n * 8
+		log.Printf("memstats shard %d: %d postings, packed %d B (%.2f B/posting), flat %d B (8.00 B/posting), %.2fx smaller",
+			s.ID, n, packed, float64(packed)/float64(n), flat, float64(flat)/float64(packed))
+	}
+	if totPostings > 0 {
+		log.Printf("memstats total: %d postings, packed %d B (%.2f B/posting) vs flat %d B, %.2fx smaller",
+			totPostings, totPacked, float64(totPacked)/float64(totPostings),
+			totPostings*8, float64(totPostings*8)/float64(totPacked))
 	}
 }
 

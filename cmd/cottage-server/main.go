@@ -43,7 +43,7 @@ func main() {
 		shardPath = flag.String("shard", "", "path to a .shard file (required)")
 		modelPath = flag.String("model", "", "path to a .model file (optional)")
 		listen    = flag.String("listen", ":7001", "listen address(es); a comma-separated list serves the shard as that many replica endpoints")
-		strategy  = flag.String("strategy", "maxscore", "evaluation strategy: exhaustive|maxscore|wand")
+		strategy  = flag.String("strategy", "maxscore", "evaluation strategy: exhaustive|maxscore|wand|taat|maxscore-bm|wand-bm")
 		failRate  = flag.Float64("fail-rate", 0, "inject: probability each response write is dropped (connection cut)")
 		slowMS    = flag.Float64("slow-ms", 0, "inject: fixed extra delay per response write, in milliseconds")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for the injected fault schedule (replayable)")
@@ -81,15 +81,8 @@ func main() {
 		log.Printf("loaded predictor for ISN %d", pred.ISN)
 	}
 
-	var strat search.Strategy
-	switch *strategy {
-	case "exhaustive":
-		strat = search.StrategyExhaustive
-	case "maxscore":
-		strat = search.StrategyMaxScore
-	case "wand":
-		strat = search.StrategyWAND
-	default:
+	strat, ok := search.ParseStrategy(*strategy)
+	if !ok {
 		log.Fatalf("unknown strategy %q", *strategy)
 	}
 

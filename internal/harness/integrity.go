@@ -103,8 +103,8 @@ func integrityQueryGate(s *Setup, w io.Writer) error {
 			if rotted[term] {
 				continue
 			}
-			if ti, ok := sh.Lookup(term); ok && len(ti.Postings) > 0 {
-				ti.Postings[0].TF ^= 1
+			if ti, ok := sh.Lookup(term); ok && ti.Len() > 0 && len(ti.BlockData(0)) > 0 {
+				ti.BlockData(0)[0] ^= 1
 				rotted[term] = true
 			}
 		}

@@ -9,42 +9,55 @@ import "fmt"
 // this region can score above X" may skip or defer the region without
 // giving up exactness (Ding & Suel's Block-Max WAND, and the anytime
 // ranking of Mackenzie et al. that internal/search.Anytime follows).
-// Blocks are built in Finalize from the same per-posting scores the
-// term statistics are computed from, and round-trip through the shard
-// wire format (serialize.go).
+// Since wire v5 the overlay is also the postings skip list: each Block
+// records where its bit-packed payload lives (Off) and the packed
+// widths (DocW, TFW), so block-max blocks and physical posting blocks
+// are the same thing, and a quantized copy of the bound (QMax) gives
+// skip decisions a cache-cheap one-byte upper bound.
 
 // BlockSize is the number of postings per block-max block. 64 keeps the
 // overlay under 2% of postings storage while giving upper bounds tight
 // enough that a priority-ordered traversal finds the high-scoring
-// regions first.
+// regions first. It equals simdpack.BlockLen, so one block decodes in
+// one kernel call.
 const BlockSize = 64
 
-// Block is one fixed-size run of postings with its score upper bound.
-// A term's block i covers Postings[i*BlockSize : (i+1)*BlockSize] (the
-// last block may be short); blocks tile the postings exactly.
+// Block is one fixed-size run of postings: its score upper bounds plus
+// the location and shape of its packed payload. A term's block i covers
+// postings [i*BlockSize, (i+1)*BlockSize) (the last block may be
+// short); blocks tile the postings exactly.
 type Block struct {
 	// MaxDoc is the document of the block's last posting — the
 	// inclusive upper end of the block's document span (the span starts
-	// at the block's first posting's document).
+	// at the block's first posting's document). It is also the delta
+	// base for the next block's document gaps.
 	MaxDoc uint32
 	// Max is the largest BM25 score among the block's postings: a safe
 	// upper bound on any single-term contribution from the span.
 	Max float64
+	// Off is the byte offset of the block's packed payload in
+	// Packed.Data: PackedBytes(DocW) bytes of document gaps followed by
+	// PackedBytes(TFW) bytes of tf-1 values.
+	Off uint32
+	// DocW and TFW are the block's packed bit widths (0..32).
+	DocW uint8
+	TFW  uint8
+	// QMax is the quantized score bound: DequantBound(QMax,
+	// Stats.MaxScore) >= Max always (quantizeBound rounds up), so
+	// skipping on QMax is sound, and scoring never reads it.
+	QMax uint8
 }
 
-// buildBlocks tiles document-ordered postings into BlockSize blocks,
-// taking each block's bound from the already-materialized per-posting
-// scores (scores[i] belongs to ps[i]).
-func buildBlocks(ps []Posting, scores []float64) []Block {
-	if len(ps) == 0 {
-		return nil
-	}
-	n := (len(ps) + BlockSize - 1) / BlockSize
-	blocks := make([]Block, 0, n)
-	for lo := 0; lo < len(ps); lo += BlockSize {
+// fillBlockBounds installs each block's exact score ceiling and its
+// quantized companion, taking the bounds from the already-materialized
+// per-posting scores (scores[i] belongs to posting i) — the same values
+// the term statistics are computed from.
+func fillBlockBounds(blocks []Block, scores []float64, maxScore float64) {
+	for bi := range blocks {
+		lo := bi * BlockSize
 		hi := lo + BlockSize
-		if hi > len(ps) {
-			hi = len(ps)
+		if hi > len(scores) {
+			hi = len(scores)
 		}
 		max := scores[lo]
 		for _, sc := range scores[lo+1 : hi] {
@@ -52,9 +65,9 @@ func buildBlocks(ps []Posting, scores []float64) []Block {
 				max = sc
 			}
 		}
-		blocks = append(blocks, Block{MaxDoc: ps[hi-1].Doc, Max: max})
+		blocks[bi].Max = max
+		blocks[bi].QMax = quantizeBound(max, maxScore)
 	}
-	return blocks
 }
 
 // NumBlocks returns how many block-max blocks tile the term's postings.
@@ -64,35 +77,33 @@ func (ti *TermInfo) NumBlocks() int { return len(ti.Blocks) }
 func (ti *TermInfo) BlockSpan(bi int) (lo, hi int) {
 	lo = bi * BlockSize
 	hi = lo + BlockSize
-	if hi > len(ti.Postings) {
-		hi = len(ti.Postings)
+	if hi > ti.Packed.N {
+		hi = ti.Packed.N
 	}
 	return lo, hi
 }
 
 // validateBlocks checks the block-max overlay invariants for one term:
-// the blocks tile the postings exactly, each block's MaxDoc is its last
-// posting's document, and no posting's score exceeds its block's bound
-// (scores are recomputed the same way Finalize computed them, so the
-// comparison is exact).
+// each block's MaxDoc is its last posting's document, no posting's
+// score exceeds its block's bound, some posting attains it (scores are
+// recomputed the same way Finalize computed them, so the comparison is
+// exact), and the quantized bound dominates the exact one. The packed
+// geometry has already been checked when this runs.
 func (s *Shard) validateBlocks(ti *TermInfo) error {
-	ps := ti.Postings
-	want := (len(ps) + BlockSize - 1) / BlockSize
-	if len(ti.Blocks) != want {
-		return fmt.Errorf("index: term %q has %d block-max blocks, want %d", ti.Text, len(ti.Blocks), want)
-	}
-	for bi, blk := range ti.Blocks {
-		lo, hi := ti.BlockSpan(bi)
-		if blk.MaxDoc != ps[hi-1].Doc {
+	var docs, tfs [BlockSize]uint32
+	for bi := range ti.Blocks {
+		blk := &ti.Blocks[bi]
+		n := ti.DecodeBlockInto(bi, &docs, &tfs)
+		if blk.MaxDoc != docs[n-1] {
 			return fmt.Errorf("index: term %q block %d MaxDoc %d != last posting doc %d",
-				ti.Text, bi, blk.MaxDoc, ps[hi-1].Doc)
+				ti.Text, bi, blk.MaxDoc, docs[n-1])
 		}
 		attained := false
-		for _, p := range ps[lo:hi] {
-			sc := s.TermScore(ti, p)
+		for i := 0; i < n; i++ {
+			sc := s.BM25.Score(ti.Stats.IDF, tfs[i], s.DocLens[docs[i]], s.AvgDocLen)
 			if sc > blk.Max {
 				return fmt.Errorf("index: term %q block %d: posting doc %d scores %v above block max %v",
-					ti.Text, bi, p.Doc, sc, blk.Max)
+					ti.Text, bi, docs[i], sc, blk.Max)
 			}
 			if sc == blk.Max {
 				attained = true
@@ -100,6 +111,10 @@ func (s *Shard) validateBlocks(ti *TermInfo) error {
 		}
 		if !attained {
 			return fmt.Errorf("index: term %q block %d: no posting attains block max %v", ti.Text, bi, blk.Max)
+		}
+		if DequantBound(blk.QMax, ti.Stats.MaxScore) < blk.Max {
+			return fmt.Errorf("index: term %q block %d: quantized bound %v below exact bound %v",
+				ti.Text, bi, DequantBound(blk.QMax, ti.Stats.MaxScore), blk.Max)
 		}
 	}
 	return nil

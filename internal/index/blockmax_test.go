@@ -13,9 +13,10 @@ func TestBlocksBuiltInFinalize(t *testing.T) {
 	s := buildTestShard(t)
 	for i := range s.Terms {
 		ti := &s.Terms[i]
-		want := (len(ti.Postings) + BlockSize - 1) / BlockSize
+		ps := ti.AllPostings()
+		want := (len(ps) + BlockSize - 1) / BlockSize
 		if ti.NumBlocks() != want {
-			t.Fatalf("%q: %d blocks for %d postings, want %d", ti.Text, ti.NumBlocks(), len(ti.Postings), want)
+			t.Fatalf("%q: %d blocks for %d postings, want %d", ti.Text, ti.NumBlocks(), len(ps), want)
 		}
 		covered := 0
 		for bi, blk := range ti.Blocks {
@@ -24,11 +25,11 @@ func TestBlocksBuiltInFinalize(t *testing.T) {
 				t.Fatalf("%q block %d: span starts at %d, want %d", ti.Text, bi, lo, covered)
 			}
 			covered = hi
-			if blk.MaxDoc != ti.Postings[hi-1].Doc {
-				t.Fatalf("%q block %d: MaxDoc %d != last posting doc %d", ti.Text, bi, blk.MaxDoc, ti.Postings[hi-1].Doc)
+			if blk.MaxDoc != ps[hi-1].Doc {
+				t.Fatalf("%q block %d: MaxDoc %d != last posting doc %d", ti.Text, bi, blk.MaxDoc, ps[hi-1].Doc)
 			}
 			attained := false
-			for _, p := range ti.Postings[lo:hi] {
+			for _, p := range ps[lo:hi] {
 				sc := s.TermScore(ti, p)
 				if sc > blk.Max {
 					t.Fatalf("%q block %d: posting scores %v above bound %v", ti.Text, bi, sc, blk.Max)
@@ -38,9 +39,12 @@ func TestBlocksBuiltInFinalize(t *testing.T) {
 			if !attained {
 				t.Fatalf("%q block %d: bound %v not attained (not tight)", ti.Text, bi, blk.Max)
 			}
+			if qb := DequantBound(blk.QMax, ti.Stats.MaxScore); qb < blk.Max {
+				t.Fatalf("%q block %d: quantized bound %v below exact %v", ti.Text, bi, qb, blk.Max)
+			}
 		}
-		if covered != len(ti.Postings) {
-			t.Fatalf("%q: blocks cover %d of %d postings", ti.Text, covered, len(ti.Postings))
+		if covered != len(ps) {
+			t.Fatalf("%q: blocks cover %d of %d postings", ti.Text, covered, len(ps))
 		}
 		// The overlay's global max must equal the term's max score.
 		blkMax := 0.0
@@ -53,14 +57,91 @@ func TestBlocksBuiltInFinalize(t *testing.T) {
 	}
 }
 
-func TestBuildBlocksEdges(t *testing.T) {
-	if buildBlocks(nil, nil) != nil {
-		t.Error("empty postings should have a nil overlay")
+func TestPackPostingsEdges(t *testing.T) {
+	if packed, blocks := packPostings(nil); packed.N != 0 || packed.Data != nil || blocks != nil {
+		t.Error("empty postings should pack to nothing")
 	}
 	ps := []Posting{{Doc: 3, TF: 1}}
-	blocks := buildBlocks(ps, []float64{1.5})
-	if len(blocks) != 1 || blocks[0] != (Block{MaxDoc: 3, Max: 1.5}) {
+	packed, blocks := packPostings(ps)
+	fillBlockBounds(blocks, []float64{1.5}, 1.5)
+	if len(blocks) != 1 || blocks[0].MaxDoc != 3 || blocks[0].Max != 1.5 || blocks[0].QMax != 255 {
 		t.Errorf("single-posting overlay wrong: %+v", blocks)
+	}
+	ti := &TermInfo{Packed: packed, Blocks: blocks}
+	if err := ti.checkPackedGeometry(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ti.Posting(0); got != ps[0] {
+		t.Errorf("round trip = %+v, want %+v", got, ps[0])
+	}
+}
+
+// TestPackedRoundTrip: pack/decode is the identity on realistic and
+// adversarial postings shapes — dense, sparse, huge gaps, huge tfs,
+// exactly one block, one posting over a block boundary.
+func TestPackedRoundTrip(t *testing.T) {
+	shapes := map[string][]Posting{
+		"dense":    make([]Posting, 0, 200),
+		"sparse":   nil,
+		"boundary": nil,
+		"hugetf":   nil,
+	}
+	for d := 0; d < 200; d++ {
+		shapes["dense"] = append(shapes["dense"], Posting{Doc: uint32(d), TF: 1})
+	}
+	for d := 0; d < BlockSize+1; d++ {
+		shapes["boundary"] = append(shapes["boundary"], Posting{Doc: uint32(3 * d), TF: uint32(1 + d%7)})
+	}
+	shapes["sparse"] = []Posting{{Doc: 0, TF: 1}, {Doc: 1 << 20, TF: 2}, {Doc: ^uint32(0) - 1, TF: 3}}
+	shapes["hugetf"] = []Posting{{Doc: 5, TF: ^uint32(0)}, {Doc: 9, TF: 1}}
+	for name, ps := range shapes {
+		packed, blocks := packPostings(ps)
+		ti := &TermInfo{Text: name, Packed: packed, Blocks: blocks}
+		if err := ti.checkPackedGeometry(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := ti.AllPostings()
+		if len(got) != len(ps) {
+			t.Fatalf("%s: %d postings back, want %d", name, len(got), len(ps))
+		}
+		for i := range ps {
+			if got[i] != ps[i] {
+				t.Fatalf("%s: posting %d = %+v, want %+v", name, i, got[i], ps[i])
+			}
+			if one := ti.Posting(i); one != ps[i] {
+				t.Fatalf("%s: Posting(%d) = %+v, want %+v", name, i, one, ps[i])
+			}
+		}
+	}
+}
+
+// TestQuantizeBound: the 8-bit bound encoding is sound (never below the
+// exact bound) and exact at the top (255 dequantizes to maxScore).
+func TestQuantizeBound(t *testing.T) {
+	maxScore := 3.7218543
+	for i := 0; i <= 10000; i++ {
+		bound := maxScore * float64(i) / 10000
+		q := quantizeBound(bound, maxScore)
+		if got := DequantBound(q, maxScore); got < bound {
+			t.Fatalf("bound %v quantized to %d dequantizes to %v (unsound)", bound, q, got)
+		}
+		if q > 0 {
+			if below := DequantBound(q-1, maxScore); below >= bound && q-1 > 0 {
+				t.Fatalf("bound %v: q=%d not minimal (%d suffices)", bound, q, q-1)
+			}
+		}
+	}
+	if quantizeBound(maxScore, maxScore) != 255 {
+		t.Error("max bound must quantize to 255")
+	}
+	if DequantBound(255, maxScore) != maxScore {
+		t.Error("255 must dequantize to maxScore exactly")
+	}
+	if quantizeBound(0, maxScore) != 0 || quantizeBound(-1, maxScore) != 0 {
+		t.Error("non-positive bounds must quantize to 0")
+	}
+	if quantizeBound(2*maxScore, maxScore) != 255 {
+		t.Error("bounds above maxScore must clamp to 255")
 	}
 }
 
@@ -100,9 +181,13 @@ func TestValidateCatchesBlockCorruption(t *testing.T) {
 	}{
 		{"truncated overlay", func(ti *TermInfo) {
 			ti.Blocks = ti.Blocks[:len(ti.Blocks)-1]
-		}, "block-max blocks"},
+		}, "blocks for"},
+		// The last block's MaxDoc feeds no later block's delta base, so
+		// bumping it is pure overlay corruption (an earlier block's
+		// MaxDoc would shift the next block's decoded documents and trip
+		// the ordering check instead).
 		{"stale MaxDoc", func(ti *TermInfo) {
-			ti.Blocks[0].MaxDoc++
+			ti.Blocks[len(ti.Blocks)-1].MaxDoc++
 		}, "MaxDoc"},
 		{"unsound bound", func(ti *TermInfo) {
 			ti.Blocks[0].Max /= 2
@@ -110,6 +195,15 @@ func TestValidateCatchesBlockCorruption(t *testing.T) {
 		{"slack bound", func(ti *TermInfo) {
 			ti.Blocks[0].Max *= 2
 		}, "attains"},
+		{"unsound quantized bound", func(ti *TermInfo) {
+			ti.Blocks[0].QMax = 0
+		}, "quantized bound"},
+		{"bad width", func(ti *TermInfo) {
+			ti.Blocks[0].DocW = 40
+		}, "bit width"},
+		{"bad offset", func(ti *TermInfo) {
+			ti.Blocks[1].Off++
+		}, "offset"},
 	}
 	for _, c := range corruptions {
 		t.Run(c.name, func(t *testing.T) {
@@ -156,16 +250,19 @@ func TestValidateCatchesShardCorruption(t *testing.T) {
 		{"dict target", func(s *Shard) {
 			s.dict[s.Terms[0].Text], s.dict[s.Terms[1].Text] = s.dict[s.Terms[1].Text], s.dict[s.Terms[0].Text]
 		}, "wrong term"},
-		{"empty postings", func(s *Shard) { s.Terms[0].Postings = nil }, "empty postings"},
+		{"empty postings", func(s *Shard) {
+			s.Terms[0].Packed = PackedPostings{}
+			s.Terms[0].Blocks = nil
+		}, "empty postings"},
 		{"unsorted postings", func(s *Shard) {
-			ps := s.Terms[0].Postings
-			ps[0], ps[1] = ps[1], ps[0]
+			mutatePostings(&s.Terms[0], func(ps []Posting) { ps[0], ps[1] = ps[1], ps[0] })
 		}, "out of order"},
 		{"doc out of range", func(s *Shard) {
-			ps := s.Terms[0].Postings
-			ps[len(ps)-1].Doc = uint32(s.NumDocs)
+			mutatePostings(&s.Terms[0], func(ps []Posting) { ps[len(ps)-1].Doc = uint32(s.NumDocs) })
 		}, "references doc"},
-		{"zero tf", func(s *Shard) { s.Terms[0].Postings[0].TF = 0 }, "zero tf"},
+		{"zero tf", func(s *Shard) {
+			mutatePostings(&s.Terms[0], func(ps []Posting) { ps[0].TF = 0 })
+		}, "zero tf"},
 		{"stats length", func(s *Shard) { s.Terms[0].Stats.PostingLen++ }, "stats posting length"},
 		{"kth above max", func(s *Shard) { s.Terms[0].Stats.KthScore = s.Terms[0].Stats.MaxScore + 1 }, "below kth"},
 		{"NaN idf", func(s *Shard) { s.Terms[0].Stats.IDF = math.NaN() }, "invalid idf"},

@@ -24,7 +24,7 @@ func Example() {
 
 func maxTF(ti *index.TermInfo) uint32 {
 	var m uint32
-	for _, p := range ti.Postings {
+	for _, p := range ti.AllPostings() {
 		if p.TF > m {
 			m = p.TF
 		}

@@ -2,14 +2,13 @@ package index
 
 import (
 	"bytes"
-	"encoding/gob"
 	"testing"
 
 	"cottage/internal/faults"
 )
 
-// fuzzSeedShard encodes the standard test shard to v4 wire bytes once
-// per fuzz process.
+// fuzzSeedShard encodes the standard test shard to current (v5) wire
+// bytes once per fuzz process.
 func fuzzSeedShard(f *testing.F) []byte {
 	f.Helper()
 	s := buildTestShard(f)
@@ -20,33 +19,26 @@ func fuzzSeedShard(f *testing.F) []byte {
 	return buf.Bytes()
 }
 
-// fuzzSeedV3 encodes the test shard as a pre-checksum v3 file (no
-// sums, no digest) to seed the upgrade path.
-func fuzzSeedV3(f *testing.F) []byte {
+// fuzzSeedLegacy encodes the test shard in an old wire format to seed
+// the legacy load paths (v4 verify-then-repack, v3 upgrade).
+func fuzzSeedLegacy(f *testing.F, version int) []byte {
 	f.Helper()
-	data := fuzzSeedShard(f)
-	var w shardWire
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
-		f.Fatal(err)
-	}
-	w.Version = wireVersionV3
-	w.BlockSums = nil
-	w.Digest = 0
+	s := buildTestShard(f)
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+	if err := s.EncodeLegacy(&buf, version); err != nil {
 		f.Fatal(err)
 	}
 	return buf.Bytes()
 }
 
-// FuzzShardDecodeV4 throws arbitrary bytes at the shard decode path.
-// The contract under fuzzing: ReadShard never panics, and anything it
+// FuzzShardDecode throws arbitrary bytes at the shard decode path. The
+// contract under fuzzing: ReadShard never panics, and anything it
 // accepts is fully intact — the stored digest and every block checksum
 // verify, and the structural invariants hold — so no input can smuggle
 // a corrupted or inconsistent shard past the load gate. Seeds cover a
-// valid v4 file, truncations, bit-flip rot (the at-rest corruption the
-// checksums exist for), and a v3 file exercising the upgrade path.
-func FuzzShardDecodeV4(f *testing.F) {
+// valid v5 file, truncations, bit-flip rot (the at-rest corruption the
+// checksums exist for), and v4/v3 files exercising the legacy paths.
+func FuzzShardDecode(f *testing.F) {
 	valid := fuzzSeedShard(f)
 	f.Add(valid)
 	f.Add(valid[:len(valid)/2])
@@ -57,7 +49,11 @@ func FuzzShardDecodeV4(f *testing.F) {
 		f.Add(rotted)
 	}
 	f.Add([]byte{})
-	f.Add(fuzzSeedV3(f))
+	f.Add(fuzzSeedLegacy(f, wireVersionV3))
+	f.Add(fuzzSeedLegacy(f, wireVersionV4))
+	rottedV4 := fuzzSeedLegacy(f, wireVersionV4)
+	faults.FlipBits(rottedV4, 16, 93)
+	f.Add(rottedV4)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := ReadShard(bytes.NewReader(data))
 		if err != nil {
@@ -86,4 +82,119 @@ func FuzzShardDecodeV4(f *testing.F) {
 			t.Fatalf("digest drifted across round trip: %08x -> %08x", s.Digest, s2.Digest)
 		}
 	})
+}
+
+// packedFuzzTerm builds a one-term fixture whose packed regions the
+// fuzzer mutates directly.
+func packedFuzzTerm(f *testing.F) (*Shard, []Posting) {
+	f.Helper()
+	b := NewBuilder(0, DefaultBM25(), 10)
+	ps := make([]Posting, 0, 3*BlockSize+7)
+	doc := uint32(0)
+	for d := 0; d < 3*BlockSize+7; d++ {
+		ps = append(ps, Posting{Doc: doc, TF: uint32(1 + d%9)})
+		doc += uint32(1 + d%5)
+	}
+	for _, p := range ps {
+		for int(p.Doc) >= len(b.docLens) {
+			b.docLens = append(b.docLens, 30)
+			b.globals = append(b.globals, int64(len(b.globals)))
+			b.totalLen += 30
+		}
+	}
+	idx := int32(0)
+	b.dict["t"] = idx
+	b.terms = append(b.terms, "t")
+	b.postings = append(b.postings, ps)
+	b.positions = append(b.positions, nil)
+	s := b.Finalize()
+	if err := s.Validate(); err != nil {
+		f.Fatal(err)
+	}
+	return s, ps
+}
+
+// FuzzPackedPostingsDecode attacks the packed layer below the wire
+// format: arbitrary payload bytes and overlay geometry (posting count,
+// offsets, widths) for one term. The contract: checkPackedGeometry
+// either rejects, or every block decodes without panicking and the
+// the validation pipeline classifies the result — geometry that lies
+// about its sizes must never reach the decoder. Seeds cover the valid
+// packing, truncations, over-long payloads, and width overflows.
+func FuzzPackedPostingsDecode(f *testing.F) {
+	s, _ := packedFuzzTerm(f)
+	ti := &s.Terms[0]
+	valid := append([]byte(nil), ti.Packed.Data...)
+	f.Add(len(valid), int64(ti.Packed.N), valid, encodeBlocksFuzz(ti.Blocks))
+	f.Add(len(valid)-17, int64(ti.Packed.N), valid[:len(valid)-17], encodeBlocksFuzz(ti.Blocks))
+	f.Add(len(valid)+64, int64(ti.Packed.N), append(bytes.Clone(valid), make([]byte, 64)...), encodeBlocksFuzz(ti.Blocks))
+	wide := append([]Block(nil), ti.Blocks...)
+	wide[0].DocW = 200
+	f.Add(len(valid), int64(ti.Packed.N), valid, encodeBlocksFuzz(wide))
+	f.Add(0, int64(-3), []byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, dataLen int, n int64, data []byte, rawBlocks []byte) {
+		blocks := decodeBlocksFuzz(rawBlocks)
+		if dataLen >= 0 && dataLen <= len(data) {
+			data = data[:dataLen]
+		}
+		fz := &TermInfo{Text: "t", Packed: PackedPostings{N: int(n), Data: data}, Blocks: blocks}
+		if err := fz.checkPackedGeometry(); err != nil {
+			return // rejected before any decode: the safe outcome
+		}
+		// Geometry accepted: every block must decode in bounds.
+		var docs, tfs [BlockSize]uint32
+		total := 0
+		for bi := range fz.Blocks {
+			cnt := fz.DecodeBlockInto(bi, &docs, &tfs)
+			if cnt < 1 || cnt > BlockSize {
+				t.Fatalf("block %d decodes %d postings", bi, cnt)
+			}
+			total += cnt
+		}
+		if total != fz.Packed.N {
+			t.Fatalf("blocks decode %d postings, geometry says %d", total, fz.Packed.N)
+		}
+		if got := fz.AllPostings(); len(got) != fz.Packed.N {
+			t.Fatalf("AllPostings returned %d of %d", len(got), fz.Packed.N)
+		}
+	})
+}
+
+// encodeBlocksFuzz flattens a Block overlay into bytes the fuzzer can
+// mutate structurally (16 bytes per block, little endian).
+func encodeBlocksFuzz(blocks []Block) []byte {
+	out := make([]byte, 0, 16*len(blocks))
+	for _, b := range blocks {
+		var rec [16]byte
+		putU32(rec[0:], b.MaxDoc)
+		putU32(rec[4:], b.Off)
+		rec[8] = b.DocW
+		rec[9] = b.TFW
+		rec[10] = b.QMax
+		out = append(out, rec[:]...)
+	}
+	return out
+}
+
+func decodeBlocksFuzz(raw []byte) []Block {
+	blocks := make([]Block, 0, len(raw)/16)
+	for len(raw) >= 16 {
+		blocks = append(blocks, Block{
+			MaxDoc: getU32(raw[0:]),
+			Off:    getU32(raw[4:]),
+			DocW:   raw[8],
+			TFW:    raw[9],
+			QMax:   raw[10],
+		})
+		raw = raw[16:]
+	}
+	return blocks
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }

@@ -21,23 +21,27 @@ type Posting struct {
 	TF  uint32
 }
 
-// TermInfo is everything a shard knows about one term: its postings and
-// the index-time statistics over that term's BM25 score distribution.
-// Positions is non-nil only on positional shards (see EnablePositions):
-// Positions[i] lists the ascending token offsets of the term in
-// Postings[i]'s document.
+// TermInfo is everything a shard knows about one term: its bit-packed
+// postings and the index-time statistics over that term's BM25 score
+// distribution. Positions is non-nil only on positional shards (see
+// EnablePositions): Positions[i] lists the ascending token offsets of
+// the term in posting i's document.
 type TermInfo struct {
-	Text      string
-	Postings  []Posting
+	Text string
+	// Packed holds the postings, block-bit-packed (see packed.go):
+	// document gaps and tf-1 values at per-block fixed widths, decoded
+	// block-at-a-time by DecodeBlockInto.
+	Packed    PackedPostings
 	Positions [][]uint32
 	Stats     TermStats
-	// Blocks is the block-max overlay: fixed-size posting blocks with
-	// per-block score upper bounds (see blockmax.go). Built in Finalize
-	// and serialized with the shard; dynamic pruning and anytime
-	// traversal depend on it.
+	// Blocks is the block-max overlay and postings skip list: per-block
+	// score upper bounds (exact and quantized) plus the location and
+	// widths of each block's packed payload (see blockmax.go). Built in
+	// Finalize and serialized with the shard; dynamic pruning, anytime
+	// traversal, and every decode depend on it.
 	Blocks []Block
-	// Sums[i] is the CRC32C of Blocks[i]'s postings in canonical byte
-	// form (wire v4, see integrity.go). Sealed by SealIntegrity; the
+	// Sums[i] is the CRC32C of block i's packed payload plus its decode
+	// header (wire v5, see integrity.go). Sealed by SealIntegrity; the
 	// query-time and scrub-time verifiers compare against it.
 	Sums []uint32
 }
@@ -212,13 +216,14 @@ func (b *Builder) Finalize() *Shard {
 	for i := range b.terms {
 		ti := &s.Terms[i]
 		ti.Text = b.terms[i]
-		ti.Postings = b.postings[i]
 		if b.positional {
 			ti.Positions = b.positions[i]
 		}
+		ps := b.postings[i]
 		var scores []float64
-		ti.Stats, scores = computeTermStats(s, ti, b.statsK)
-		ti.Blocks = buildBlocks(ti.Postings, scores)
+		ti.Stats, scores = computeTermStats(s, ps, b.statsK)
+		ti.Packed, ti.Blocks = packPostings(ps)
+		fillBlockBounds(ti.Blocks, scores, ti.Stats.MaxScore)
 	}
 	s.SealIntegrity()
 	return s
@@ -279,38 +284,47 @@ func (s *Shard) Validate() error {
 			return fmt.Errorf("index: dict entry %q points at wrong term", text)
 		}
 	}
+	var docs, tfs [BlockSize]uint32
 	for i := range s.Terms {
-		ps := s.Terms[i].Postings
-		if len(ps) == 0 {
-			return fmt.Errorf("index: term %q has empty postings", s.Terms[i].Text)
+		ti := &s.Terms[i]
+		if ti.Packed.N == 0 {
+			return fmt.Errorf("index: term %q has empty postings", ti.Text)
 		}
-		prev := int64(-1)
-		for _, p := range ps {
-			if int64(p.Doc) <= prev {
-				return fmt.Errorf("index: term %q postings out of order", s.Terms[i].Text)
-			}
-			if p.Doc >= uint32(s.NumDocs) {
-				return fmt.Errorf("index: term %q references doc %d of %d", s.Terms[i].Text, p.Doc, s.NumDocs)
-			}
-			if p.TF == 0 {
-				return fmt.Errorf("index: term %q has zero tf posting", s.Terms[i].Text)
-			}
-			prev = int64(p.Doc)
-		}
-		if err := validatePositions(&s.Terms[i]); err != nil {
+		// Geometry before any decode: DecodeBlockInto trusts the block
+		// offsets and widths it is handed.
+		if err := ti.checkPackedGeometry(); err != nil {
 			return err
 		}
-		st := s.Terms[i].Stats
-		if st.PostingLen != len(ps) {
-			return fmt.Errorf("index: term %q stats posting length %d != %d", s.Terms[i].Text, st.PostingLen, len(ps))
+		prev := int64(-1)
+		for bi := range ti.Blocks {
+			n := ti.DecodeBlockInto(bi, &docs, &tfs)
+			for j := 0; j < n; j++ {
+				if int64(docs[j]) <= prev {
+					return fmt.Errorf("index: term %q postings out of order", ti.Text)
+				}
+				if docs[j] >= uint32(s.NumDocs) {
+					return fmt.Errorf("index: term %q references doc %d of %d", ti.Text, docs[j], s.NumDocs)
+				}
+				if tfs[j] == 0 {
+					return fmt.Errorf("index: term %q has zero tf posting", ti.Text)
+				}
+				prev = int64(docs[j])
+			}
+		}
+		if err := validatePositions(ti); err != nil {
+			return err
+		}
+		st := ti.Stats
+		if st.PostingLen != ti.Packed.N {
+			return fmt.Errorf("index: term %q stats posting length %d != %d", ti.Text, st.PostingLen, ti.Packed.N)
 		}
 		if st.MaxScore < st.KthScore-1e-9 {
-			return fmt.Errorf("index: term %q max score below kth score", s.Terms[i].Text)
+			return fmt.Errorf("index: term %q max score below kth score", ti.Text)
 		}
 		if math.IsNaN(st.IDF) || st.IDF < 0 {
-			return fmt.Errorf("index: term %q has invalid idf %v", s.Terms[i].Text, st.IDF)
+			return fmt.Errorf("index: term %q has invalid idf %v", ti.Text, st.IDF)
 		}
-		if err := s.validateBlocks(&s.Terms[i]); err != nil {
+		if err := s.validateBlocks(ti); err != nil {
 			return err
 		}
 	}

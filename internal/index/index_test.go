@@ -63,13 +63,33 @@ func TestLookup(t *testing.T) {
 func TestPostingsSortedAndValid(t *testing.T) {
 	s := buildTestShard(t)
 	for i := range s.Terms {
-		ps := s.Terms[i].Postings
+		ps := s.Terms[i].AllPostings()
+		if len(ps) != s.Terms[i].Len() {
+			t.Fatalf("term %q decodes %d postings, Len says %d", s.Terms[i].Text, len(ps), s.Terms[i].Len())
+		}
 		for j := 1; j < len(ps); j++ {
 			if ps[j].Doc <= ps[j-1].Doc {
 				t.Fatalf("term %q postings unsorted", s.Terms[i].Text)
 			}
 		}
 	}
+}
+
+// mutatePostings decodes, mutates, and repacks one term's postings in
+// place, preserving the existing block bounds — simulating a buggy
+// writer whose packed bytes and checksums are self-consistent but whose
+// content violates the structural invariants.
+func mutatePostings(ti *TermInfo, f func(ps []Posting)) {
+	ps := ti.AllPostings()
+	f(ps)
+	packed, blocks := packPostings(ps)
+	for bi := range blocks {
+		if bi < len(ti.Blocks) {
+			blocks[bi].Max = ti.Blocks[bi].Max
+			blocks[bi].QMax = ti.Blocks[bi].QMax
+		}
+	}
+	ti.Packed, ti.Blocks = packed, blocks
 }
 
 func TestBM25ScoreProperties(t *testing.T) {
@@ -98,7 +118,7 @@ func TestTermStats(t *testing.T) {
 	for i := range s.Terms {
 		ti := &s.Terms[i]
 		st := ti.Stats
-		if st.PostingLen != len(ti.Postings) {
+		if st.PostingLen != ti.Len() {
 			t.Fatalf("%q: PostingLen mismatch", ti.Text)
 		}
 		if st.MinScore > st.Q1+1e-12 || st.Q1 > st.Median+1e-12 || st.Median > st.Q3+1e-12 || st.Q3 > st.MaxScore+1e-12 {
@@ -209,8 +229,8 @@ func TestAddText(t *testing.T) {
 	if !ok {
 		t.Fatal("term missing after AddText")
 	}
-	if ti.Postings[0].TF != 3 {
-		t.Errorf("tf(the) = %d, want 3", ti.Postings[0].TF)
+	if ti.Posting(0).TF != 3 {
+		t.Errorf("tf(the) = %d, want 3", ti.Posting(0).TF)
 	}
 	if s.DocLens[0] != 11 {
 		t.Errorf("doc length = %d, want 11", s.DocLens[0])
@@ -245,7 +265,7 @@ func TestSerializeRoundTrip(t *testing.T) {
 	}
 	for i := range s.Terms {
 		a, b := s.Terms[i], got.Terms[i]
-		if a.Text != b.Text || len(a.Postings) != len(b.Postings) {
+		if a.Text != b.Text || a.Packed.N != b.Packed.N || !bytes.Equal(a.Packed.Data, b.Packed.Data) {
 			t.Fatalf("term %d differs after round trip", i)
 		}
 		if a.Stats != b.Stats {

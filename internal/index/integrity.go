@@ -9,10 +9,11 @@ import (
 	"sync/atomic"
 )
 
-// Data-integrity plane, index layer (wire v4): every term's postings are
-// checksummed per block-max block (CRC32C over the canonical doc/tf
-// bytes of the 64-posting run each Block already summarizes), plus one
-// whole-shard digest over the document metadata and the per-block sums.
+// Data-integrity plane, index layer (wire v5): every term's postings are
+// checksummed per block-max block — CRC32C over the block's bit-packed
+// payload bytes plus the header that governs its decode (delta base,
+// MaxDoc, widths) — plus one whole-shard digest over the document
+// metadata and the per-block sums.
 // The sums are written with the shard (serialize.go), verified eagerly
 // when a shard is loaded, and lazily at query time — a block whose bytes
 // rotted since load is detected before any of its postings are scored.
@@ -73,99 +74,139 @@ type integState struct {
 
 func (st *integState) bit(g int) (word int, mask uint32) { return g >> 5, 1 << (uint(g) & 31) }
 
-// blockSum computes the CRC32C of one block's postings in canonical form
-// (little-endian doc, tf pairs) — the quantity sealed into TermInfo.Sums
-// and recomputed by every verifier.
+// blockSum computes the CRC32C of one block — its decode header (delta
+// base, MaxDoc, packed widths) followed by its packed payload bytes —
+// the quantity sealed into TermInfo.Sums and recomputed by every
+// verifier. Covering the header matters: a flipped width or base would
+// change how the payload decodes without touching a payload byte.
+// (Bytes in the simdpack pad are outside every block's range; flipping
+// them is undetected but also harmless — the decode mask keeps them out
+// of every value.)
 func (s *Shard) blockSum(ti *TermInfo, bi int) uint32 {
-	lo, hi := ti.BlockSpan(bi)
-	// Clamp: a corrupted shard can have more blocks than postings, and
+	if bi >= len(ti.Blocks) {
+		return 0
+	}
+	blk := &ti.Blocks[bi]
+	var hdr [10]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], ti.blockBase(bi))
+	binary.LittleEndian.PutUint32(hdr[4:8], blk.MaxDoc)
+	hdr[8] = blk.DocW
+	hdr[9] = blk.TFW
+	crc := crc32.Update(0, castagnoli, hdr[:])
+	lo := int(blk.Off)
+	hi := lo + ti.blockPayloadBytes(bi)
+	// Clamp: a corrupted shard can declare offsets past its payload, and
 	// the verifier must return a mismatch there, not panic.
-	if n := len(ti.Postings); hi > n {
+	if n := len(ti.Packed.Data); hi > n {
 		hi = n
 	}
 	if lo > hi {
 		lo = hi
 	}
-	var buf [8]byte
-	crc := uint32(0)
-	for _, p := range ti.Postings[lo:hi] {
-		binary.LittleEndian.PutUint32(buf[0:4], p.Doc)
-		binary.LittleEndian.PutUint32(buf[4:8], p.TF)
-		crc = crc32.Update(crc, castagnoli, buf[:])
+	return crc32.Update(crc, castagnoli, ti.Packed.Data[lo:hi])
+}
+
+// digestWriter folds typed values into a running CRC32C. It exists so
+// computeDigest (v5, in-memory shard) and legacyShardDigest (v4 wire
+// form, serialize.go) fold the shared regions — metadata, statistics,
+// positions — through one definition instead of two drifting copies.
+type digestWriter struct {
+	crc uint32
+	buf [8]byte
+}
+
+func (d *digestWriter) u32(v uint32) {
+	binary.LittleEndian.PutUint32(d.buf[0:4], v)
+	d.crc = crc32.Update(d.crc, castagnoli, d.buf[0:4])
+}
+
+func (d *digestWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(d.buf[0:8], v)
+	d.crc = crc32.Update(d.crc, castagnoli, d.buf[:])
+}
+
+func (d *digestWriter) f64(v float64) { d.u64(math.Float64bits(v)) }
+
+func (d *digestWriter) text(s string) { d.crc = crc32.Update(d.crc, castagnoli, []byte(s)) }
+
+// foldShardHeader folds the document metadata and BM25 constants.
+func (d *digestWriter) foldShardHeader(id, numDocs, statsK int, avgDocLen float64, bm25 BM25Params, docLens []uint32, globalIDs []int64) {
+	d.u32(uint32(id))
+	d.u32(uint32(numDocs))
+	d.u32(uint32(statsK))
+	d.f64(avgDocLen)
+	d.f64(bm25.K1)
+	d.f64(bm25.B)
+	for _, dl := range docLens {
+		d.u32(dl)
 	}
-	return crc
+	for _, g := range globalIDs {
+		d.u64(uint64(g))
+	}
+}
+
+// foldStats folds all twenty term statistics in canonical order.
+func (d *digestWriter) foldStats(st *TermStats) {
+	d.u32(uint32(st.PostingLen))
+	d.f64(st.IDF)
+	d.f64(st.MinScore)
+	d.f64(st.Q1)
+	d.f64(st.Mean)
+	d.f64(st.Median)
+	d.f64(st.GeoMean)
+	d.f64(st.HarmMean)
+	d.f64(st.Q3)
+	d.f64(st.KthScore)
+	d.f64(st.MaxScore)
+	d.f64(st.Variance)
+	d.f64(st.SumScore)
+	d.f64(st.SumScore2)
+	d.u32(uint32(st.DocsEverInTopK))
+	d.u32(uint32(st.NumLocalMaxima))
+	d.u32(uint32(st.NumMaximaAboveMean))
+	d.u32(uint32(st.NumMaxScore))
+	d.u32(uint32(st.DocsWithin5OfMax))
+	d.u32(uint32(st.DocsWithin5OfKth))
+	d.f64(st.EstMaxScore)
+}
+
+// foldPositions folds one term's positional lists.
+func (d *digestWriter) foldPositions(positions [][]uint32) {
+	for _, pos := range positions {
+		d.u32(uint32(len(pos)))
+		for _, p := range pos {
+			d.u32(p)
+		}
+	}
 }
 
 // computeDigest folds every serialized region the per-block sums do NOT
 // cover into one whole-shard CRC32C: document metadata, BM25 constants,
-// per-term statistics, the block-max overlay, positional lists, and the
-// block sums themselves. Corruption anywhere in a shard file therefore
-// fails either a block sum (posting bytes) or the digest (everything
-// else) — a flipped bit can not land in an unprotected byte.
+// per-term statistics, the full block overlay (bounds, quantized
+// bounds, payload geometry), positional lists, and the block sums
+// themselves. Corruption anywhere in a shard file therefore fails
+// either a block sum (posting bytes) or the digest (everything else) —
+// a flipped bit can not land in an unprotected byte.
 func (s *Shard) computeDigest() uint32 {
-	var buf [8]byte
-	crc := uint32(0)
-	u32 := func(v uint32) {
-		binary.LittleEndian.PutUint32(buf[0:4], v)
-		crc = crc32.Update(crc, castagnoli, buf[0:4])
-	}
-	u64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[0:8], v)
-		crc = crc32.Update(crc, castagnoli, buf[:])
-	}
-	f64 := func(v float64) { u64(math.Float64bits(v)) }
-	u32(uint32(s.ID))
-	u32(uint32(s.NumDocs))
-	u32(uint32(s.StatsK))
-	f64(s.AvgDocLen)
-	f64(s.BM25.K1)
-	f64(s.BM25.B)
-	for _, dl := range s.DocLens {
-		u32(dl)
-	}
-	for _, g := range s.GlobalIDs {
-		u64(uint64(g))
-	}
+	var d digestWriter
+	d.foldShardHeader(s.ID, s.NumDocs, s.StatsK, s.AvgDocLen, s.BM25, s.DocLens, s.GlobalIDs)
 	for i := range s.Terms {
 		ti := &s.Terms[i]
-		crc = crc32.Update(crc, castagnoli, []byte(ti.Text))
+		d.text(ti.Text)
 		for _, sum := range ti.Sums {
-			u32(sum)
+			d.u32(sum)
 		}
-		st := &ti.Stats
-		u32(uint32(st.PostingLen))
-		f64(st.IDF)
-		f64(st.MinScore)
-		f64(st.Q1)
-		f64(st.Mean)
-		f64(st.Median)
-		f64(st.GeoMean)
-		f64(st.HarmMean)
-		f64(st.Q3)
-		f64(st.KthScore)
-		f64(st.MaxScore)
-		f64(st.Variance)
-		f64(st.SumScore)
-		f64(st.SumScore2)
-		u32(uint32(st.DocsEverInTopK))
-		u32(uint32(st.NumLocalMaxima))
-		u32(uint32(st.NumMaximaAboveMean))
-		u32(uint32(st.NumMaxScore))
-		u32(uint32(st.DocsWithin5OfMax))
-		u32(uint32(st.DocsWithin5OfKth))
-		f64(st.EstMaxScore)
+		d.foldStats(&ti.Stats)
+		d.u32(uint32(ti.Packed.N))
 		for _, b := range ti.Blocks {
-			u32(b.MaxDoc)
-			f64(b.Max)
+			d.u32(b.MaxDoc)
+			d.f64(b.Max)
+			d.u32(b.Off)
+			d.u32(uint32(b.DocW) | uint32(b.TFW)<<8 | uint32(b.QMax)<<16)
 		}
-		for _, pos := range ti.Positions {
-			u32(uint32(len(pos)))
-			for _, p := range pos {
-				u32(p)
-			}
-		}
+		d.foldPositions(ti.Positions)
 	}
-	return crc
+	return d.crc
 }
 
 // SealIntegrity computes and installs the shard's per-block checksums
@@ -246,12 +287,12 @@ func (s *Shard) BlockAt(g int) (ti *TermInfo, bi int) {
 	return &s.Terms[lo], g - st.off[lo]
 }
 
-// BlockBytes returns the canonical byte size of global block g — what
-// the scrubber charges against its bytes/sec budget.
+// BlockBytes returns the checksummed byte size of global block g — its
+// 10-byte decode header plus its packed payload — what the scrubber
+// charges against its bytes/sec budget.
 func (s *Shard) BlockBytes(g int) int {
 	ti, bi := s.BlockAt(g)
-	lo, hi := ti.BlockSpan(bi)
-	return 8 * (hi - lo)
+	return 10 + ti.blockPayloadBytes(bi)
 }
 
 // globalBlock returns term ti's block bi as a global block index, or -1
@@ -410,13 +451,38 @@ func (s *Shard) CorruptBlocks() int {
 	return int(s.integ.corruptBlocks.Load())
 }
 
-// PostingBytes returns the canonical byte size of the shard's postings
-// (8 bytes per posting) — the scrub-pacing denominator: a scrubber at B
+// PostingBytes returns the checksummed byte size of the shard's
+// postings — the sum of every block's header-plus-payload, exactly
+// Σ BlockBytes — the scrub-pacing denominator: a scrubber at B
 // bytes/sec revisits every block once per PostingBytes/B seconds.
 func (s *Shard) PostingBytes() int {
 	n := 0
 	for i := range s.Terms {
-		n += 8 * len(s.Terms[i].Postings)
+		ti := &s.Terms[i]
+		for bi := range ti.Blocks {
+			n += 10 + ti.blockPayloadBytes(bi)
+		}
+	}
+	return n
+}
+
+// PackedPostingBytes returns the resident byte size of the shard's
+// packed postings payloads (including per-term decoder pad) — the
+// quantity the indexer's -memstats report compares against the 8
+// bytes/posting of the unpacked representation.
+func (s *Shard) PackedPostingBytes() int {
+	n := 0
+	for i := range s.Terms {
+		n += len(s.Terms[i].Packed.Data)
+	}
+	return n
+}
+
+// NumPostings returns the shard's total posting count across all terms.
+func (s *Shard) NumPostings() int {
+	n := 0
+	for i := range s.Terms {
+		n += s.Terms[i].Packed.N
 	}
 	return n
 }

@@ -52,9 +52,8 @@ func TestSealedShardVerifiesClean(t *testing.T) {
 func TestBlockCorruptionLocalized(t *testing.T) {
 	s := buildTestShard(t)
 	ti := multiBlockTerm(t, s)
-	lo, _ := ti.BlockSpan(1)
-	ti.Postings[lo].TF++  // bit-rot inside block 1
-	s.ResetVerification() // new scrub epoch: drop the trust memo
+	ti.BlockData(1)[0] ^= 1 // bit-rot inside block 1's packed bytes
+	s.ResetVerification()   // new scrub epoch: drop the trust memo
 
 	err := s.VerifyBlock(ti, 1)
 	var ce *CorruptionError
@@ -142,11 +141,11 @@ func TestDigestCatchesMetadataCorruption(t *testing.T) {
 // afterwards — the back-compat contract for existing shard files.
 func TestV3ShardStillLoads(t *testing.T) {
 	s := buildTestShard(t)
-	w := wireOf(t, s)
-	w.Version = wireVersionV3
-	w.BlockSums = nil
-	w.Digest = 0
-	up, err := readWire(t, w)
+	var buf bytes.Buffer
+	if err := s.EncodeLegacy(&buf, wireVersionV3); err != nil {
+		t.Fatal(err)
+	}
+	up, err := ReadShard(&buf)
 	if err != nil {
 		t.Fatalf("v3 shard failed to load: %v", err)
 	}
@@ -159,8 +158,8 @@ func TestV3ShardStillLoads(t *testing.T) {
 	if up.TotalBlocks() != s.TotalBlocks() {
 		t.Fatalf("upgraded shard has %d blocks, want %d", up.TotalBlocks(), s.TotalBlocks())
 	}
-	// Re-encoding the upgrade writes a v4 file with the same digest a
-	// native v4 encode produces (seal is deterministic).
+	// Repacking the legacy postings and resealing is deterministic, so
+	// the upgraded shard's digest matches the native v5 one.
 	if up.Digest != s.Digest {
 		t.Fatalf("synthesized digest %08x != native %08x", up.Digest, s.Digest)
 	}
@@ -168,10 +167,11 @@ func TestV3ShardStillLoads(t *testing.T) {
 
 // TestV4FileRotDetectedAtLoad: at-rest corruption of a stored v4 file —
 // a posting changed without resealing — is caught eagerly by ReadShard
-// as a localized CorruptionError, never served.
+// as a localized CorruptionError (verified against the file's own
+// legacy checksums, before any repacking), never served.
 func TestV4FileRotDetectedAtLoad(t *testing.T) {
 	s := buildTestShard(t)
-	w := wireOf(t, s)
+	w := legacyWireOf(t, s, wireVersionV4)
 	// Rot one posting of term 0 on "disk": decode the blob, flip a TF,
 	// re-encode. The stored checksums are left as written.
 	ps, err := DecodePostings(w.PostingBlobs[0], w.PostingCounts[0])
@@ -191,11 +191,37 @@ func TestV4FileRotDetectedAtLoad(t *testing.T) {
 	}
 }
 
+// TestV4CleanFileUpgrades: an intact v4 file loads, verifies against
+// its legacy metadata, and comes out repacked with v5 integrity state
+// identical to a native build's.
+func TestV4CleanFileUpgrades(t *testing.T) {
+	s := buildTestShard(t)
+	var buf bytes.Buffer
+	if err := s.EncodeLegacy(&buf, wireVersionV4); err != nil {
+		t.Fatal(err)
+	}
+	up, err := ReadShard(&buf)
+	if err != nil {
+		t.Fatalf("v4 shard failed to load: %v", err)
+	}
+	if up.Digest != s.Digest {
+		t.Fatalf("upgraded digest %08x != native %08x", up.Digest, s.Digest)
+	}
+	for i := range s.Terms {
+		if !bytes.Equal(up.Terms[i].Packed.Data, s.Terms[i].Packed.Data) {
+			t.Fatalf("term %q repacked differently from native build", s.Terms[i].Text)
+		}
+		if up.Terms[i].Blocks[0].QMax != s.Terms[i].Blocks[0].QMax {
+			t.Fatalf("term %q requantized differently from native build", s.Terms[i].Text)
+		}
+	}
+}
+
 // TestV4ChecksumArrayMismatchRejected: a v4 file whose checksum arrays
 // do not line up with its terms is structurally invalid.
 func TestV4ChecksumArrayMismatchRejected(t *testing.T) {
 	s := buildTestShard(t)
-	w := wireOf(t, s)
+	w := legacyWireOf(t, s, wireVersionV4)
 	w.BlockSums = w.BlockSums[:1]
 	if _, err := readWire(t, w); err == nil || !strings.Contains(err.Error(), "checksum arrays") {
 		t.Fatalf("got %v, want checksum-array mismatch", err)
@@ -249,7 +275,7 @@ func TestEncodeSealsUnsealedShard(t *testing.T) {
 		t.Fatal(err)
 	}
 	if w.Version != wireVersion || w.Digest == 0 || len(w.BlockSums) != len(w.TermTexts) {
-		t.Fatalf("Encode wrote an unsealed v4 file: version %d digest %08x sums %d",
+		t.Fatalf("Encode wrote an unsealed file: version %d digest %08x sums %d",
 			w.Version, w.Digest, len(w.BlockSums))
 	}
 }
@@ -278,8 +304,7 @@ func TestUnsealedShardSkipsVerification(t *testing.T) {
 func TestScrubberWalkFindsRot(t *testing.T) {
 	s := buildTestShard(t)
 	ti := multiBlockTerm(t, s)
-	lo, _ := ti.BlockSpan(1)
-	ti.Postings[lo].Doc ^= 4
+	ti.BlockData(1)[3] ^= 4
 	s.ResetVerification()
 
 	found := 0
@@ -309,8 +334,7 @@ func TestRepairBySwapClearsState(t *testing.T) {
 		t.Fatal(err)
 	}
 	ti := multiBlockTerm(t, s)
-	lo, _ := ti.BlockSpan(0)
-	ti.Postings[lo].TF++
+	ti.BlockData(0)[0] ^= 1
 	s.ResetVerification()
 	if err := s.VerifyQuery([]string{ti.Text}); !IsCorruption(err) {
 		t.Fatalf("corruption not detected: %v", err)
@@ -355,37 +379,29 @@ func BenchmarkSealIntegrity(b *testing.B) {
 }
 
 // benchWireBytes encodes the benchmark shard at a given wire version.
-// v3 strips the integrity metadata, reproducing a pre-checksum file.
+// Legacy versions go through EncodeLegacy, reproducing genuine old
+// files.
 func benchWireBytes(b *testing.B, version int) []byte {
 	b.Helper()
 	s := buildTestShard(b)
 	var buf bytes.Buffer
-	if err := s.Encode(&buf); err != nil {
-		b.Fatal(err)
-	}
+	var err error
 	if version == wireVersion {
-		return buf.Bytes()
+		err = s.Encode(&buf)
+	} else {
+		err = s.EncodeLegacy(&buf, version)
 	}
-	var w shardWire
-	if err := gob.NewDecoder(&buf).Decode(&w); err != nil {
-		b.Fatal(err)
-	}
-	w.Version = wireVersionV3
-	w.BlockSums = nil
-	w.Digest = 0
-	buf.Reset()
-	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+	if err != nil {
 		b.Fatal(err)
 	}
 	return buf.Bytes()
 }
 
-// BenchmarkReadShardV4 vs BenchmarkReadShardV3 pins the load-path cost
-// of the integrity plane. Both versions checksum the whole shard once
-// at load (v4 verifies the stored sums, v3 synthesizes them on
-// upgrade), so the delta is wire-side only: carrying sums+digest in the
-// gob stream. The acceptance bar for the wire v4 change is < 2%.
-func BenchmarkReadShardV4(b *testing.B) {
+// BenchmarkReadShardV5 vs BenchmarkReadShardV3 pins the load-path cost
+// of the format upgrade: v5 adopts the packed payloads as-is and
+// verifies them, while v3 pays varint decode plus repack plus reseal on
+// upgrade.
+func BenchmarkReadShardV5(b *testing.B) {
 	data := benchWireBytes(b, wireVersion)
 	b.SetBytes(int64(len(data)))
 	b.ResetTimer()

@@ -68,23 +68,32 @@ func (s *Shard) HasPositions() bool {
 	return false
 }
 
-// validatePositions checks positional invariants for one term.
+// validatePositions checks positional invariants for one term, decoding
+// the packed term frequencies block by block to cross-check list
+// lengths. Callers run it only after checkPackedGeometry has accepted
+// the term.
 func validatePositions(ti *TermInfo) error {
 	if ti.Positions == nil {
 		return nil
 	}
-	if len(ti.Positions) != len(ti.Postings) {
+	if len(ti.Positions) != ti.Packed.N {
 		return fmt.Errorf("index: term %q has %d position lists for %d postings",
-			ti.Text, len(ti.Positions), len(ti.Postings))
+			ti.Text, len(ti.Positions), ti.Packed.N)
 	}
-	for i, ps := range ti.Positions {
-		if len(ps) != int(ti.Postings[i].TF) {
-			return fmt.Errorf("index: term %q posting %d: %d positions for tf %d",
-				ti.Text, i, len(ps), ti.Postings[i].TF)
-		}
-		for j := 1; j < len(ps); j++ {
-			if ps[j] <= ps[j-1] {
-				return fmt.Errorf("index: term %q posting %d: positions not increasing", ti.Text, i)
+	var docs, tfs [BlockSize]uint32
+	for bi := range ti.Blocks {
+		n := ti.DecodeBlockInto(bi, &docs, &tfs)
+		for j := 0; j < n; j++ {
+			i := bi*BlockSize + j
+			ps := ti.Positions[i]
+			if len(ps) != int(tfs[j]) {
+				return fmt.Errorf("index: term %q posting %d: %d positions for tf %d",
+					ti.Text, i, len(ps), tfs[j])
+			}
+			for p := 1; p < len(ps); p++ {
+				if ps[p] <= ps[p-1] {
+					return fmt.Errorf("index: term %q posting %d: positions not increasing", ti.Text, i)
+				}
 			}
 		}
 	}

@@ -32,8 +32,8 @@ func TestPositionalBuilder(t *testing.T) {
 	if !ok {
 		t.Fatal("term missing")
 	}
-	if ti.Postings[0].TF != 2 {
-		t.Fatalf("tf(to, doc0) = %d, want 2", ti.Postings[0].TF)
+	if ti.Posting(0).TF != 2 {
+		t.Fatalf("tf(to, doc0) = %d, want 2", ti.Posting(0).TF)
 	}
 	want := []uint32{0, 4}
 	got := ti.Positions[0]

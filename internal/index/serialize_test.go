@@ -33,6 +33,21 @@ func readWire(t *testing.T, w *shardWire) (*Shard, error) {
 	return ReadShard(&buf)
 }
 
+// legacyWireOf round-trips a shard into the editable wire form of an
+// old format version, via EncodeLegacy.
+func legacyWireOf(t *testing.T, s *Shard, version int) *shardWire {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.EncodeLegacy(&buf, version); err != nil {
+		t.Fatal(err)
+	}
+	var w shardWire
+	if err := gob.NewDecoder(&buf).Decode(&w); err != nil {
+		t.Fatal(err)
+	}
+	return &w
+}
+
 func TestReadShardRejectsCorruptWire(t *testing.T) {
 	s := buildTestShard(t)
 	cases := []struct {
@@ -44,7 +59,8 @@ func TestReadShardRejectsCorruptWire(t *testing.T) {
 		{"future version", func(w *shardWire) { w.Version = wireVersion + 1 }, "format version"},
 		{"missing blocks", func(w *shardWire) { w.Blocks = w.Blocks[:1] }, "inconsistent term arrays"},
 		{"missing stats", func(w *shardWire) { w.TermStats = w.TermStats[:1] }, "inconsistent term arrays"},
-		{"corrupt blob", func(w *shardWire) { w.PostingBlobs[0] = []byte{0xff} }, "term"},
+		{"missing packed payload", func(w *shardWire) { w.PackedData = w.PackedData[:1] }, "inconsistent term arrays"},
+		{"corrupt packed payload", func(w *shardWire) { w.PackedData[0] = []byte{0xff} }, "checksum mismatch"},
 		{"positional arrays", func(w *shardWire) { w.Positions = make([][][]uint32, 1) }, "positional arrays"},
 		{"invalid shard", func(w *shardWire) { w.NumDocs++ }, "failed validation"},
 	}
@@ -60,6 +76,30 @@ func TestReadShardRejectsCorruptWire(t *testing.T) {
 				t.Fatalf("corruption %q: error %q does not mention %q", c.name, err, c.errFrag)
 			}
 		})
+	}
+}
+
+// TestLegacyCorruptBlobRejected: a legacy file whose varint postings
+// blob does not decode is rejected with the offending term named.
+func TestLegacyCorruptBlobRejected(t *testing.T) {
+	s := buildTestShard(t)
+	for _, v := range []int{wireVersionV3, wireVersionV4} {
+		w := legacyWireOf(t, s, v)
+		w.PostingBlobs[0] = []byte{0xff}
+		if _, err := readWire(t, w); err == nil || !strings.Contains(err.Error(), "term") {
+			t.Fatalf("v%d corrupt blob: got %v", v, err)
+		}
+	}
+}
+
+func TestEncodeLegacyRejectsUnknownVersion(t *testing.T) {
+	s := buildTestShard(t)
+	var buf bytes.Buffer
+	if err := s.EncodeLegacy(&buf, wireVersion); err == nil {
+		t.Fatal("EncodeLegacy accepted the current version")
+	}
+	if err := s.EncodeLegacy(&buf, 2); err == nil {
+		t.Fatal("EncodeLegacy accepted an ancient version")
 	}
 }
 

@@ -47,11 +47,11 @@ type TermStats struct {
 }
 
 // computeTermStats evaluates the term's score over every posting (exactly
-// what the indexing phase of the paper does) and summarizes. The
-// materialized per-posting scores are returned alongside the statistics
-// so Finalize can build the block-max overlay from the same values.
-func computeTermStats(s *Shard, ti *TermInfo, k int) (TermStats, []float64) {
-	ps := ti.Postings
+// what the indexing phase of the paper does) and summarizes. It runs on
+// the builder's flat postings, before they are packed; the materialized
+// per-posting scores are returned alongside the statistics so Finalize
+// can build the block-max overlay from the same values.
+func computeTermStats(s *Shard, ps []Posting, k int) (TermStats, []float64) {
 	df := len(ps)
 	idf := math.Log(1 + (float64(s.NumDocs)-float64(df)+0.5)/(float64(df)+0.5))
 
@@ -171,12 +171,16 @@ func (h *floatMinHeap) Pop() interface{} {
 }
 
 // Scores materializes the BM25 score of every posting of ti, in document
-// order. The Taily baseline and Fig. 6 use this to study score
-// distributions; query evaluation never calls it.
+// order, decoding block by block. The Taily baseline and Fig. 6 use this
+// to study score distributions; query evaluation never calls it.
 func (s *Shard) Scores(ti *TermInfo) []float64 {
-	out := make([]float64, len(ti.Postings))
-	for i, p := range ti.Postings {
-		out[i] = s.TermScore(ti, p)
+	out := make([]float64, 0, ti.Packed.N)
+	var docs, tfs [BlockSize]uint32
+	for bi := range ti.Blocks {
+		n := ti.DecodeBlockInto(bi, &docs, &tfs)
+		for i := 0; i < n; i++ {
+			out = append(out, s.BM25.Score(ti.Stats.IDF, tfs[i], s.DocLens[docs[i]], s.AvgDocLen))
+		}
 	}
 	return out
 }

@@ -42,9 +42,8 @@ func corruptOneBlock(t testing.TB, s *index.Shard) (string, int) {
 	t.Helper()
 	for i := range s.Terms {
 		ti := &s.Terms[i]
-		if len(ti.Blocks) > 1 {
-			lo, _ := ti.BlockSpan(1)
-			ti.Postings[lo].TF ^= 1
+		if len(ti.Blocks) > 1 && len(ti.BlockData(1)) > 0 {
+			ti.BlockData(1)[0] ^= 1
 			s.ResetVerification()
 			return ti.Text, 1
 		}

@@ -310,7 +310,7 @@ func TestQuarantineFailoverAndRepair(t *testing.T) {
 	// measurements yet, ranking falls back to ID order, so the first
 	// query leg goes to the corrupt replica — the hardest case.
 	ti := findTerm(t, sh0, "ga")
-	ti.Postings[0].TF ^= 1
+	ti.BlockData(0)[0] ^= 1
 	sh0.ResetVerification()
 
 	// The query still succeeds — served by replica 1 — and never

@@ -139,7 +139,7 @@ func Anytime(s *index.Shard, terms []string, k int, deadline Deadline) Result {
 		// Ranges are visited out of document order: reposition every
 		// cursor at the range start (a seek counts as one traversal).
 		for _, c := range cs {
-			c.pos = index.Seek(c.ti.Postings, dLo)
+			c.reposition(dLo)
 			st.PostingsTraversed++
 		}
 		for {

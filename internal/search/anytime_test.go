@@ -117,9 +117,10 @@ func recomputeScore(s *index.Shard, terms []string, doc uint32) float64 {
 		if !ok {
 			continue
 		}
-		i := index.Seek(ti.Postings, doc)
-		if i < len(ti.Postings) && ti.Postings[i].Doc == doc {
-			score += s.TermScore(ti, ti.Postings[i])
+		ps := ti.AllPostings()
+		i := index.Seek(ps, doc)
+		if i < len(ps) && ps[i].Doc == doc {
+			score += s.TermScore(ti, ps[i])
 		}
 	}
 	return score

@@ -15,16 +15,26 @@ func Merge(k int, lists ...[]Hit) []Hit {
 	for _, l := range lists {
 		all = append(all, l...)
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Score != all[j].Score {
-			return all[i].Score > all[j].Score
-		}
-		return all[i].Doc < all[j].Doc
-	})
+	// Concrete sort.Interface rather than sort.Slice: the merge runs per
+	// query on the aggregation path, and the reflection-based swapper is
+	// measurable there. The comparator is a total order (collection-wide
+	// doc IDs are unique), so the result is algorithm-independent.
+	sort.Sort(byScoreDoc(all))
 	if len(all) > k {
 		all = all[:k]
 	}
 	return all
+}
+
+type byScoreDoc []Hit
+
+func (h byScoreDoc) Len() int      { return len(h) }
+func (h byScoreDoc) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h byScoreDoc) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score > h[j].Score
+	}
+	return h[i].Doc < h[j].Doc
 }
 
 // DocSet returns the set of document IDs in hits.

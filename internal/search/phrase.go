@@ -41,32 +41,36 @@ func Phrase(s *index.Shard, phrase []string, k int) (Result, error) {
 			rare = i
 		}
 	}
-	cursors := make([]int, len(infos)) // posting offsets per term
+	cursors := make([]cursor, len(infos)) // forward cursors per term
+	for i := range cursors {
+		cursors[i].ti, cursors[i].bi = infos[i], -1
+	}
 	tk := newTopK(k)
+	rarePostings := infos[rare].AllPostings()
 outer:
-	for _, p := range infos[rare].Postings {
+	for _, p := range rarePostings {
 		doc := p.Doc
 		// Locate doc in every other term's postings.
 		offsets := make([]int, len(infos))
-		for i, ti := range infos {
-			ps := ti.Postings
-			cursors[i] += index.Seek(ps[cursors[i]:], doc)
+		for i := range infos {
+			c := &cursors[i]
+			match := c.seek(doc)
 			st.PostingsTraversed++
-			if cursors[i] >= len(ps) {
+			if c.exhausted() {
 				break outer // some term is exhausted: no further phrase can match
 			}
-			if ps[cursors[i]].Doc != doc {
+			if !match {
 				continue outer
 			}
-			offsets[i] = cursors[i]
+			offsets[i] = c.pos
 		}
 		st.DocsScored++
 		if !phraseInDoc(infos, offsets) {
 			continue
 		}
 		score := 0.0
-		for i, ti := range infos {
-			score += s.TermScore(ti, ti.Postings[offsets[i]])
+		for i := range infos {
+			score += s.TermScore(infos[i], cursors[i].posting())
 		}
 		if tk.offer(doc, score) {
 			st.HeapInserts++

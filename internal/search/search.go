@@ -5,10 +5,19 @@
 // posting-list length alone (Section III-C). Every evaluator reports
 // ExecStats — the documents scored and postings traversed — which drive
 // the cluster simulator's service-time cost model and the C_RES metric.
+//
+// Postings are stored bit-packed in 64-posting blocks (internal/index wire
+// v5); evaluators walk them through cursors that decode one block at a
+// time into fixed scratch. The reference strategies (Exhaustive, MaxScore,
+// WAND, TAAT, Anytime) visit exactly the postings their flat-slice
+// ancestors visited, so their ExecStats — and therefore the simulator's
+// figures — are unchanged. The block-max strategies (MaxScoreBM, WANDBM)
+// additionally consult the quantized per-block bounds to skip whole blocks
+// without decoding them; they return bitwise-identical hits with less
+// work.
 package search
 
 import (
-	"sort"
 	"sync"
 
 	"cottage/internal/index"
@@ -34,6 +43,14 @@ type ExecStats struct {
 	HeapInserts int
 	// TermsMatched is how many of the query's terms exist in the shard.
 	TermsMatched int
+	// BlocksDecoded counts posting blocks unpacked from their bit-packed
+	// form. Only the block-max strategies report it (the reference
+	// strategies leave it zero so their stats stay comparable across
+	// versions); it is observability, not a cost-model input.
+	BlocksDecoded int
+	// BlocksSkipped counts skip decisions the block-max strategies made
+	// on quantized bounds — block ranges ruled out without decoding.
+	BlocksSkipped int
 }
 
 // Add accumulates other into s.
@@ -42,6 +59,8 @@ func (s *ExecStats) Add(other ExecStats) {
 	s.DocsScored += other.DocsScored
 	s.HeapInserts += other.HeapInserts
 	s.TermsMatched += other.TermsMatched
+	s.BlocksDecoded += other.BlocksDecoded
+	s.BlocksSkipped += other.BlocksSkipped
 }
 
 // Result is a shard's answer to a query: its local top-K and the work done.
@@ -75,6 +94,15 @@ const (
 	StrategyWAND
 	// StrategyTAAT scores term-at-a-time with accumulators (no pruning).
 	StrategyTAAT
+	// StrategyMaxScoreBM is MaxScore with block-max refinement: probes
+	// into non-essential lists are abandoned when the quantized bound of
+	// the block they would decode cannot lift the document.
+	StrategyMaxScoreBM
+	// StrategyWANDBM is Block-Max WAND (Ding & Suel): after the pivot is
+	// chosen on global bounds, the quantized bounds of the blocks
+	// spanning the pivot document decide whether to evaluate or to jump
+	// past the blocks entirely.
+	StrategyWANDBM
 )
 
 // String returns the strategy's name.
@@ -88,9 +116,26 @@ func (st Strategy) String() string {
 		return "wand"
 	case StrategyTAAT:
 		return "taat"
+	case StrategyMaxScoreBM:
+		return "maxscore-bm"
+	case StrategyWANDBM:
+		return "wand-bm"
 	default:
 		return "unknown"
 	}
+}
+
+// ParseStrategy maps a strategy name back to its Strategy.
+func ParseStrategy(name string) (Strategy, bool) {
+	for _, st := range []Strategy{
+		StrategyExhaustive, StrategyMaxScore, StrategyWAND,
+		StrategyTAAT, StrategyMaxScoreBM, StrategyWANDBM,
+	} {
+		if st.String() == name {
+			return st, true
+		}
+	}
+	return 0, false
 }
 
 // Eval dispatches to the named strategy.
@@ -104,43 +149,187 @@ func Eval(st Strategy, s *index.Shard, terms []string, k int) Result {
 		return WAND(s, terms, k)
 	case StrategyTAAT:
 		return TAAT(s, terms, k)
+	case StrategyMaxScoreBM:
+		return MaxScoreBM(s, terms, k)
+	case StrategyWANDBM:
+		return WANDBM(s, terms, k)
 	default:
 		panic("search: unknown strategy")
 	}
 }
 
-// cursor walks one term's postings.
+// cursor walks one term's postings, decoding the bit-packed blocks
+// lazily: whichever block holds the cursor's position is unpacked into
+// the cursor-owned scratch arrays, and stays cached until the position
+// leaves it. All movement is through pos; doc/posting decode on demand.
 type cursor struct {
-	ti  *index.TermInfo
-	pos int
+	ti      *index.TermInfo
+	pos     int // global posting index
+	bi      int // block currently decoded into scratch, -1 if none
+	idx     int // position in the cursorSet slab (term-appearance order)
+	decodes int // block decodes performed (BlocksDecoded for BM stats)
+	docs    [index.BlockSize]uint32
+	tfs     [index.BlockSize]uint32
 }
 
-func (c *cursor) exhausted() bool { return c.pos >= len(c.ti.Postings) }
-func (c *cursor) doc() uint32     { return c.ti.Postings[c.pos].Doc }
+func (c *cursor) exhausted() bool { return c.pos >= c.ti.Len() }
+
+// load makes block bi the decoded block. The hit check stays in the
+// (inlinable) caller-facing methods; the decode itself is kept out of
+// line so doc/posting compile down to a compare plus an array read on
+// the cached-block path — the overwhelmingly common one.
+func (c *cursor) load(bi int) {
+	if c.bi != bi {
+		c.loadSlow(bi)
+	}
+}
+
+//go:noinline
+func (c *cursor) loadSlow(bi int) {
+	c.ti.DecodeBlockInto(bi, &c.docs, &c.tfs)
+	c.bi = bi
+	c.decodes++
+}
+
+// loadPos decodes the block holding the current position.
+//
+//go:noinline
+func (c *cursor) loadPos() {
+	c.loadSlow(c.pos / index.BlockSize)
+}
+
+func (c *cursor) doc() uint32 {
+	if c.pos/index.BlockSize != c.bi {
+		c.loadPos()
+	}
+	return c.docs[c.pos%index.BlockSize]
+}
+
 func (c *cursor) posting() index.Posting {
-	return c.ti.Postings[c.pos]
+	if c.pos/index.BlockSize != c.bi {
+		c.loadPos()
+	}
+	return index.Posting{Doc: c.docs[c.pos%index.BlockSize], TF: c.tfs[c.pos%index.BlockSize]}
+}
+
+// tf reads the term frequency at the cursor position. The position's
+// block must already be decoded — doc() and a successful seek() both
+// guarantee that — which is what lets this inline where posting()'s
+// reload check would not.
+func (c *cursor) tf() uint32 { return c.tfs[c.pos%index.BlockSize] }
+
+// blockLen is block bi's live posting count.
+func (c *cursor) blockLen(bi int) int {
+	n := c.ti.Len() - bi*index.BlockSize
+	if n > index.BlockSize {
+		n = index.BlockSize
+	}
+	return n
+}
+
+// shallowBlock returns the index of the block containing the first
+// posting with Doc >= doc, searching forward from the cursor's current
+// block, or -1 when the list has no such posting. It reads only the
+// block-max overlay — no payload is decoded — which is what makes
+// quantized-bound skipping cheaper than seeking.
+func (c *cursor) shallowBlock(doc uint32) int {
+	blocks := c.ti.Blocks
+	bi := c.pos / index.BlockSize
+	if bi >= len(blocks) {
+		return -1
+	}
+	if blocks[bi].MaxDoc >= doc {
+		return bi
+	}
+	lo, hi := bi+1, len(blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if blocks[mid].MaxDoc < doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(blocks) {
+		return -1
+	}
+	return lo
 }
 
 // seek advances the cursor to the first posting with Doc >= doc and
-// reports whether a posting at exactly doc exists.
+// reports whether a posting at exactly doc exists. Forward-only, like
+// the flat-slice Seek it replaces: a target at or before the current
+// document leaves the cursor in place.
 func (c *cursor) seek(doc uint32) bool {
-	// Fast path: already there or one step away, common in dense merges.
-	for !c.exhausted() && c.doc() < doc && c.pos+1 < len(c.ti.Postings) && c.ti.Postings[c.pos+1].Doc <= doc {
-		c.pos++
+	if c.exhausted() {
+		return false
 	}
-	if !c.exhausted() && c.doc() < doc {
-		c.pos += index.Seek(c.ti.Postings[c.pos:], doc)
+	if d := c.doc(); d >= doc {
+		return d == doc
 	}
-	return !c.exhausted() && c.doc() == doc
+	bi := c.shallowBlock(doc)
+	if bi < 0 {
+		c.pos = c.ti.Len()
+		return false
+	}
+	i := 0
+	if bi == c.pos/index.BlockSize {
+		i = c.pos % index.BlockSize // within the current block: scan forward
+	} else {
+		c.pos = bi * index.BlockSize
+	}
+	c.load(bi)
+	// The block's MaxDoc >= doc, so the scan stops inside the live span.
+	for c.docs[i] < doc {
+		i++
+	}
+	c.pos = bi*index.BlockSize + i
+	return c.docs[i] == doc
+}
+
+// reposition places the cursor at the first posting with Doc >= doc,
+// regardless of its current position (Anytime visits document ranges out
+// of order, so cursors move backward between ranges).
+func (c *cursor) reposition(doc uint32) {
+	blocks := c.ti.Blocks
+	lo, hi := 0, len(blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if blocks[mid].MaxDoc < doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(blocks) {
+		c.pos = c.ti.Len()
+		return
+	}
+	c.load(lo)
+	i := 0
+	for c.docs[i] < doc {
+		i++
+	}
+	c.pos = lo*index.BlockSize + i
 }
 
 // cursorSet is the pooled per-evaluation cursor scratch: one contiguous
 // slab of cursors plus the pointer slice the evaluators walk. Recycling
 // it through a sync.Pool makes steady-state query evaluation stop
-// allocating a map, a slice and k cursors per (query, shard) pair.
+// allocating a map, a slice and k cursors per (query, shard) pair. The
+// set also carries one spare decode scratch for canonicalScore, so
+// re-scoring an accepted candidate never disturbs a cursor's cached
+// block.
 type cursorSet struct {
 	slab []cursor
 	cs   []*cursor
+	// contrib is slab-parallel per-candidate scratch: MaxScore records
+	// each term's contribution at the current candidate here, so an
+	// accepted candidate's canonical (slab-order) score is a re-sum of
+	// m floats instead of a re-lookup of m postings.
+	contrib []float64
+	docs    [index.BlockSize]uint32
+	tfs     [index.BlockSize]uint32
 }
 
 var cursorPool = sync.Pool{New: func() any { return new(cursorSet) }}
@@ -167,7 +356,10 @@ func openCursorSet(s *index.Shard, terms []string) *cursorSet {
 			}
 		}
 		if !dup {
-			slab = append(slab, cursor{ti: ti})
+			slab = append(slab, cursor{})
+			c := &slab[len(slab)-1]
+			c.ti, c.pos, c.bi, c.decodes = ti, 0, -1, 0
+			c.idx = len(slab) - 1
 		}
 	}
 	// Pointers are taken only after the slab stops growing.
@@ -175,11 +367,46 @@ func openCursorSet(s *index.Shard, terms []string) *cursorSet {
 	for i := range slab {
 		cs = append(cs, &slab[i])
 	}
-	x.slab, x.cs = slab, cs
+	if cap(x.contrib) < len(slab) {
+		x.contrib = make([]float64, len(slab))
+	}
+	x.slab, x.cs, x.contrib = slab, cs, x.contrib[:len(slab)]
 	return x
 }
 
 func (x *cursorSet) put() { cursorPool.Put(x) }
+
+// findPosting locates doc's posting in a term by binary search over the
+// block-max overlay plus one block decode into the caller's scratch.
+func findPosting(ti *index.TermInfo, doc uint32, docs, tfs *[index.BlockSize]uint32) (index.Posting, bool) {
+	blocks := ti.Blocks
+	lo, hi := 0, len(blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if blocks[mid].MaxDoc < doc {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(blocks) {
+		return index.Posting{}, false
+	}
+	n := ti.DecodeBlockInto(lo, docs, tfs)
+	a, b := 0, n
+	for a < b {
+		mid := (a + b) / 2
+		if docs[mid] < doc {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	if a == n || docs[a] != doc {
+		return index.Posting{}, false
+	}
+	return index.Posting{Doc: docs[a], TF: tfs[a]}, true
+}
 
 // canonicalScore computes a document's full score by summing term
 // contributions in slab (term-appearance) order, so that every evaluation
@@ -190,14 +417,39 @@ func (x *cursorSet) put() { cursorPool.Put(x) }
 func canonicalScore(s *index.Shard, set *cursorSet, doc uint32) float64 {
 	score := 0.0
 	for i := range set.slab {
-		ti := set.slab[i].ti
-		ps := ti.Postings
-		j := index.Seek(ps, doc)
-		if j < len(ps) && ps[j].Doc == doc {
-			score += s.TermScore(ti, ps[j])
+		c := &set.slab[i]
+		if p, ok := c.lookupPosting(doc, &set.docs, &set.tfs); ok {
+			score += s.TermScore(c.ti, p)
 		}
 	}
 	return score
+}
+
+// lookupPosting finds doc's posting in the cursor's term. When the
+// cursor's cached block covers doc's range it is searched directly —
+// the evaluator just parked this cursor at or near doc, so re-scoring
+// an accepted candidate almost never re-decodes — otherwise it falls
+// back to findPosting with the set's spare scratch, leaving the cached
+// block undisturbed.
+func (c *cursor) lookupPosting(doc uint32, docs, tfs *[index.BlockSize]uint32) (index.Posting, bool) {
+	if c.bi >= 0 && c.docs[0] <= doc && doc <= c.ti.Blocks[c.bi].MaxDoc {
+		// Blocks partition the doc space, so doc can live only here.
+		n := c.blockLen(c.bi)
+		a, b := 0, n
+		for a < b {
+			mid := (a + b) / 2
+			if c.docs[mid] < doc {
+				a = mid + 1
+			} else {
+				b = mid
+			}
+		}
+		if a < n && c.docs[a] == doc {
+			return index.Posting{Doc: doc, TF: c.tfs[a]}, true
+		}
+		return index.Posting{}, false
+	}
+	return findPosting(c.ti, doc, docs, tfs)
 }
 
 // Exhaustive evaluates the query by a full multiway DAAT merge: every
@@ -232,7 +484,7 @@ func Exhaustive(s *index.Shard, terms []string, k int) Result {
 		score := 0.0
 		for _, c := range cs {
 			if !c.exhausted() && c.doc() == minDoc {
-				score += s.TermScore(c.ti, c.posting())
+				score += s.TermScore(c.ti, index.Posting{Doc: minDoc, TF: c.tf()})
 				c.pos++
 				st.PostingsTraversed++
 			}
@@ -251,6 +503,21 @@ func Exhaustive(s *index.Shard, terms []string, k int) Result {
 // those lists stop producing candidates and are only probed for documents
 // surfaced by the essential lists.
 func MaxScore(s *index.Shard, terms []string, k int) Result {
+	return maxScore(s, terms, k, false)
+}
+
+// MaxScoreBM is MaxScore refined with the quantized block bounds: before
+// a probe into a non-essential list seeks (and decodes a block), the
+// QMax bound of the block the seek would land in is checked; when even
+// that ceiling plus the remaining lists' global bounds cannot beat the
+// threshold, the candidate is abandoned without touching the payload.
+// Hits are bitwise-identical to MaxScore — the bounds only veto work,
+// never scores — but BlocksSkipped probes and their decodes are saved.
+func MaxScoreBM(s *index.Shard, terms []string, k int) Result {
+	return maxScore(s, terms, k, true)
+}
+
+func maxScore(s *index.Shard, terms []string, k int, blockMax bool) Result {
 	set := openCursorSet(s, terms)
 	defer set.put()
 	cs := set.cs
@@ -260,9 +527,18 @@ func MaxScore(s *index.Shard, terms []string, k int) Result {
 		return Result{Stats: st}
 	}
 	// Ascending by max score: cs[0] is the least impactful list.
-	sort.Slice(cs, func(i, j int) bool {
-		return cs[i].ti.Stats.MaxScore < cs[j].ti.Stats.MaxScore
-	})
+	// Insertion sort: a query carries a handful of terms, and the
+	// reflection setup sort.Slice pays per call is visible at per-query
+	// evaluation rates.
+	for i := 1; i < len(cs); i++ {
+		c := cs[i]
+		j := i
+		for j > 0 && cs[j-1].ti.Stats.MaxScore > c.ti.Stats.MaxScore {
+			cs[j] = cs[j-1]
+			j--
+		}
+		cs[j] = c
+	}
 	m := len(cs)
 	prefix := make([]float64, m) // prefix[i] = sum of max scores of cs[0..i]
 	acc := 0.0
@@ -288,11 +564,21 @@ func MaxScore(s *index.Shard, terms []string, k int) Result {
 		if !live {
 			break
 		}
-		// Score essential lists at minDoc.
+		// Score essential lists at minDoc, recording per-term
+		// contributions: candidates are strictly increasing and probes
+		// seek exactly to the candidate, so an accepted document has had
+		// every list that contains it credited — its canonical score is
+		// the slab-order re-sum of contrib, no posting re-lookup needed.
+		contrib := set.contrib
+		for i := range contrib {
+			contrib[i] = 0
+		}
 		score := 0.0
 		for _, c := range cs[first:] {
 			if !c.exhausted() && c.doc() == minDoc {
-				score += s.TermScore(c.ti, c.posting())
+				v := s.TermScore(c.ti, index.Posting{Doc: minDoc, TF: c.tf()})
+				score += v
+				contrib[c.idx] = v
 				c.pos++
 				st.PostingsTraversed++
 			}
@@ -309,15 +595,43 @@ func MaxScore(s *index.Shard, terms []string, k int) Result {
 				break
 			}
 			c := cs[j]
+			if blockMax {
+				// Replace list j's global bound with the quantized ceiling
+				// of the one block its seek would decode. Sound because
+				// DequantBound >= the block's exact Max >= any contribution
+				// from a document in the block — so this prune is strictly
+				// tighter than the prefix[j] one above.
+				bb := 0.0
+				if bi := c.shallowBlock(minDoc); bi >= 0 {
+					bb = index.DequantBound(c.ti.Blocks[bi].QMax, c.ti.Stats.MaxScore)
+				}
+				rest := 0.0
+				if j > 0 {
+					rest = prefix[j-1]
+				}
+				if score+bb+rest <= theta {
+					ok = false
+					st.BlocksSkipped++
+					break
+				}
+			}
 			if c.seek(minDoc) {
-				score += s.TermScore(c.ti, c.posting())
+				v := s.TermScore(c.ti, index.Posting{Doc: minDoc, TF: c.tf()})
+				score += v
+				contrib[c.idx] = v
 			}
 			st.PostingsTraversed++
 		}
 		if ok && score > theta {
-			// Re-score canonically so ties and float ordering match the
-			// exhaustive evaluator exactly.
-			if tk.offer(minDoc, canonicalScore(s, set, minDoc)) {
+			// Re-sum in slab (term-appearance) order so ties and float
+			// ordering match the exhaustive evaluator exactly: the same
+			// contribution values added in the same order, with exact
+			// +0.0 identities for absent terms.
+			full := 0.0
+			for _, v := range contrib {
+				full += v
+			}
+			if tk.offer(minDoc, full) {
 				st.HeapInserts++
 			}
 		}
@@ -325,6 +639,11 @@ func MaxScore(s *index.Shard, terms []string, k int) Result {
 		theta = tk.threshold()
 		for first < m && prefix[first] <= theta {
 			first++
+		}
+	}
+	if blockMax {
+		for _, c := range cs {
+			st.BlocksDecoded += c.decodes
 		}
 	}
 	return Result{Hits: tk.hits(s), Stats: st}
@@ -335,6 +654,21 @@ func MaxScore(s *index.Shard, terms []string, k int) Result {
 // the cumulative upper bound exceeds the threshold, and cursors before the
 // pivot leapfrog directly to the pivot document.
 func WAND(s *index.Shard, terms []string, k int) Result {
+	return wand(s, terms, k, false)
+}
+
+// WANDBM evaluates the query with Block-Max WAND (Ding & Suel): the
+// pivot is still chosen on the global per-term bounds, but before the
+// pivot document is evaluated, the quantized bounds of the blocks that
+// span it are summed. When that refined ceiling cannot beat the
+// threshold, the whole region up to the nearest block boundary is
+// skipped with one seek instead of being scored document by document.
+// Hits are bitwise-identical to WAND; the block bounds only veto work.
+func WANDBM(s *index.Shard, terms []string, k int) Result {
+	return wand(s, terms, k, true)
+}
+
+func wand(s *index.Shard, terms []string, k int, blockMax bool) Result {
 	set := openCursorSet(s, terms)
 	defer set.put()
 	cs := set.cs
@@ -356,7 +690,20 @@ func WAND(s *index.Shard, terms []string, k int) Result {
 		if len(cs) == 0 {
 			break
 		}
-		sort.Slice(cs, func(i, j int) bool { return cs[i].doc() < cs[j].doc() })
+		// Insertion sort by current doc: queries carry a handful of
+		// cursors and at most a couple moved since the last iteration,
+		// so this beats sort.Slice (which pays reflection on every
+		// swap) on the loop's hottest edge.
+		for i := 1; i < len(cs); i++ {
+			c := cs[i]
+			d := c.doc()
+			j := i
+			for j > 0 && cs[j-1].doc() > d {
+				cs[j] = cs[j-1]
+				j--
+			}
+			cs[j] = c
+		}
 		// Find the pivot.
 		theta := tk.threshold()
 		ub := 0.0
@@ -372,6 +719,54 @@ func WAND(s *index.Shard, terms []string, k int) Result {
 			break // no document can beat the threshold anymore
 		}
 		pivotDoc := cs[pivot].doc()
+		if blockMax {
+			// Refine the pivot's ceiling with the quantized bounds of the
+			// blocks containing pivotDoc (overlay only — nothing decodes).
+			// The bound must cover every list that could credit pivotDoc,
+			// which includes cursors past the pivot parked exactly on it.
+			end := pivot
+			for end+1 < len(cs) && cs[end+1].doc() == pivotDoc {
+				end++
+			}
+			blockUB := 0.0
+			skipTo := ^uint32(0)
+			for _, c := range cs[:end+1] {
+				bi := c.shallowBlock(pivotDoc)
+				if bi < 0 {
+					continue
+				}
+				blk := &c.ti.Blocks[bi]
+				blockUB += index.DequantBound(blk.QMax, c.ti.Stats.MaxScore)
+				if blk.MaxDoc < skipTo {
+					skipTo = blk.MaxDoc
+				}
+			}
+			if blockUB <= theta {
+				// No document from pivotDoc to the earliest block horizon
+				// can beat the threshold: jump straight past it.
+				st.BlocksSkipped++
+				next := skipTo + 1
+				// Documents past pivotDoc may still gain credit from lists
+				// beyond end; never jump past the first of them. Both skip
+				// targets are strictly beyond pivotDoc (the blocks' MaxDoc
+				// >= pivotDoc, and cs[end+1] sits past it), so the seek
+				// below always progresses.
+				if end+1 < len(cs) && cs[end+1].doc() < next {
+					next = cs[end+1].doc()
+				}
+				// Advance the highest-impact cursor at or before pivotDoc
+				// (mirrors the plain-WAND advancement rule).
+				adv := 0
+				for i := 1; i <= end; i++ {
+					if cs[i].ti.Stats.MaxScore > cs[adv].ti.Stats.MaxScore {
+						adv = i
+					}
+				}
+				cs[adv].seek(next)
+				st.PostingsTraversed++
+				continue
+			}
+		}
 		if cs[0].doc() == pivotDoc {
 			// Full evaluation at pivotDoc.
 			score := 0.0
@@ -379,7 +774,7 @@ func WAND(s *index.Shard, terms []string, k int) Result {
 				if c.doc() != pivotDoc {
 					break
 				}
-				score += s.TermScore(c.ti, c.posting())
+				score += s.TermScore(c.ti, index.Posting{Doc: pivotDoc, TF: c.tf()})
 			}
 			st.DocsScored++
 			if score > theta {
@@ -406,6 +801,11 @@ func WAND(s *index.Shard, terms []string, k int) Result {
 			}
 			cs[adv].seek(pivotDoc)
 			st.PostingsTraversed++
+		}
+	}
+	if blockMax {
+		for _, c := range set.slab {
+			st.BlocksDecoded += c.decodes
 		}
 	}
 	return Result{Hits: tk.hits(s), Stats: st}
@@ -498,12 +898,19 @@ func (t *topK) siftDown(i int) {
 func (t *topK) hits(s *index.Shard) []Hit {
 	out := make([]Hit, len(t.h))
 	copy(out, t.h)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	// Descending score, ascending local doc on ties; insertion sort for
+	// the same per-query reflection-cost reason as the cursor orderings
+	// (k is small).
+	for i := 1; i < len(out); i++ {
+		h := out[i]
+		j := i
+		for j > 0 && (out[j-1].Score < h.Score ||
+			(out[j-1].Score == h.Score && out[j-1].Local > h.Local)) {
+			out[j] = out[j-1]
+			j--
 		}
-		return out[i].Local < out[j].Local
-	})
+		out[j] = h
+	}
 	for i := range out {
 		out[i].Doc = s.GlobalDoc(out[i].Local)
 	}

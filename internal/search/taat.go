@@ -1,7 +1,7 @@
 package search
 
 import (
-	"sort"
+	"slices"
 
 	"cottage/internal/index"
 )
@@ -24,10 +24,14 @@ func TAAT(s *index.Shard, terms []string, k int) Result {
 		return Result{Stats: st}
 	}
 	acc := make(map[uint32]float64)
+	var bdocs, btfs [index.BlockSize]uint32
 	for _, c := range cs {
-		for _, p := range c.ti.Postings {
-			acc[p.Doc] += s.TermScore(c.ti, p)
-			st.PostingsTraversed++
+		for bi := 0; bi < c.ti.NumBlocks(); bi++ {
+			n := c.ti.DecodeBlockInto(bi, &bdocs, &btfs)
+			for i := 0; i < n; i++ {
+				acc[bdocs[i]] += s.TermScore(c.ti, index.Posting{Doc: bdocs[i], TF: btfs[i]})
+				st.PostingsTraversed++
+			}
 		}
 	}
 	st.DocsScored = len(acc)
@@ -38,7 +42,9 @@ func TAAT(s *index.Shard, terms []string, k int) Result {
 	for d := range acc {
 		docs = append(docs, d)
 	}
-	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+	// slices.Sort: non-reflective, and doc IDs are unique so the order
+	// is algorithm-independent.
+	slices.Sort(docs)
 	for _, d := range docs {
 		if tk.offer(d, acc[d]) {
 			st.HeapInserts++

@@ -1,8 +1,6 @@
 package search
 
 import (
-	"sort"
-
 	"cottage/internal/index"
 )
 
@@ -53,7 +51,9 @@ func openWeightedCursors(s *index.Shard, terms []WeightedTerm) []*wcursor {
 	}
 	for _, t := range uniq {
 		if ti, ok := s.Lookup(t.Text); ok {
-			cs = append(cs, &wcursor{cursor: cursor{ti: ti}, weight: t.Weight})
+			wc := &wcursor{weight: t.Weight}
+			wc.ti, wc.bi = ti, -1
+			cs = append(cs, wc)
 		}
 	}
 	return cs
@@ -62,12 +62,11 @@ func openWeightedCursors(s *index.Shard, terms []WeightedTerm) []*wcursor {
 // canonicalWeightedScore recomputes a document's full weighted score in
 // cursor order, so both weighted evaluators assign identical floats.
 func canonicalWeightedScore(s *index.Shard, cs []*wcursor, doc uint32) float64 {
+	var docs, tfs [index.BlockSize]uint32
 	score := 0.0
 	for _, c := range cs {
-		ps := c.ti.Postings
-		i := index.Seek(ps, doc)
-		if i < len(ps) && ps[i].Doc == doc {
-			score += c.weight * s.TermScore(c.ti, ps[i])
+		if p, ok := findPosting(c.ti, doc, &docs, &tfs); ok {
+			score += c.weight * s.TermScore(c.ti, p)
 		}
 	}
 	return score
@@ -123,7 +122,17 @@ func MaxScoreWeighted(s *index.Shard, terms []WeightedTerm, k int) Result {
 		return Result{Stats: st}
 	}
 	ub := func(c *wcursor) float64 { return c.weight * c.ti.Stats.MaxScore }
-	sort.Slice(cs, func(i, j int) bool { return ub(cs[i]) < ub(cs[j]) })
+	// Insertion sort for the same per-query reflection-cost reason as
+	// the unweighted evaluators (queries carry a handful of terms).
+	for i := 1; i < len(cs); i++ {
+		c := cs[i]
+		j := i
+		for j > 0 && ub(cs[j-1]) > ub(c) {
+			cs[j] = cs[j-1]
+			j--
+		}
+		cs[j] = c
+	}
 	m := len(cs)
 	prefix := make([]float64, m)
 	acc := 0.0

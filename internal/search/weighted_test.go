@@ -77,7 +77,7 @@ func TestWeightsChangeRanking(t *testing.T) {
 		t.Skip("rare term absent")
 	}
 	present := false
-	for _, p := range ti.Postings {
+	for _, p := range ti.AllPostings() {
 		if p.Doc == boosted.Hits[0].Local {
 			present = true
 			break

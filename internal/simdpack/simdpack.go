@@ -1,0 +1,132 @@
+// Package simdpack bit-packs fixed blocks of 64 uint32 values at a
+// per-block fixed width, in the "vertical" (interleaved-lane) layout of
+// SIMD-BP128 (Lemire & Boytsov): value v of a block lives in lane v%4 of
+// group v/4, and an m128 word k of the packed stream carries bits
+// [32k, 32k+32) of all four lanes at once. Because the four lanes of a
+// group always sit at the same bit offset, one pair of packed 32-bit
+// shifts reconstructs four values regardless of the width — which is
+// what lets a single SSE2 routine (kernels_amd64.s) decode every width
+// 0..32 with no per-width specialization. On other architectures the
+// portable routines below produce bit-identical output.
+//
+// The index layer packs document-ID gaps and term frequencies with this
+// package (internal/index/packed.go); the decode side is the hot loop of
+// query evaluation, so the unpack entry points are allocation-free and
+// write into caller-owned fixed arrays.
+package simdpack
+
+// BlockLen is the number of values per packed block. It matches
+// index.BlockSize so one packed block is one block-max block.
+const BlockLen = 64
+
+// Pad is how many bytes of readable slack every packed buffer must
+// carry after its last block. The vectorized unpackers read whole m128
+// words unconditionally — the final group of an odd-width block touches
+// 16 bytes past the block's packed payload (the extra bits are masked
+// off, so the values read back identically) — and the pad keeps that
+// read inside the buffer.
+const Pad = 16
+
+// Width returns the smallest bit width that can represent every value:
+// the bit length of the maximum. 0 means all values are zero.
+func Width(vals []uint32) uint32 {
+	max := uint32(0)
+	for _, v := range vals {
+		max |= v
+	}
+	w := uint32(0)
+	for max != 0 {
+		w++
+		max >>= 1
+	}
+	return w
+}
+
+// PackedBytes returns the packed payload size of one 64-value block at
+// width w: 64*w bits rounded up to whole m128 words.
+func PackedBytes(w uint32) int {
+	return 16 * int((w+1)/2)
+}
+
+// Pack writes the 64 values of src into dst at width w in vertical
+// layout. dst[:PackedBytes(w)] must be zeroed by the caller; every value
+// must fit in w bits. Packing happens once at index build, so it is
+// plain scalar Go.
+func Pack(dst []byte, src *[BlockLen]uint32, w uint32) {
+	if w == 0 {
+		return
+	}
+	for v := 0; v < BlockLen; v++ {
+		lane := uint32(v) & 3
+		bit := uint32(v>>2) * w
+		word := bit >> 5
+		off := bit & 31
+		slot := (word*4 + lane) * 4
+		val := src[v]
+		putLE32(dst[slot:], readLE32(dst[slot:])|val<<off)
+		if off+w > 32 {
+			putLE32(dst[slot+16:], readLE32(dst[slot+16:])|val>>(32-off))
+		}
+	}
+}
+
+// unpackRef is the portable reference decode: dst[v] = the w-bit value
+// at lane v%4, group v/4. It reads only the bytes Pack wrote (no Pad
+// dependence) and is the oracle the amd64 kernels are tested against.
+func unpackRef(src []byte, w uint32, dst *[BlockLen]uint32) {
+	if w == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	mask := uint32(1)<<w - 1
+	if w == 32 {
+		mask = ^uint32(0)
+	}
+	for v := 0; v < BlockLen; v++ {
+		lane := uint32(v) & 3
+		bit := uint32(v>>2) * w
+		word := bit >> 5
+		off := bit & 31
+		slot := (word*4 + lane) * 4
+		val := readLE32(src[slot:]) >> off
+		if off+w > 32 {
+			val |= readLE32(src[slot+16:]) << (32 - off)
+		}
+		dst[v] = val & mask
+	}
+}
+
+// unpackDeltasRef is unpackRef followed by a prefix sum seeded at base:
+// dst[v] = base + src-gap[0] + ... + src-gap[v]. The index layer stores
+// document IDs as gaps; this reconstructs them in one pass.
+func unpackDeltasRef(src []byte, w uint32, base uint32, dst *[BlockLen]uint32) {
+	unpackRef(src, w, dst)
+	acc := base
+	for i := range dst {
+		acc += dst[i]
+		dst[i] = acc
+	}
+}
+
+// unpackIncRef is unpackRef with +1 applied to every value: term
+// frequencies are stored as tf-1, so an all-ones block packs to zero
+// bytes.
+func unpackIncRef(src []byte, w uint32, dst *[BlockLen]uint32) {
+	unpackRef(src, w, dst)
+	for i := range dst {
+		dst[i]++
+	}
+}
+
+func readLE32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLE32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}

@@ -46,11 +46,20 @@ func corrupt(b []byte) []byte {
 }
 
 func writeCorpus(dir string, entries map[string][]byte) {
+	bodies := make(map[string]string, len(entries))
+	for name, data := range entries {
+		bodies[name] = "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+	}
+	writeCorpusEntries(dir, bodies)
+}
+
+// writeCorpusEntries writes pre-rendered corpus bodies, for fuzz
+// targets whose inputs are not a single []byte.
+func writeCorpusEntries(dir string, bodies map[string]string) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	for name, data := range entries {
-		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+	for name, body := range bodies {
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
 			log.Fatal(err)
 		}
@@ -159,11 +168,11 @@ func main() {
 		"absent": anytimeEntry(1023, 24, 100, 1, 0),
 	})
 
-	// Shard decode seeds (wire v4): a valid checksummed file, its
-	// truncation, bit-flip rot at three densities (the at-rest corruption
-	// the CRC32C plane exists to refuse), and a pre-checksum v3 file for
-	// the synthesize-on-upgrade path. Mirrors FuzzShardDecodeV4's f.Add
-	// seeds in internal/index/fuzz_test.go.
+	// Shard decode seeds: a valid packed (wire v5) file, truncations,
+	// bit-flip rot at three densities (the at-rest corruption the CRC32C
+	// plane exists to refuse), genuine v4 and v3 files for the legacy
+	// load paths, and a rotted v4. Mirrors FuzzShardDecode's f.Add seeds
+	// in internal/index/fuzz_test.go.
 	b := index.NewBuilder(3, index.DefaultBM25(), 10)
 	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
 	for d := 0; d < 60; d++ {
@@ -180,20 +189,90 @@ func main() {
 	if err := shard.Encode(&shardBuf); err != nil {
 		log.Fatal(err)
 	}
-	shardV4 := shardBuf.Bytes()
+	shardV5 := shardBuf.Bytes()
 	rot := func(n int) []byte {
-		m := bytes.Clone(shardV4)
+		m := bytes.Clone(shardV5)
 		faults.FlipBits(m, n, uint64(77+n))
 		return m
 	}
-	writeCorpus("internal/index/testdata/fuzz/FuzzShardDecodeV4", map[string][]byte{
-		"valid":     shardV4,
-		"truncated": shardV4[:len(shardV4)/2],
-		"header":    shardV4[:11],
+	legacy := func(version int) []byte {
+		var buf bytes.Buffer
+		if err := shard.EncodeLegacy(&buf, version); err != nil {
+			log.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	rottedV4 := legacy(4)
+	faults.FlipBits(rottedV4, 16, 93)
+	writeCorpus("internal/index/testdata/fuzz/FuzzShardDecode", map[string][]byte{
+		"valid":     shardV5,
+		"truncated": shardV5[:len(shardV5)/2],
+		"header":    shardV5[:11],
 		"rot-1":     rot(1),
 		"rot-16":    rot(16),
 		"rot-256":   rot(256),
+		"legacy-v3": legacy(3),
+		"legacy-v4": legacy(4),
+		"rot-v4":    rottedV4,
+	})
+
+	// Packed-postings geometry seeds: the sub-wire fuzz target that
+	// attacks checkPackedGeometry + DecodeBlockInto directly with
+	// arbitrary payload bytes and overlay descriptors. Mirrors
+	// FuzzPackedPostingsDecode's f.Add seeds (valid packing, truncation,
+	// over-long payload, width overflow, nonsense counts).
+	var multiTerm *index.TermInfo
+	for i := range shard.Terms {
+		if ti := &shard.Terms[i]; len(ti.Blocks) > 0 {
+			if multiTerm == nil || ti.Len() > multiTerm.Len() {
+				multiTerm = ti
+			}
+		}
+	}
+	if multiTerm == nil {
+		log.Fatal("gencorpus: shard has no packed terms")
+	}
+	valid := bytes.Clone(multiTerm.Packed.Data)
+	blocks := packedBlocksBytes(multiTerm.Blocks)
+	wide := packedBlocksBytes(multiTerm.Blocks)
+	wide[8] = 200 // DocW of block 0 beyond the 32-bit ceiling
+	n := int64(multiTerm.Len())
+	trunc := len(valid) / 2
+	writeCorpusEntries("internal/index/testdata/fuzz/FuzzPackedPostingsDecode", map[string]string{
+		"valid":     packedEntry(len(valid), n, valid, blocks),
+		"truncated": packedEntry(trunc, n, valid[:trunc], blocks),
+		"overlong":  packedEntry(len(valid)+64, n, append(bytes.Clone(valid), make([]byte, 64)...), blocks),
+		"wide":      packedEntry(len(valid), n, valid, wide),
+		"nonsense":  packedEntry(0, -3, []byte{}, []byte{}),
 	})
 
 	fmt.Println("corpus written under internal/{rpc,search,trace,index}/testdata/fuzz")
+}
+
+// packedBlocksBytes flattens a Block overlay the way the fuzz target's
+// decoder reads it back: 16 bytes per block, little endian — MaxDoc,
+// Off, DocW, TFW, QMax, 5 spare.
+func packedBlocksBytes(blocks []index.Block) []byte {
+	out := make([]byte, 0, 16*len(blocks))
+	for _, b := range blocks {
+		var rec [16]byte
+		binary.LittleEndian.PutUint32(rec[0:], b.MaxDoc)
+		binary.LittleEndian.PutUint32(rec[4:], b.Off)
+		rec[8] = b.DocW
+		rec[9] = b.TFW
+		rec[10] = b.QMax
+		out = append(out, rec[:]...)
+	}
+	return out
+}
+
+// packedEntry renders one FuzzPackedPostingsDecode corpus entry in the
+// go fuzz v1 format for the target's (int, int64, []byte, []byte)
+// signature.
+func packedEntry(dataLen int, n int64, data, rawBlocks []byte) string {
+	return "go test fuzz v1\n" +
+		"int(" + strconv.Itoa(dataLen) + ")\n" +
+		"int64(" + strconv.FormatInt(n, 10) + ")\n" +
+		"[]byte(" + strconv.Quote(string(data)) + ")\n" +
+		"[]byte(" + strconv.Quote(string(rawBlocks)) + ")\n"
 }
